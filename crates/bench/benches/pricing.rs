@@ -1,0 +1,201 @@
+//! Criterion microbenchmarks for QIRANA's hot paths and the design-choice
+//! ablations DESIGN.md calls out:
+//!
+//! * support-set generation;
+//! * SPJ disagreement detection — naive vs. instance reduction vs. static
+//!   checks without batching vs. full batching (the §4 ladder);
+//! * aggregate disagreement detection (Algorithm 5 + delta analysis);
+//! * entropy-family partition pricing (Algorithm 2);
+//! * history-aware repricing (the shrinking-support effect of §5.3);
+//! * weight assignment with price points (the max-entropy solve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qirana_core::{
+    bundle_disagreements, bundle_partition, generate_support, prepare_query, EngineOptions,
+    PricePoint, SupportConfig, SupportSet,
+};
+use qirana_datagen::world;
+use qirana_solver::{solve, MaxEntProblem};
+
+fn support_generation(c: &mut Criterion) {
+    let db = world::generate(7);
+    let mut g = c.benchmark_group("support_generation");
+    for size in [100usize, 1000, 5000] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                generate_support(
+                    &db,
+                    &SupportConfig {
+                        size,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn spj_engine_ladder(c: &mut Criterion) {
+    let mut db = world::generate(7);
+    let support = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: 2000,
+            ..Default::default()
+        },
+    ));
+    let q = prepare_query(
+        &db,
+        "SELECT Name, Population FROM Country C, CountryLanguage L \
+         WHERE C.Code = L.CountryCode AND L.Percentage < 30 AND C.Population > 1000000",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("spj_disagreements_S2000");
+    let configs: [(&str, EngineOptions); 4] = [
+        ("naive", EngineOptions::naive()),
+        (
+            "instance_reduction",
+            EngineOptions {
+                optimize: false,
+                batch: false,
+                reduce: true,
+            },
+        ),
+        ("static_no_batching", EngineOptions::no_batching()),
+        ("batched", EngineOptions::default()),
+    ];
+    for (name, opts) in configs {
+        g.bench_function(name, |b| {
+            b.iter(|| bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn agg_engine(c: &mut Criterion) {
+    let mut db = world::generate(7);
+    let support = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: 2000,
+            ..Default::default()
+        },
+    ));
+    let q = prepare_query(
+        &db,
+        "SELECT Region, AVG(LifeExpectancy), COUNT(*) FROM Country GROUP BY Region",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("agg_disagreements_S2000");
+    for (name, opts) in [
+        ("naive", EngineOptions::naive()),
+        ("optimized", EngineOptions::default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn entropy_partition(c: &mut Criterion) {
+    let mut db = world::generate(7);
+    let support = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: 300,
+            ..Default::default()
+        },
+    ));
+    let q = prepare_query(&db, "SELECT Continent, COUNT(*) FROM Country GROUP BY Continent")
+        .unwrap();
+    c.bench_function("bundle_partition_S300", |b| {
+        b.iter(|| bundle_partition(&mut db, &[&q], &support).unwrap())
+    });
+}
+
+fn history_shrinks_work(c: &mut Criterion) {
+    let mut db = world::generate(7);
+    let support = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: 2000,
+            ..Default::default()
+        },
+    ));
+    let q = prepare_query(&db, "SELECT * FROM Country WHERE ID < 120").unwrap();
+    // A buyer who already paid for 90% of the support set.
+    let charged: Vec<bool> = (0..2000).map(|i| i % 10 != 0).collect();
+    let mut g = c.benchmark_group("history_aware_S2000");
+    g.bench_function("fresh_buyer", |b| {
+        b.iter(|| {
+            bundle_disagreements(&mut db, &[&q], &support, EngineOptions::default(), None)
+                .unwrap()
+        })
+    });
+    g.bench_function("buyer_with_90pct_history", |b| {
+        b.iter(|| {
+            bundle_disagreements(
+                &mut db,
+                &[&q],
+                &support,
+                EngineOptions::default(),
+                Some(&charged),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn weight_assignment(c: &mut Criterion) {
+    let mut db = world::generate(7);
+    let support = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: 2000,
+            ..Default::default()
+        },
+    ));
+    let points = vec![
+        PricePoint::new("SELECT * FROM Country", 60.0),
+        PricePoint::new("SELECT ID, Population FROM Country", 20.0),
+        PricePoint::new("SELECT * FROM City", 25.0),
+    ];
+    c.bench_function("assign_weights_3_points_S2000", |b| {
+        b.iter(|| {
+            qirana_core::assign_weights(&mut db, &support, 100.0, &points, EngineOptions::default())
+                .unwrap()
+        })
+    });
+}
+
+fn maxent_solver(c: &mut Criterion) {
+    let n = 10_000;
+    let mut a = vec![vec![1.0; n]];
+    let mut b = vec![100.0];
+    for j in 1..=8usize {
+        let cut = n * j / 10;
+        let mut row = vec![0.0; n];
+        row[..cut].iter_mut().for_each(|x| *x = 1.0);
+        a.push(row);
+        b.push(100.0 * cut as f64 / n as f64 * 0.9);
+    }
+    let p = MaxEntProblem { a, b, n };
+    c.bench_function("maxent_8_constraints_10k_vars", |bch| {
+        bch.iter(|| {
+            let r = solve(&p);
+            assert!(r.is_optimal());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = support_generation, spj_engine_ladder, agg_engine,
+              entropy_partition, history_shrinks_work, weight_assignment,
+              maxent_solver
+}
+criterion_main!(benches);

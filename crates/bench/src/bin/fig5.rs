@@ -1,0 +1,118 @@
+//! Figure 5: scalability — time to price each SSB / TPC-H query with the
+//! per-update optimizer ("no batching"), the batched optimizer, and, for
+//! reference, the plain query execution time.
+//!
+//! `cargo run -p qirana-bench --bin fig5 --release -- <ssb|tpch> [--sf F] [--support N] [--naive 1]`
+//!
+//! The paper runs SF = 1 with S = 100 000; defaults here are scaled down
+//! (see EXPERIMENTS.md) — the *ratios* between the three columns are the
+//! result.
+
+use qirana_bench::{time, Args};
+use qirana_core::{
+    bundle_disagreements, prepare_query, EngineOptions, SupportConfig, SupportSet,
+};
+use qirana_core::generate_support;
+use qirana_datagen::queries::{ssb_queries, tpch_queries};
+use qirana_datagen::{ssb, tpch};
+use qirana_sqlengine::{execute, ExecContext};
+
+fn main() {
+    let args = Args::parse();
+    let which = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "ssb".to_string());
+    let sf: f64 = args.get("sf", 0.01);
+    let support: usize = args.get("support", 2000);
+    let include_naive: usize = args.get("naive", 0);
+
+    let (mut db, queries): (_, Vec<(String, String)>) = match which.as_str() {
+        "ssb" => (
+            ssb::generate(sf, 5),
+            ssb_queries()
+                .into_iter()
+                .map(|(n, q)| (n.to_string(), q.to_string()))
+                .collect(),
+        ),
+        "tpch" => (
+            tpch::generate(sf, 5),
+            tpch_queries(sf)
+                .into_iter()
+                .map(|(n, q)| (n.to_string(), q))
+                .collect(),
+        ),
+        other => {
+            eprintln!("unknown dataset {other}; use ssb or tpch");
+            return;
+        }
+    };
+
+    println!(
+        "== Figure 5 ({which}, sf={sf}, S={support}): pricing time in seconds =="
+    );
+    let support_set = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: support,
+            seed: args.get("seed", 1),
+            ..Default::default()
+        },
+    ));
+
+    print!(
+        "{:<6} {:>14} {:>14} {:>14}",
+        "query", "no batching", "with batching", "query exec"
+    );
+    if include_naive == 1 {
+        print!(" {:>14}", "naive");
+    }
+    println!();
+
+    for (name, sql) in queries {
+        let q = match prepare_query(&db, &sql) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("{name:<6} failed to prepare: {e}");
+                continue;
+            }
+        };
+        let (_, t_exec) = time(|| execute(&q.plan, &ExecContext::new(&db)).unwrap());
+        let (_, t_nobatch) = time(|| {
+            bundle_disagreements(
+                &mut db,
+                &[&q],
+                &support_set,
+                EngineOptions::no_batching(),
+                None,
+            )
+            .unwrap()
+        });
+        let (_, t_batch) = time(|| {
+            bundle_disagreements(
+                &mut db,
+                &[&q],
+                &support_set,
+                EngineOptions::default(),
+                None,
+            )
+            .unwrap()
+        });
+        print!("{name:<6} {t_nobatch:>14.4} {t_batch:>14.4} {t_exec:>14.4}");
+        if include_naive == 1 {
+            let (_, t_naive) = time(|| {
+                bundle_disagreements(
+                    &mut db,
+                    &[&q],
+                    &support_set,
+                    EngineOptions::naive(),
+                    None,
+                )
+                .unwrap()
+            });
+            print!(" {t_naive:>14.4}");
+        }
+        println!();
+    }
+}

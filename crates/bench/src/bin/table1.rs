@@ -1,0 +1,117 @@
+//! Table 1: properties of the pricing functions, verified *empirically* on
+//! the world dataset — for each function × support-set combination the
+//! harness probes determinacy pairs for information arbitrage and bundle
+//! splits for bundle arbitrage, and reports the property status alongside
+//! the paper's claims.
+//!
+//! `cargo run -p qirana-bench --bin table1 --release [-- --support 800]`
+
+use qirana_bench::{broker, Args};
+use qirana_core::{PricingFunction, Qirana, SupportType};
+use qirana_datagen::world;
+
+/// Determinacy pairs `(finer, coarser)` — see `tests/arbitrage.rs`.
+const PAIRS: &[(&str, &str)] = &[
+    (
+        "SELECT ID, Name, Continent, Population FROM Country",
+        "SELECT ID, Name FROM Country",
+    ),
+    ("SELECT * FROM Country", "SELECT Region FROM Country"),
+    (
+        "SELECT * FROM Country WHERE ID < 200",
+        "SELECT * FROM Country WHERE ID < 100",
+    ),
+    (
+        "SELECT Continent, count(*) FROM Country GROUP BY Continent",
+        "SELECT count(*) FROM Country WHERE Continent = 'Asia'",
+    ),
+    (
+        "SELECT ID, Population FROM Country",
+        "SELECT AVG(Population) FROM Country",
+    ),
+];
+
+const BUNDLES: &[(&str, &str)] = &[
+    (
+        "SELECT Name FROM Country WHERE Continent = 'Asia'",
+        "SELECT Name FROM Country WHERE Continent = 'Europe'",
+    ),
+    (
+        "SELECT ID, Population FROM Country",
+        "SELECT ID, GNP FROM Country",
+    ),
+    (
+        "SELECT Region, AVG(LifeExpectancy) FROM Country GROUP BY Region",
+        "SELECT * FROM CountryLanguage",
+    ),
+];
+
+fn check_info_arbitrage(b: &mut Qirana) -> bool {
+    PAIRS.iter().all(|(finer, coarser)| {
+        let pf = b.quote(finer).unwrap();
+        let pc = b.quote(coarser).unwrap();
+        pc <= pf + 1e-9
+    })
+}
+
+fn check_bundle_arbitrage(b: &mut Qirana) -> bool {
+    BUNDLES.iter().all(|(q1, q2)| {
+        let p1 = b.quote(q1).unwrap();
+        let p2 = b.quote(q2).unwrap();
+        let pb = b.quote_bundle(&[q1, q2]).unwrap();
+        pb <= p1 + p2 + 1e-6
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let support: usize = args.get("support", 800);
+    let uniform_support: usize = args.get("uniform-support", 120);
+    let seed: u64 = args.get("seed", 2);
+    let db = world::generate(7);
+
+    println!("Table 1: pricing-function properties (empirical check on world)");
+    println!(
+        "{:<22} {:<9} {:<6} {:>12} {:>12}",
+        "function", "support", "type", "info-arb-ok", "bundle-ok"
+    );
+    for (ty, label) in [
+        (SupportType::Neighborhood, "nbrs"),
+        (SupportType::Uniform, "uniform"),
+    ] {
+        for f in PricingFunction::ALL {
+            let size = match (ty, f.needs_partition()) {
+                (SupportType::Uniform, _) => uniform_support,
+                (_, true) => support.min(300),
+                _ => support,
+            };
+            let mut b = broker(db.clone(), f, ty, size, seed);
+            let info = check_info_arbitrage(&mut b);
+            let bundle = check_bundle_arbitrage(&mut b);
+            let kind = if ty == SupportType::Uniform {
+                match f {
+                    PricingFunction::WeightedCoverage | PricingFunction::UniformEntropyGain => {
+                        "aps"
+                    }
+                    _ => "qps",
+                }
+            } else {
+                "dps"
+            };
+            println!(
+                "{:<22} {:<9} {:<6} {:>12} {:>12}",
+                f.name(),
+                label,
+                kind,
+                info,
+                bundle
+            );
+        }
+    }
+    println!(
+        "\npaper's Table 1: coverage & entropy functions are bundle-arbitrage-free;\n\
+         uniform entropy gain is not (a violation needs a workload that splits its\n\
+         log-count sum — absence above is not a proof). All are information-\n\
+         arbitrage-free (coverage/gain strongly, entropies weakly)."
+    );
+}

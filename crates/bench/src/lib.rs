@@ -1,0 +1,147 @@
+//! # qirana-bench
+//!
+//! Harnesses that regenerate every table and figure of the QIRANA paper's
+//! evaluation (§2.4 and §5). Each binary prints the same rows/series the
+//! paper plots; `EXPERIMENTS.md` at the repository root records a
+//! paper-vs-measured comparison for each.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — pricing-function properties, verified empirically |
+//! | `fig2`   | Figure 2 — price behavior of 8 function×support combos |
+//! | `table2` | Table 2 — dataset characteristics |
+//! | `fig4 a..g` | Figure 4 — support-size, swap-ratio, runtime, history |
+//! | `fig5 ssb\|tpch` | Figure 5 — scalability with/without batching |
+//! | `fig6`   | Figure 6 — additional world-workload benchmarking |
+//! | `table3` | Table 3 — DBLP and car-crash query prices |
+//!
+//! Every binary accepts `--support N` and `--seed N`, and (where
+//! applicable) `--sf F` / `--rows N` / `--nodes N` to scale up toward the
+//! paper's exact parameters.
+
+use qirana_core::{PricingFunction, Qirana, QiranaConfig, SupportConfig, SupportType};
+use qirana_sqlengine::Database;
+use std::time::Instant;
+
+/// Minimal flag parser: positional args plus `--name value` pairs.
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().unwrap_or_default();
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    /// Typed flag lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Builds a broker with the common experiment defaults ($100 dataset).
+pub fn broker(
+    db: Database,
+    function: PricingFunction,
+    support_type: SupportType,
+    size: usize,
+    seed: u64,
+) -> Qirana {
+    Qirana::new(
+        db,
+        QiranaConfig {
+            total_price: 100.0,
+            function,
+            support_type,
+            support: SupportConfig {
+                size,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("broker construction")
+}
+
+/// Builds a database containing only the named tables of `db` (used by the
+/// Figure 2/4a/4b harnesses, whose benchmark instance is Country +
+/// CountryLanguage priced at $100 per relation).
+pub fn subset_db(db: &Database, names: &[&str]) -> Database {
+    let mut out = Database::new();
+    for name in names {
+        let t = db.table(name).expect("table exists");
+        out.add_table(t.schema.clone(), t.rows.iter().cloned());
+    }
+    out
+}
+
+/// Times a closure in seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// The 8 function × support combinations of Figure 2 / Figure 6, labeled
+/// as in the paper's legends.
+pub fn combos() -> Vec<(PricingFunction, SupportType, String)> {
+    let mut out = Vec::new();
+    for ty in [SupportType::Neighborhood, SupportType::Uniform] {
+        let label = if ty == SupportType::Neighborhood {
+            "nbrs"
+        } else {
+            "uniform"
+        };
+        for f in PricingFunction::ALL {
+            out.push((f, ty, format!("{} - {}", f.name(), label)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qirana_datagen::world;
+
+    #[test]
+    fn broker_helper_builds() {
+        let mut b = broker(
+            world::generate(1),
+            PricingFunction::WeightedCoverage,
+            SupportType::Neighborhood,
+            100,
+            7,
+        );
+        assert!(b.quote("SELECT * FROM Country").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn combos_cover_all_eight() {
+        assert_eq!(combos().len(), 8);
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let (_, t) = time(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(t > 0.0);
+    }
+}

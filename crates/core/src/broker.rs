@@ -1,0 +1,638 @@
+//! The QIRANA broker: the system facade of Figure 3.
+//!
+//! [`Qirana`] sits between the buyer and the database. The seller
+//! configures a total price, optional price points, the support-set
+//! parameters, and a pricing function; buyers then [`Qirana::quote`]
+//! prices, [`Qirana::answer`] queries, or [`Qirana::buy`] with
+//! history-aware accounting (§3.5): each account tracks which support
+//! instances it has already paid for (the bitmap of Algorithm 3 for the
+//! coverage family, the accumulated bundle for the entropy family), so
+//! repeated information is never charged twice and a buyer who has paid for
+//! everything gets all further queries free.
+
+use crate::engine::{bundle_disagreements, bundle_partition, EngineOptions};
+use crate::normal_form::{prepare_query, Prepared};
+use crate::pricing::{coverage_price, partition_price, PricingFunction};
+use crate::support::{
+    generate_support, generate_uniform_worlds, SupportConfig, SupportSet,
+};
+use crate::weights::{assign_weights, PricePoint, WeightError};
+use qirana_sqlengine::{execute, Database, EngineError, ExecContext, QueryOutput};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which support-set construction the broker uses (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportType {
+    /// Random neighborhood of `D` (the recommended choice).
+    Neighborhood,
+    /// Uniform random instances from `I` (benchmarked in §2.4 / Figure 6;
+    /// poorly behaved and memory-hungry — kept for the comparison).
+    Uniform,
+}
+
+/// Broker configuration.
+#[derive(Debug, Clone)]
+pub struct QiranaConfig {
+    /// Price of the whole dataset (`p(Q_all, D) = P`).
+    pub total_price: f64,
+    /// Support-set parameters.
+    pub support: SupportConfig,
+    /// Support-set construction.
+    pub support_type: SupportType,
+    /// Pricing function (weighted coverage is the paper's default).
+    pub function: PricingFunction,
+    /// Seller price points, enforced via entropy maximization.
+    pub price_points: Vec<PricePoint>,
+    /// Disagreement-engine options.
+    pub engine: EngineOptions,
+}
+
+impl Default for QiranaConfig {
+    fn default() -> Self {
+        QiranaConfig {
+            total_price: 100.0,
+            support: SupportConfig::default(),
+            support_type: SupportType::Neighborhood,
+            function: PricingFunction::WeightedCoverage,
+            price_points: Vec::new(),
+            engine: EngineOptions::default(),
+        }
+    }
+}
+
+/// Broker errors.
+#[derive(Debug)]
+pub enum BrokerError {
+    /// SQL failed to parse, plan, or execute.
+    Engine(EngineError),
+    /// Weight assignment failed even after resampling/growing the support.
+    Weights(WeightError),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::Engine(e) => write!(f, "{e}"),
+            BrokerError::Weights(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+impl From<EngineError> for BrokerError {
+    fn from(e: EngineError) -> Self {
+        BrokerError::Engine(e)
+    }
+}
+
+impl From<WeightError> for BrokerError {
+    fn from(e: WeightError) -> Self {
+        BrokerError::Weights(e)
+    }
+}
+
+/// Result of a history-aware purchase.
+#[derive(Debug, Clone)]
+pub struct Purchase {
+    /// Amount newly charged for this query.
+    pub price: f64,
+    /// The buyer's cumulative spend after this purchase.
+    pub total_paid: f64,
+    /// The query answer.
+    pub output: QueryOutput,
+}
+
+/// Per-buyer history state.
+#[derive(Debug, Clone, Default)]
+struct BuyerState {
+    /// Coverage family: support instances already paid for (Algorithm 3's
+    /// bitmap `b`).
+    charged: Vec<bool>,
+    /// Entropy family: the accumulated bundle of past purchases.
+    history: Vec<Prepared>,
+    /// Cumulative spend.
+    paid: f64,
+}
+
+/// The QIRANA pricing broker.
+pub struct Qirana {
+    db: Database,
+    cfg: QiranaConfig,
+    support: SupportSet,
+    weights: Vec<f64>,
+    buyers: HashMap<String, BuyerState>,
+    /// Multiplicative corrections anchoring the entropy-family prices at
+    /// `p(Q_all) = P`. The raw formulas normalize by `log S` (resp.
+    /// `1 − 1/S`), which assumes all support instances are pairwise
+    /// distinguishable by `Q_all`; sampled support sets may contain
+    /// duplicate neighbors, so the broker rescales by the entropy the
+    /// *actual* `Q_all` partition achieves.
+    shannon_factor: f64,
+    tsallis_factor: f64,
+}
+
+impl Qirana {
+    /// Builds a broker over a database: generates the support set and
+    /// assigns weights. If the seller's price points are infeasible for the
+    /// sampled support set, the broker resamples and then doubles the
+    /// support size before giving up — the reaction loop of §3.3.
+    pub fn new(db: Database, cfg: QiranaConfig) -> Result<Self, BrokerError> {
+        let mut db = db;
+        let mut last_err: Option<WeightError> = None;
+        for attempt in 0..3u32 {
+            let mut support_cfg = cfg.support.clone();
+            support_cfg.seed = cfg.support.seed.wrapping_add(attempt as u64);
+            if attempt == 2 {
+                support_cfg.size *= 2;
+            }
+            let support = match cfg.support_type {
+                SupportType::Neighborhood => {
+                    SupportSet::Neighborhood(generate_support(&db, &support_cfg))
+                }
+                SupportType::Uniform => SupportSet::Uniform(generate_uniform_worlds(
+                    &db,
+                    support_cfg.size,
+                    support_cfg.seed,
+                )),
+            };
+            match assign_weights(
+                &mut db,
+                &support,
+                cfg.total_price,
+                &cfg.price_points,
+                cfg.engine,
+            ) {
+                Ok(weights) => {
+                    let (shannon_factor, tsallis_factor) =
+                        entropy_factors(&db, &support, &weights, cfg.total_price);
+                    return Ok(Qirana {
+                        db,
+                        cfg,
+                        support,
+                        weights,
+                        buyers: HashMap::new(),
+                        shannon_factor,
+                        tsallis_factor,
+                    });
+                }
+                Err(e @ WeightError::BadPricePoint { .. }) => return Err(e.into()),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("loop ran").into())
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The support-set size actually in use.
+    pub fn support_size(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The instance weights (after any price-point solve).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Executes a query without pricing it.
+    pub fn answer(&self, sql: &str) -> Result<QueryOutput, BrokerError> {
+        let plan = qirana_sqlengine::prepare(&self.db, sql)?;
+        Ok(execute(&plan, &ExecContext::new(&self.db))?)
+    }
+
+    /// History-oblivious price of a single query.
+    pub fn quote(&mut self, sql: &str) -> Result<f64, BrokerError> {
+        self.quote_bundle(&[sql])
+    }
+
+    /// History-oblivious price of a query bundle `Q = (Q₁, …, Qₙ)`.
+    pub fn quote_bundle(&mut self, sqls: &[&str]) -> Result<f64, BrokerError> {
+        let prepared: Vec<Prepared> = sqls
+            .iter()
+            .map(|s| prepare_query(&self.db, s))
+            .collect::<Result<_, _>>()?;
+        let bundle: Vec<&Prepared> = prepared.iter().collect();
+        self.price_bundle(&bundle, None)
+    }
+
+    fn entropy_factor(&self) -> f64 {
+        match self.cfg.function {
+            PricingFunction::ShannonEntropy => self.shannon_factor,
+            PricingFunction::QEntropy => self.tsallis_factor,
+            _ => 1.0,
+        }
+    }
+
+    fn price_bundle(
+        &mut self,
+        bundle: &[&Prepared],
+        skip: Option<&[bool]>,
+    ) -> Result<f64, BrokerError> {
+        let total = self.cfg.total_price;
+        if self.cfg.function.needs_partition() {
+            let partition = bundle_partition(&mut self.db, bundle, &self.support)?;
+            Ok(partition_price(
+                self.cfg.function,
+                total,
+                &self.weights,
+                &partition,
+            ) * self.entropy_factor())
+        } else {
+            let bits =
+                bundle_disagreements(&mut self.db, bundle, &self.support, self.cfg.engine, skip)?;
+            Ok(coverage_price(
+                self.cfg.function,
+                total,
+                &self.weights,
+                &bits,
+            ))
+        }
+    }
+
+    /// History-aware purchase: prices the query against the buyer's
+    /// account, charges only for new information, and returns the answer.
+    pub fn buy(&mut self, buyer: &str, sql: &str) -> Result<Purchase, BrokerError> {
+        let prepared = prepare_query(&self.db, sql)?;
+        let s = self.support.len();
+
+        let price = if self.cfg.function.needs_partition() {
+            // Entropy family: price the accumulated bundle and charge the
+            // increment (bundle formulation of §2.2's history-aware mode).
+            let state = self.buyers.entry(buyer.to_string()).or_default();
+            let mut history = state.history.clone();
+            history.push(prepared.clone());
+            let bundle: Vec<&Prepared> = history.iter().collect();
+            let factor = self.entropy_factor();
+            let total_now = {
+                let partition = bundle_partition(&mut self.db, &bundle, &self.support)?;
+                partition_price(
+                    self.cfg.function,
+                    self.cfg.total_price,
+                    &self.weights,
+                    &partition,
+                ) * factor
+            };
+            let state = self.buyers.get_mut(buyer).expect("created above");
+            let mut delta = total_now - state.paid;
+            if delta <= 0.0 {
+                delta = 0.0; // also normalizes -0.0 from float cancellation
+            }
+            state.history.push(prepared.clone());
+            state.paid += delta;
+            delta
+        } else {
+            // Coverage family: Algorithm 3's bitmap.
+            let charged = {
+                let state = self.buyers.entry(buyer.to_string()).or_default();
+                if state.charged.is_empty() {
+                    state.charged = vec![false; s];
+                }
+                state.charged.clone()
+            };
+            let bits = bundle_disagreements(
+                &mut self.db,
+                &[&prepared],
+                &self.support,
+                self.cfg.engine,
+                Some(&charged),
+            )?;
+            let mut delta = coverage_price(
+                self.cfg.function,
+                self.cfg.total_price,
+                &self.weights,
+                &bits,
+            );
+            if delta <= 0.0 {
+                delta = 0.0; // normalize -0.0
+            }
+            let state = self.buyers.get_mut(buyer).expect("created above");
+            for (c, b) in state.charged.iter_mut().zip(&bits) {
+                *c |= b;
+            }
+            state.paid += delta;
+            delta
+        };
+
+        let output = execute(&prepared.plan, &ExecContext::new(&self.db))?;
+        let total_paid = self.buyers[buyer].paid;
+        Ok(Purchase {
+            price,
+            total_paid,
+            output,
+        })
+    }
+
+    /// A buyer's cumulative spend.
+    pub fn buyer_paid(&self, buyer: &str) -> f64 {
+        self.buyers.get(buyer).map(|b| b.paid).unwrap_or(0.0)
+    }
+
+    /// Fraction of the support set a buyer has already paid for (coverage
+    /// family); 1.0 means all further queries are free.
+    pub fn buyer_coverage(&self, buyer: &str) -> f64 {
+        match self.buyers.get(buyer) {
+            Some(b) if !b.charged.is_empty() => {
+                b.charged.iter().filter(|&&c| c).count() as f64 / b.charged.len() as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Computes the entropy-anchoring factors: the raw entropy prices of the
+/// finest partition `Q_all` actually induces on the (possibly duplicated)
+/// support set, inverted so the broker can rescale to exactly `P`.
+fn entropy_factors(
+    db: &Database,
+    support: &SupportSet,
+    weights: &[f64],
+    total_price: f64,
+) -> (f64, f64) {
+    use qirana_sqlengine::Fingerprint;
+    let partition: Vec<Fingerprint> = match support {
+        SupportSet::Neighborhood(updates) => updates
+            .iter()
+            .map(|u| Fingerprint(u.signature(db) as u128))
+            .collect(),
+        SupportSet::Uniform(worlds) => worlds.iter().map(world_fingerprint).collect(),
+    };
+    let raw_shannon =
+        crate::pricing::shannon_entropy(total_price, weights, &partition);
+    let raw_tsallis = crate::pricing::q_entropy(total_price, weights, &partition);
+    let factor = |raw: f64| if raw > 0.0 { total_price / raw } else { 1.0 };
+    (factor(raw_shannon), factor(raw_tsallis))
+}
+
+/// Content fingerprint of a whole database (bag of rows per table).
+fn world_fingerprint(db: &Database) -> qirana_sqlengine::Fingerprint {
+    let fps: Vec<qirana_sqlengine::Fingerprint> = db
+        .tables()
+        .iter()
+        .map(|t| {
+            crate::engine::bag_fp(QueryOutput {
+                columns: t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                rows: t.rows.clone(),
+                ordered: false,
+            })
+        })
+        .collect();
+    crate::engine::combine_bundle(&fps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qirana_sqlengine::{ColumnDef, DataType, TableSchema};
+
+    fn twitter_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "User",
+                vec![
+                    ColumnDef::new("uid", DataType::Int),
+                    ColumnDef::new("name", DataType::Str),
+                    ColumnDef::new("gender", DataType::Str),
+                    ColumnDef::new("age", DataType::Int),
+                ],
+                &["uid"],
+            ),
+            vec![
+                vec![1.into(), "John".into(), "m".into(), 25.into()],
+                vec![2.into(), "Alice".into(), "f".into(), 13.into()],
+                vec![3.into(), "Bob".into(), "m".into(), 45.into()],
+                vec![4.into(), "Anna".into(), "f".into(), 19.into()],
+            ],
+        );
+        db.add_table(
+            TableSchema::new(
+                "Tweet",
+                vec![
+                    ColumnDef::new("tid", DataType::Int),
+                    ColumnDef::new("uid", DataType::Int),
+                    ColumnDef::new("location", DataType::Str),
+                ],
+                &["tid"],
+            ),
+            vec![
+                vec![1.into(), 3.into(), "CA".into()],
+                vec![2.into(), 3.into(), "WA".into()],
+                vec![3.into(), 1.into(), "OR".into()],
+                vec![4.into(), 2.into(), "CA".into()],
+            ],
+        );
+        db
+    }
+
+    fn broker() -> Qirana {
+        Qirana::new(
+            twitter_db(),
+            QiranaConfig {
+                support: SupportConfig {
+                    size: 500,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_dataset_costs_total_price() {
+        let mut q = broker();
+        let p = q
+            .quote_bundle(&["SELECT * FROM User", "SELECT * FROM Tweet"])
+            .unwrap();
+        assert!((p - 100.0).abs() < 1e-9, "Q_all must price at P, got {p}");
+    }
+
+    #[test]
+    fn running_example_no_arbitrage() {
+        // §1's motivating example: Q2 (group counts) determines Q1 (count of
+        // females), so p(Q1) ≤ p(Q2) must hold.
+        let mut q = broker();
+        let p1 = q
+            .quote("SELECT count(*) FROM User WHERE gender = 'f'")
+            .unwrap();
+        let p2 = q
+            .quote("SELECT gender, count(*) FROM User GROUP BY gender")
+            .unwrap();
+        assert!(
+            p1 <= p2 + 1e-9,
+            "information arbitrage: p(Q1)={p1} > p(Q2)={p2}"
+        );
+        // And AVG(age) is determined by (SUM(age), COUNT via Q2): bundle
+        // subadditivity must make p(Q3) ≤ p(Q2) + p(Q4).
+        let p3 = q.quote("SELECT AVG(age) FROM User").unwrap();
+        let p4 = q.quote("SELECT SUM(age) FROM User").unwrap();
+        assert!(p3 <= p2 + p4 + 1e-9, "p3={p3} p2={p2} p4={p4}");
+    }
+
+    #[test]
+    fn history_aware_repeat_is_free() {
+        let mut q = broker();
+        let sql = "SELECT gender, count(*) FROM User GROUP BY gender";
+        let first = q.buy("alice", sql).unwrap();
+        assert!(first.price > 0.0);
+        let second = q.buy("alice", sql).unwrap();
+        assert_eq!(second.price, 0.0, "repeat purchase must be free");
+        assert_eq!(second.total_paid, first.total_paid);
+    }
+
+    #[test]
+    fn history_aware_overlap_discounted() {
+        // Q5 (male count) is determined by Q2 (group counts): after buying
+        // Q2, Q5 must be free — the §1 example's last step.
+        let mut q = broker();
+        q.buy("alice", "SELECT gender, count(*) FROM User GROUP BY gender")
+            .unwrap();
+        let q5 = q
+            .buy("alice", "SELECT count(*) FROM User WHERE gender = 'm'")
+            .unwrap();
+        assert_eq!(q5.price, 0.0, "determined query after purchase is free");
+    }
+
+    #[test]
+    fn history_aware_total_le_oblivious_sum() {
+        let mut q = broker();
+        let queries = [
+            "SELECT count(*) FROM User WHERE gender = 'f'",
+            "SELECT gender, count(*) FROM User GROUP BY gender",
+            "SELECT AVG(age) FROM User",
+            "SELECT SUM(age) FROM User",
+        ];
+        let mut oblivious = 0.0;
+        for sql in queries {
+            oblivious += q.quote(sql).unwrap();
+        }
+        let mut q2 = broker();
+        let mut aware = 0.0;
+        for sql in queries {
+            aware += q2.buy("bob", sql).unwrap().price;
+        }
+        assert!(
+            aware <= oblivious + 1e-9,
+            "history-aware {aware} must not exceed oblivious {oblivious}"
+        );
+        assert!(aware > 0.0);
+    }
+
+    #[test]
+    fn buying_everything_makes_rest_free() {
+        let mut q = broker();
+        q.buy("carol", "SELECT * FROM User").unwrap();
+        q.buy("carol", "SELECT * FROM Tweet").unwrap();
+        assert!((q.buyer_paid("carol") - 100.0).abs() < 1e-9);
+        assert_eq!(q.buyer_coverage("carol"), 1.0);
+        let p = q.buy("carol", "SELECT count(*) FROM User").unwrap();
+        assert_eq!(p.price, 0.0);
+    }
+
+    #[test]
+    fn per_buyer_isolation() {
+        let mut q = broker();
+        q.buy("alice", "SELECT * FROM User").unwrap();
+        let bob = q
+            .buy("bob", "SELECT count(*) FROM User WHERE gender = 'f'")
+            .unwrap();
+        assert!(bob.price > 0.0, "bob has no history; he pays");
+    }
+
+    #[test]
+    fn cardinality_is_public_knowledge() {
+        // COUNT(*) with no predicate is constant over I (relation sizes are
+        // fixed), so it discloses nothing and must be free.
+        let mut q = broker();
+        let p = q.quote("SELECT count(*) FROM User").unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn price_points_flow_through() {
+        let mut cfg = QiranaConfig {
+            support: SupportConfig {
+                size: 400,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        cfg.price_points = vec![PricePoint::new("SELECT * FROM User", 70.0)];
+        let mut q = Qirana::new(twitter_db(), cfg).unwrap();
+        let p = q.quote("SELECT * FROM User").unwrap();
+        assert!((p - 70.0).abs() < 1e-4, "price point must bind: {p}");
+        let all = q
+            .quote_bundle(&["SELECT * FROM User", "SELECT * FROM Tweet"])
+            .unwrap();
+        assert!((all - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn entropy_function_brokers_work() {
+        for f in [PricingFunction::ShannonEntropy, PricingFunction::QEntropy] {
+            let mut q = Qirana::new(
+                twitter_db(),
+                QiranaConfig {
+                    function: f,
+                    support: SupportConfig {
+                        size: 200,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let p_small = q.quote("SELECT count(*) FROM User WHERE gender='f'").unwrap();
+            let p_all = q
+                .quote_bundle(&["SELECT * FROM User", "SELECT * FROM Tweet"])
+                .unwrap();
+            assert!(p_small >= 0.0 && p_small <= p_all + 1e-9);
+            assert!((p_all - 100.0).abs() < 1e-6, "{f:?}: Q_all = {p_all}");
+            // History-aware repeats stay free.
+            let sql = "SELECT gender, count(*) FROM User GROUP BY gender";
+            let a = q.buy("zed", sql).unwrap();
+            let b = q.buy("zed", sql).unwrap();
+            assert!(a.price >= 0.0);
+            assert!(b.price.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_support_overprices_selective_queries() {
+        let mut q = Qirana::new(
+            twitter_db(),
+            QiranaConfig {
+                support_type: SupportType::Uniform,
+                support: SupportConfig {
+                    size: 60,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // §2.4's observation: a uniformly random database is almost surely
+        // far from D, so even a query touching one cell prices at a large
+        // fraction of P — far above its neighborhood price.
+        let narrow = "SELECT age FROM User WHERE uid = 1";
+        let p_uniform = q.quote(narrow).unwrap();
+        let mut q_nbrs = broker();
+        let p_nbrs = q_nbrs.quote(narrow).unwrap();
+        assert!(
+            p_uniform > 2.0 * p_nbrs,
+            "uniform ({p_uniform}) should far exceed nbrs ({p_nbrs})"
+        );
+    }
+
+    #[test]
+    fn answers_are_correct() {
+        let q = broker();
+        let out = q.answer("SELECT count(*) FROM User WHERE gender = 'f'").unwrap();
+        assert_eq!(out.rows[0][0], 2i64.into());
+    }
+}

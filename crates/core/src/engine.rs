@@ -1,0 +1,338 @@
+//! Pricing-engine orchestration.
+//!
+//! A pricing call reduces to one of two primitives over the support set:
+//!
+//! * [`bundle_disagreements`] — for the coverage-family functions: one bit
+//!   per support instance, "does the bundle's output change on `Dᵢ`?"
+//!   (Algorithm 1 / 3). This is where §4's optimizations apply.
+//! * [`bundle_partition`] — for the entropy-family functions: the bundle
+//!   output fingerprint per instance (Algorithm 2). This inherently
+//!   requires executing the queries per instance, so it always runs the
+//!   naive path — the paper's reason weighted coverage is the recommended
+//!   default.
+
+use crate::naive;
+use crate::normal_form::{Prepared, Shape};
+use crate::optimized;
+use crate::support::SupportSet;
+use qirana_sqlengine::{Database, EngineError, Fingerprint, QueryOutput};
+
+/// Engine knobs mirroring the paper's evaluated configurations.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Use the §4.1 static/dynamic disagreement checks instead of
+    /// re-executing the query per support instance.
+    pub optimize: bool,
+    /// Batch the dynamic checks into a constant number of queries per
+    /// relation (§4.2). Only meaningful when `optimize` is on.
+    pub batch: bool,
+    /// Run the naive path against per-relation *reduced instances*
+    /// (Appendix A's instance reduction). Only used when `optimize` is off
+    /// and the query is SPJ-shaped.
+    pub reduce: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            optimize: true,
+            batch: true,
+            reduce: false,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The paper's "no batching" configuration (Figure 5): static checks
+    /// on, per-update dynamic queries.
+    pub fn no_batching() -> Self {
+        EngineOptions {
+            optimize: true,
+            batch: false,
+            reduce: false,
+        }
+    }
+
+    /// The unoptimized baseline: run the query per support instance.
+    pub fn naive() -> Self {
+        EngineOptions {
+            optimize: false,
+            batch: false,
+            reduce: false,
+        }
+    }
+}
+
+/// Bag fingerprint of an output: display order ignored (see
+/// [`crate::normal_form`] for why agreement is bag-based).
+pub fn bag_fp(mut out: QueryOutput) -> Fingerprint {
+    out.ordered = false;
+    qirana_sqlengine::fingerprint(&out)
+}
+
+/// Combines per-query fingerprints into a bundle fingerprint
+/// (order-sensitive: a bundle is a vector of queries).
+pub fn combine_bundle(fps: &[Fingerprint]) -> Fingerprint {
+    let mut acc: u128 = 0x5153_4cb9;
+    for fp in fps {
+        acc = acc.rotate_left(5) ^ fp.0.wrapping_mul(3);
+    }
+    Fingerprint(acc)
+}
+
+/// Computes, for every support instance, whether the bundle's output on it
+/// differs from the output on the stored database.
+///
+/// `skip[i] = true` excludes instance `i` from evaluation (its bit stays
+/// `false`): history-aware pricing passes the already-charged bitmap here
+/// (Algorithm 3), which also makes repeat pricing *faster*, as §5.3
+/// observes.
+///
+/// `db` is `&mut` because the naive and aggregate-fallback paths apply each
+/// update and roll it back; the database is unchanged on return.
+pub fn bundle_disagreements(
+    db: &mut Database,
+    bundle: &[&Prepared],
+    support: &SupportSet,
+    opts: EngineOptions,
+    skip: Option<&[bool]>,
+) -> Result<Vec<bool>, EngineError> {
+    let n = support.len();
+    if let Some(s) = skip {
+        assert_eq!(s.len(), n, "skip bitmap must cover the support set");
+    }
+    let mut disagree = vec![false; n];
+    // active[i]: still needs evaluation for the remaining queries.
+    let mut active: Vec<bool> = match skip {
+        Some(s) => s.iter().map(|&b| !b).collect(),
+        None => vec![true; n],
+    };
+
+    for q in bundle {
+        let bits = match support {
+            SupportSet::Uniform(worlds) => {
+                naive::disagreements_uniform(db, q, worlds, &active)?
+            }
+            SupportSet::Neighborhood(updates) => {
+                if opts.optimize {
+                    match &q.shape {
+                        Shape::Spj(s) => {
+                            optimized::spj_disagreements(db, s, updates, &active, opts.batch)?
+                        }
+                        Shape::Agg(s) => {
+                            optimized::agg_disagreements(db, q, s, updates, &active, opts.batch)?
+                        }
+                        Shape::Opaque { .. } => {
+                            naive::disagreements_nbrs(db, q, updates, &active)?
+                        }
+                    }
+                } else if opts.reduce && matches!(q.shape, Shape::Spj(_)) {
+                    naive::reduced_disagreements(db, q, updates, &active)?
+                } else {
+                    naive::disagreements_nbrs(db, q, updates, &active)?
+                }
+            }
+        };
+        for i in 0..n {
+            if bits[i] {
+                disagree[i] = true;
+                // A later bundle member cannot change the verdict.
+                active[i] = false;
+            }
+        }
+    }
+    Ok(disagree)
+}
+
+/// Computes the bundle output fingerprint on every support instance
+/// (Algorithm 2's dictionary keys). Skipped instances fingerprint as the
+/// base output.
+pub fn bundle_partition(
+    db: &mut Database,
+    bundle: &[&Prepared],
+    support: &SupportSet,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    match support {
+        SupportSet::Neighborhood(updates) => naive::partition_nbrs(db, bundle, updates),
+        SupportSet::Uniform(worlds) => naive::partition_uniform(db, bundle, worlds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal_form::prepare_query;
+    use crate::support::{generate_support, SupportConfig};
+    use qirana_sqlengine::{ColumnDef, DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "User",
+                vec![
+                    ColumnDef::new("uid", DataType::Int),
+                    ColumnDef::new("gender", DataType::Str),
+                    ColumnDef::new("age", DataType::Int),
+                ],
+                &["uid"],
+            ),
+            vec![
+                vec![1.into(), "m".into(), 25.into()],
+                vec![2.into(), "f".into(), 13.into()],
+                vec![3.into(), "m".into(), 45.into()],
+                vec![4.into(), "f".into(), 19.into()],
+            ],
+        );
+        db
+    }
+
+    /// The core cross-check: every engine configuration must produce the
+    /// same disagreement bits as the naive baseline.
+    #[test]
+    fn optimizer_matches_naive_on_bundle() {
+        let mut database = db();
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 300,
+                ..Default::default()
+            },
+        ));
+        let queries = [
+            "select count(*) from User where gender = 'f'",
+            "select gender from User where age > 18",
+            "select gender, avg(age) from User group by gender",
+        ];
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| prepare_query(&database, q).unwrap())
+            .collect();
+        let bundle: Vec<&Prepared> = prepared.iter().collect();
+
+        let naive =
+            bundle_disagreements(&mut database, &bundle, &support, EngineOptions::naive(), None)
+                .unwrap();
+        for opts in [EngineOptions::default(), EngineOptions::no_batching()] {
+            let got =
+                bundle_disagreements(&mut database, &bundle, &support, opts, None).unwrap();
+            assert_eq!(got, naive, "mismatch under {opts:?}");
+        }
+    }
+
+    #[test]
+    fn database_unchanged_after_pricing() {
+        let mut database = db();
+        let before = database.table("User").unwrap().rows.clone();
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 100,
+                ..Default::default()
+            },
+        ));
+        let q = prepare_query(&database, "select avg(age) from User").unwrap();
+        bundle_disagreements(&mut database, &[&q], &support, EngineOptions::default(), None)
+            .unwrap();
+        bundle_partition(&mut database, &[&q], &support).unwrap();
+        assert_eq!(database.table("User").unwrap().rows, before);
+    }
+
+    #[test]
+    fn skip_suppresses_evaluation() {
+        let mut database = db();
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 50,
+                ..Default::default()
+            },
+        ));
+        let q = prepare_query(&database, "select * from User").unwrap();
+        let skip = vec![true; 50];
+        let bits = bundle_disagreements(
+            &mut database,
+            &[&q],
+            &support,
+            EngineOptions::default(),
+            Some(&skip),
+        )
+        .unwrap();
+        assert!(bits.iter().all(|&b| !b), "all skipped → all false");
+    }
+
+    #[test]
+    fn full_dataset_query_disagrees_everywhere() {
+        let mut database = db();
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 200,
+                ..Default::default()
+            },
+        ));
+        let q = prepare_query(&database, "select * from User").unwrap();
+        let bits = bundle_disagreements(
+            &mut database,
+            &[&q],
+            &support,
+            EngineOptions::default(),
+            None,
+        )
+        .unwrap();
+        assert!(
+            bits.iter().all(|&b| b),
+            "every neighbor differs from D, so Q_all must disagree everywhere"
+        );
+    }
+
+    #[test]
+    fn untouched_relation_never_disagrees() {
+        let mut database = db();
+        database.add_table(
+            TableSchema::new(
+                "Other",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                &["id"],
+            ),
+            vec![vec![1.into(), 2.into()]],
+        );
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 100,
+                ..Default::default()
+            },
+        ));
+        let q = prepare_query(&database, "select 1 from Other where v = 2").unwrap();
+        let bits = bundle_disagreements(
+            &mut database,
+            &[&q],
+            &support,
+            EngineOptions::default(),
+            None,
+        )
+        .unwrap();
+        // Only updates touching Other can flip bits; verify against which
+        // updates touch table index 1.
+        let SupportSet::Neighborhood(updates) = &support else {
+            unreachable!()
+        };
+        for (i, up) in updates.iter().enumerate() {
+            if up.table() == 0 {
+                assert!(!bits[i], "User update cannot change a query on Other");
+            }
+        }
+    }
+
+    #[test]
+    fn combine_bundle_is_order_sensitive() {
+        let a = Fingerprint(1);
+        let b = Fingerprint(2);
+        assert_ne!(combine_bundle(&[a, b]), combine_bundle(&[b, a]));
+        assert_eq!(combine_bundle(&[a, b]), combine_bundle(&[a, b]));
+    }
+}

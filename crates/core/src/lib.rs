@@ -1,0 +1,81 @@
+//! # qirana-core
+//!
+//! A from-scratch Rust implementation of **QIRANA** (Deep & Koutris,
+//! SIGMOD 2017): a query-based data-pricing broker that sits between a
+//! buyer and a DBMS and charges for SQL queries according to the
+//! information they disclose, with formal arbitrage-freeness guarantees.
+//!
+//! ## How it works
+//!
+//! From the buyer's viewpoint there is a set `I` of *possible databases*
+//! consistent with the public schema, keys, domains, and cardinalities.
+//! Answering a query rules out every `D' ∈ I` with `Q(D') ≠ Q(D)`; the
+//! price measures how much of `I` the answer eliminates. Tracking all of
+//! `I` is hopeless, so QIRANA tracks a small **support set** of neighboring
+//! databases represented as row/swap updates ([`support`]), weights them
+//! ([`weights`] — uniformly, or by entropy maximization honoring seller
+//! price points), and prices with one of four arbitrage-free functions
+//! ([`pricing`]). Disagreement checks are accelerated by static analysis
+//! and batched view-maintenance-style probes ([`optimized`], §4 of the
+//! paper), and per-buyer history makes repeated information free
+//! ([`broker`], §3.5).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qirana_core::{Qirana, QiranaConfig, SupportConfig};
+//! use qirana_sqlengine::{ColumnDef, DataType, Database, TableSchema};
+//!
+//! let mut db = Database::new();
+//! db.add_table(
+//!     TableSchema::new(
+//!         "User",
+//!         vec![
+//!             ColumnDef::new("uid", DataType::Int),
+//!             ColumnDef::new("gender", DataType::Str),
+//!             ColumnDef::new("age", DataType::Int),
+//!         ],
+//!         &["uid"],
+//!     ),
+//!     vec![
+//!         vec![1.into(), "m".into(), 25.into()],
+//!         vec![2.into(), "f".into(), 13.into()],
+//!         vec![3.into(), "m".into(), 45.into()],
+//!         vec![4.into(), "f".into(), 19.into()],
+//!     ],
+//! );
+//!
+//! let mut broker = Qirana::new(
+//!     db,
+//!     QiranaConfig {
+//!         total_price: 100.0,
+//!         support: SupportConfig { size: 300, ..Default::default() },
+//!         ..Default::default()
+//!     },
+//! )
+//! .unwrap();
+//!
+//! let full = broker.quote("SELECT * FROM User").unwrap();
+//! let narrow = broker.quote("SELECT count(*) FROM User WHERE gender = 'f'").unwrap();
+//! assert!(narrow <= full);
+//! ```
+
+pub mod broker;
+pub mod determinacy;
+pub mod engine;
+pub mod naive;
+pub mod normal_form;
+pub mod optimized;
+pub mod pricing;
+pub mod support;
+pub mod update;
+pub mod weights;
+
+pub use broker::{BrokerError, Purchase, Qirana, QiranaConfig, SupportType};
+pub use determinacy::{determines, Determinacy};
+pub use engine::{bundle_disagreements, bundle_partition, EngineOptions};
+pub use normal_form::{prepare_query, Prepared, Shape};
+pub use pricing::PricingFunction;
+pub use support::{generate_support, generate_uniform_worlds, SupportConfig, SupportSet};
+pub use update::SupportUpdate;
+pub use weights::{assign_weights, uniform_weights, PricePoint, WeightError};

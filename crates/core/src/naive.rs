@@ -1,0 +1,285 @@
+//! Naive pricing evaluation: run the query on every support instance
+//! (Algorithms 1 and 2 verbatim), plus Appendix A's *instance reduction*
+//! optimization of that baseline.
+
+use crate::engine::{bag_fp, combine_bundle};
+use crate::normal_form::{Prepared, Shape};
+use crate::update::SupportUpdate;
+use qirana_sqlengine::update::apply_writes;
+use qirana_sqlengine::{execute, Database, EngineError, ExecContext, Fingerprint, Row};
+use std::collections::HashMap;
+
+/// Per-update naive disagreement bits over a neighborhood support set.
+pub fn disagreements_nbrs(
+    db: &mut Database,
+    q: &Prepared,
+    updates: &[SupportUpdate],
+    active: &[bool],
+) -> Result<Vec<bool>, EngineError> {
+    let refs = q.referenced_tables();
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db))?);
+    let mut bits = vec![false; updates.len()];
+    for (i, up) in updates.iter().enumerate() {
+        if !active[i] || !refs.contains(&up.table()) {
+            continue;
+        }
+        let undo = up.apply(db);
+        let fp = bag_fp(execute(&q.plan, &ExecContext::new(db))?);
+        apply_writes(db, &undo);
+        bits[i] = fp != base;
+    }
+    Ok(bits)
+}
+
+/// Naive disagreement bits over a uniform support set (whole databases).
+pub fn disagreements_uniform(
+    db: &Database,
+    q: &Prepared,
+    worlds: &[Database],
+    active: &[bool],
+) -> Result<Vec<bool>, EngineError> {
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db))?);
+    let mut bits = vec![false; worlds.len()];
+    for (i, world) in worlds.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        let fp = bag_fp(execute(&q.plan, &ExecContext::new(world))?);
+        bits[i] = fp != base;
+    }
+    Ok(bits)
+}
+
+/// Bundle output fingerprints per neighborhood instance (Algorithm 2's
+/// dictionary keys).
+pub fn partition_nbrs(
+    db: &mut Database,
+    bundle: &[&Prepared],
+    updates: &[SupportUpdate],
+) -> Result<Vec<Fingerprint>, EngineError> {
+    let mut out = Vec::with_capacity(updates.len());
+    for up in updates {
+        let undo = up.apply(db);
+        let fps = bundle_fps(db, bundle);
+        apply_writes(db, &undo);
+        out.push(fps?);
+    }
+    Ok(out)
+}
+
+/// Bundle output fingerprints per uniform instance.
+pub fn partition_uniform(
+    _db: &Database,
+    bundle: &[&Prepared],
+    worlds: &[Database],
+) -> Result<Vec<Fingerprint>, EngineError> {
+    worlds.iter().map(|w| bundle_fps_ref(w, bundle)).collect()
+}
+
+fn bundle_fps(db: &Database, bundle: &[&Prepared]) -> Result<Fingerprint, EngineError> {
+    bundle_fps_ref(db, bundle)
+}
+
+fn bundle_fps_ref(db: &Database, bundle: &[&Prepared]) -> Result<Fingerprint, EngineError> {
+    let mut fps = Vec::with_capacity(bundle.len());
+    for q in bundle {
+        fps.push(bag_fp(execute(&q.plan, &ExecContext::new(db))?));
+    }
+    Ok(combine_bundle(&fps))
+}
+
+/// Instance reduction (Appendix A, Lemma A.3): for an SPJ query, the
+/// disagreement verdict of an update touching relation `R` is unchanged if
+/// `R` is first restricted to just the tuples the support set touches. The
+/// naive loop then runs over a much smaller relation.
+///
+/// Implemented with table overrides — no copy of the full database is made;
+/// only the touched rows of each relation are materialized.
+pub fn reduced_disagreements(
+    db: &Database,
+    q: &Prepared,
+    updates: &[SupportUpdate],
+    active: &[bool],
+) -> Result<Vec<bool>, EngineError> {
+    let Shape::Spj(shape) = &q.shape else {
+        panic!("instance reduction requires an SPJ shape");
+    };
+    let mut bits = vec![false; updates.len()];
+
+    // Group updates by touched relation (ignoring relations not in the
+    // query, which trivially agree).
+    let mut by_rel: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, up) in updates.iter().enumerate() {
+        if !active[i] {
+            continue;
+        }
+        if shape.relations.iter().any(|r| r.table == up.table()) {
+            by_rel.entry(up.table()).or_default().push(i);
+        }
+    }
+
+    for (table, idxs) in by_rel {
+        // Collect the touched row indices of this relation, in order.
+        let mut touched: Vec<usize> = idxs
+            .iter()
+            .flat_map(|&i| match &updates[i] {
+                SupportUpdate::Row { row, .. } => vec![*row],
+                SupportUpdate::Swap { row_a, row_b, .. } => vec![*row_a, *row_b],
+            })
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let remap: HashMap<usize, usize> = touched
+            .iter()
+            .enumerate()
+            .map(|(new, &orig)| (orig, new))
+            .collect();
+        let mut reduced: Vec<Row> = touched
+            .iter()
+            .map(|&r| db.table_at(table).rows[r].clone())
+            .collect();
+
+        // Base fingerprint on the reduced instance.
+        let base = {
+            let ctx = ExecContext::with_override(db, table, &reduced);
+            bag_fp(execute(&q.plan, &ctx)?)
+        };
+
+        for &i in &idxs {
+            // Apply the update to the reduced rows in place.
+            let restore: Vec<(usize, usize, qirana_sqlengine::Value)>;
+            match &updates[i] {
+                SupportUpdate::Row { row, changes, .. } => {
+                    let r = remap[row];
+                    restore = changes
+                        .iter()
+                        .map(|(c, v)| {
+                            let old = std::mem::replace(&mut reduced[r][*c], v.clone());
+                            (r, *c, old)
+                        })
+                        .collect();
+                }
+                SupportUpdate::Swap {
+                    row_a, row_b, cols, ..
+                } => {
+                    let (a, b) = (remap[row_a], remap[row_b]);
+                    let mut saved = Vec::with_capacity(cols.len() * 2);
+                    for &c in cols {
+                        saved.push((a, c, reduced[a][c].clone()));
+                        saved.push((b, c, reduced[b][c].clone()));
+                        let tmp = reduced[a][c].clone();
+                        reduced[a][c] = reduced[b][c].clone();
+                        reduced[b][c] = tmp;
+                    }
+                    restore = saved;
+                }
+            }
+            let fp = {
+                let ctx = ExecContext::with_override(db, table, &reduced);
+                bag_fp(execute(&q.plan, &ctx)?)
+            };
+            for (r, c, v) in restore.into_iter().rev() {
+                reduced[r][c] = v;
+            }
+            bits[i] = fp != base;
+        }
+    }
+    Ok(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal_form::prepare_query;
+    use crate::support::{generate_support, generate_uniform_worlds, SupportConfig};
+    use qirana_sqlengine::{ColumnDef, DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("grp", DataType::Str),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                &["id"],
+            ),
+            (0..20i64)
+                .map(|i| {
+                    vec![
+                        i.into(),
+                        if i % 2 == 0 { "a" } else { "b" }.into(),
+                        (i * 3).into(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        db
+    }
+
+    #[test]
+    fn reduction_matches_plain_naive() {
+        let mut database = db();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 200,
+                ..Default::default()
+            },
+        );
+        let active = vec![true; updates.len()];
+        for sql in [
+            "select v from T where grp = 'a'",
+            "select id, grp from T where v > 12",
+            "select * from T",
+        ] {
+            let q = prepare_query(&database, sql).unwrap();
+            let plain = disagreements_nbrs(&mut database, &q, &updates, &active).unwrap();
+            let reduced = reduced_disagreements(&database, &q, &updates, &active).unwrap();
+            assert_eq!(plain, reduced, "reduction changed verdicts for {sql}");
+        }
+    }
+
+    #[test]
+    fn uniform_worlds_mostly_disagree_on_touching_queries() {
+        let database = db();
+        let worlds = generate_uniform_worlds(&database, 20, 3);
+        let q = prepare_query(&database, "select grp, v from T").unwrap();
+        let bits =
+            disagreements_uniform(&database, &q, &worlds, &vec![true; worlds.len()]).unwrap();
+        let frac = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!(
+            frac > 0.9,
+            "a uniformly random world almost surely differs: {frac}"
+        );
+    }
+
+    #[test]
+    fn partition_refines_disagreements() {
+        let mut database = db();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 100,
+                ..Default::default()
+            },
+        );
+        let q = prepare_query(&database, "select count(*) from T where v > 30").unwrap();
+        let active = vec![true; updates.len()];
+        let bits = disagreements_nbrs(&mut database, &q, &updates, &active).unwrap();
+        let fps = partition_nbrs(&mut database, &[&q], &updates).unwrap();
+        let base = {
+            let out = execute(&q.plan, &ExecContext::new(&database)).unwrap();
+            combine_bundle(&[bag_fp(out)])
+        };
+        for i in 0..bits.len() {
+            assert_eq!(
+                bits[i],
+                fps[i] != base,
+                "bit {i} inconsistent with partition"
+            );
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Support-set generation (§3.2).
+//!
+//! The random-neighborhood (`nbrs`) generator follows the paper's recipe:
+//!
+//! 1. pick the relation to update uniformly at random;
+//! 2. include each non-key attribute independently with probability 0.5
+//!    (biasing toward databases close to `D`);
+//! 3. choose row vs. swap update by the configured ratio `ρ`; pick one (two)
+//!    uniformly random tuple(s);
+//! 4. sample replacement values from the attribute's domain — the seller's
+//!    declared [`qirana_sqlengine::Domain`] if present, the active domain
+//!    otherwise — always different from the stored value, so every support
+//!    element is a genuinely distinct neighboring instance.
+//!
+//! The random-uniform (`uniform`) generator materializes whole random
+//! databases from `I` instead; §2.4 shows why it prices poorly (a uniformly
+//! random database is far from `D`, so almost every query disagrees), and
+//! its memory footprint is `|D| × S` — both reproduced by our Figure 2/6
+//! harnesses.
+
+use crate::update::SupportUpdate;
+use qirana_sqlengine::{Database, Domain, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the `nbrs` support-set generator.
+#[derive(Debug, Clone)]
+pub struct SupportConfig {
+    /// Number of support-set elements `S`.
+    pub size: usize,
+    /// Fraction of swap updates (0.0 = all row updates, 1.0 = all swaps).
+    /// The paper's default is a 1:1 ratio, i.e. `0.5` (§5).
+    pub swap_fraction: f64,
+    /// Per-attribute inclusion probability (paper: 0.5, giving a geometric
+    /// number of modified attributes).
+    pub attr_prob: f64,
+    /// RNG seed; fixed seed ⇒ reproducible support set.
+    pub seed: u64,
+}
+
+impl Default for SupportConfig {
+    fn default() -> Self {
+        SupportConfig {
+            size: 1000,
+            swap_fraction: 0.5,
+            attr_prob: 0.5,
+            seed: 0x0051_7241_4e41,
+        }
+    }
+}
+
+/// A generated support set: either neighborhood updates or whole uniform
+/// random databases.
+#[derive(Debug, Clone)]
+pub enum SupportSet {
+    /// Neighboring instances represented as updates (`nbrs`).
+    Neighborhood(Vec<SupportUpdate>),
+    /// Materialized uniform random instances (`uniform`).
+    Uniform(Vec<Database>),
+}
+
+impl SupportSet {
+    /// Number of support instances.
+    pub fn len(&self) -> usize {
+        match self {
+            SupportSet::Neighborhood(u) => u.len(),
+            SupportSet::Uniform(d) => d.len(),
+        }
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The updates, if this is a neighborhood support set.
+    pub fn updates(&self) -> Option<&[SupportUpdate]> {
+        match self {
+            SupportSet::Neighborhood(u) => Some(u),
+            SupportSet::Uniform(_) => None,
+        }
+    }
+}
+
+/// Per-column value sampler honoring the declared or active domain.
+struct ColumnSampler {
+    domain: Domain,
+    active: Vec<Value>,
+}
+
+impl ColumnSampler {
+    fn new(db: &Database, table: usize, col: usize) -> Self {
+        let t = db.table_at(table);
+        let domain = t.schema.columns[col].domain.clone();
+        let active = if domain.is_active() {
+            t.active_domain(col)
+        } else {
+            Vec::new()
+        };
+        ColumnSampler { domain, active }
+    }
+
+    /// Samples a domain value; `None` if the domain is empty.
+    fn sample(&self, rng: &mut StdRng) -> Option<Value> {
+        match &self.domain {
+            Domain::Active => {
+                if self.active.is_empty() {
+                    None
+                } else {
+                    Some(self.active[rng.gen_range(0..self.active.len())].clone())
+                }
+            }
+            Domain::Values(vs) => {
+                if vs.is_empty() {
+                    None
+                } else {
+                    Some(vs[rng.gen_range(0..vs.len())].clone())
+                }
+            }
+            Domain::IntRange(lo, hi) => Some(Value::Int(rng.gen_range(*lo..=*hi))),
+            Domain::FloatRange(lo, hi) => Some(Value::Float(rng.gen_range(*lo..=*hi))),
+        }
+    }
+
+    /// Samples a value different from `current`; `None` if impossible.
+    fn sample_different(&self, rng: &mut StdRng, current: &Value) -> Option<Value> {
+        // Finite domains where every value equals `current` can never
+        // produce a neighbor; bounded retries cover the rest.
+        for _ in 0..32 {
+            let v = self.sample(rng)?;
+            if v != *current {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// Generates an `nbrs` support set of `cfg.size` updates.
+///
+/// # Panics
+/// Panics if the database has no updatable relation (every relation empty
+/// or key-only), or if generation stalls (pathologically constant data).
+pub fn generate_support(db: &Database, cfg: &SupportConfig) -> Vec<SupportUpdate> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let candidates: Vec<usize> = (0..db.num_tables())
+        .filter(|&t| {
+            let tab = db.table_at(t);
+            !tab.is_empty() && !tab.schema.non_key_columns().is_empty()
+        })
+        .collect();
+    assert!(
+        !candidates.is_empty(),
+        "no relation is updatable (all empty or key-only)"
+    );
+
+    // Samplers built lazily per touched column.
+    let mut samplers: std::collections::HashMap<(usize, usize), ColumnSampler> =
+        std::collections::HashMap::new();
+
+    let mut out = Vec::with_capacity(cfg.size);
+    let mut stall = 0usize;
+    while out.len() < cfg.size {
+        stall += 1;
+        assert!(
+            stall < cfg.size * 100 + 10_000,
+            "support generation stalled; data too constant for neighbors"
+        );
+        // 1. relation, uniformly.
+        let table = candidates[rng.gen_range(0..candidates.len())];
+        let tab = db.table_at(table);
+        let non_key = tab.schema.non_key_columns();
+
+        // 2. attribute subset: the paper draws the number of modified
+        //    attributes from a geometric distribution with p = attr_prob
+        //    ("to be more biased to databases that will be closer to D"),
+        //    so most updates touch a single attribute. Draw k ~ Geom(p)
+        //    capped at the arity, then pick k distinct attributes.
+        let mut k = 1usize;
+        while k < non_key.len() && !rng.gen_bool(cfg.attr_prob) {
+            k += 1;
+        }
+        let mut pool = non_key.clone();
+        let mut cols = Vec::with_capacity(k);
+        for _ in 0..k {
+            let pick = rng.gen_range(0..pool.len());
+            cols.push(pool.swap_remove(pick));
+        }
+        cols.sort_unstable();
+
+        // 3. row vs. swap.
+        let want_swap = rng.gen_bool(cfg.swap_fraction) && tab.len() >= 2;
+        if want_swap {
+            let row_a = rng.gen_range(0..tab.len());
+            let mut row_b = rng.gen_range(0..tab.len());
+            if row_a == row_b {
+                row_b = (row_b + 1) % tab.len();
+            }
+            let up = SupportUpdate::Swap {
+                table,
+                row_a,
+                row_b,
+                cols,
+            };
+            if up.is_effective(db) {
+                out.push(up);
+            }
+        } else {
+            let row = rng.gen_range(0..tab.len());
+            let mut changes = Vec::with_capacity(cols.len());
+            for c in cols {
+                let sampler = samplers
+                    .entry((table, c))
+                    .or_insert_with(|| ColumnSampler::new(db, table, c));
+                if let Some(v) = sampler.sample_different(&mut rng, &tab.rows[row][c]) {
+                    changes.push((c, v));
+                }
+            }
+            if !changes.is_empty() {
+                out.push(SupportUpdate::Row {
+                    table,
+                    row,
+                    changes,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Generates `count` uniform random databases from `I` (same schema, keys,
+/// and cardinalities; every non-key cell resampled from its domain).
+pub fn generate_uniform_worlds(db: &Database, count: usize, seed: u64) -> Vec<Database> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Pre-build samplers for all non-key columns.
+    let mut samplers: Vec<Vec<Option<ColumnSampler>>> = Vec::new();
+    for t in 0..db.num_tables() {
+        let tab = db.table_at(t);
+        let mut per_col = Vec::with_capacity(tab.schema.arity());
+        for c in 0..tab.schema.arity() {
+            if tab.schema.is_key_column(c) {
+                per_col.push(None);
+            } else {
+                per_col.push(Some(ColumnSampler::new(db, t, c)));
+            }
+        }
+        samplers.push(per_col);
+    }
+
+    (0..count)
+        .map(|_| {
+            let mut world = db.clone();
+            let mut changed = false;
+            for (t, per_col) in samplers.iter().enumerate() {
+                let nrows = world.table_at(t).len();
+                for r in 0..nrows {
+                    for (c, sampler) in per_col.iter().enumerate() {
+                        if let Some(s) = sampler {
+                            if let Some(v) = s.sample(&mut rng) {
+                                if world.table_at(t).rows[r][c] != v {
+                                    changed = true;
+                                }
+                                world.table_at_mut(t).set_cell(r, c, v);
+                            }
+                        }
+                    }
+                }
+            }
+            // `I \ {D}`: in the astronomically unlikely event we resampled D
+            // itself, perturb one cell to a different domain value.
+            if !changed {
+                'fix: for (t, per_col) in samplers.iter().enumerate() {
+                    for (c, sampler) in per_col.iter().enumerate() {
+                        if let Some(s) = sampler {
+                            let cur = world.table_at(t).rows[0][c].clone();
+                            if let Some(v) = s.sample_different(&mut rng, &cur) {
+                                world.table_at_mut(t).set_cell(0, c, v);
+                                break 'fix;
+                            }
+                        }
+                    }
+                }
+            }
+            world
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qirana_sqlengine::{ColumnDef, DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "User",
+                vec![
+                    ColumnDef::new("uid", DataType::Int),
+                    ColumnDef::new("gender", DataType::Str),
+                    ColumnDef::new("age", DataType::Int),
+                ],
+                &["uid"],
+            ),
+            vec![
+                vec![1.into(), "m".into(), 25.into()],
+                vec![2.into(), "f".into(), 13.into()],
+                vec![3.into(), "m".into(), 45.into()],
+                vec![4.into(), "f".into(), 19.into()],
+            ],
+        );
+        db.add_table(
+            TableSchema::new(
+                "Tweet",
+                vec![
+                    ColumnDef::new("tid", DataType::Int),
+                    ColumnDef::new("uid", DataType::Int),
+                    ColumnDef::new("location", DataType::Str),
+                ],
+                &["tid"],
+            ),
+            vec![
+                vec![1.into(), 3.into(), "CA".into()],
+                vec![2.into(), 3.into(), "WA".into()],
+                vec![3.into(), 1.into(), "OR".into()],
+                vec![4.into(), 2.into(), "CA".into()],
+            ],
+        );
+        db
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let db = db();
+        let s = generate_support(&db, &SupportConfig::default());
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn all_updates_effective_and_non_key() {
+        let db = db();
+        let s = generate_support(
+            &db,
+            &SupportConfig {
+                size: 500,
+                ..Default::default()
+            },
+        );
+        for up in &s {
+            assert!(up.is_effective(&db), "ineffective update {up:?}");
+            let schema = &db.table_at(up.table()).schema;
+            for c in up.changed_columns() {
+                assert!(!schema.is_key_column(c), "update touches a key column");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_fraction_respected() {
+        let db = db();
+        let s = generate_support(
+            &db,
+            &SupportConfig {
+                size: 2000,
+                swap_fraction: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(s.iter().all(|u| matches!(u, SupportUpdate::Swap { .. })));
+        let s = generate_support(
+            &db,
+            &SupportConfig {
+                size: 2000,
+                swap_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(s.iter().all(|u| matches!(u, SupportUpdate::Row { .. })));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let db = db();
+        let cfg = SupportConfig {
+            size: 100,
+            seed: 99,
+            ..Default::default()
+        };
+        assert_eq!(generate_support(&db, &cfg), generate_support(&db, &cfg));
+    }
+
+    #[test]
+    fn row_update_values_from_active_domain() {
+        let db = db();
+        let s = generate_support(
+            &db,
+            &SupportConfig {
+                size: 300,
+                swap_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        let genders: Vec<Value> = vec!["f".into(), "m".into()];
+        for up in &s {
+            if let SupportUpdate::Row { table, changes, .. } = up {
+                for (c, v) in changes {
+                    if *table == 0 && *c == 1 {
+                        assert!(genders.contains(v), "gender {v} outside active domain");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_domain_respected() {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::with_domain("v", DataType::Int, Domain::IntRange(100, 200)),
+                ],
+                &["id"],
+            ),
+            vec![vec![1.into(), 150.into()], vec![2.into(), 160.into()]],
+        );
+        let s = generate_support(
+            &db,
+            &SupportConfig {
+                size: 200,
+                swap_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        for up in &s {
+            if let SupportUpdate::Row { changes, .. } = up {
+                for (_, v) in changes {
+                    let x = v.as_i64().unwrap();
+                    assert!((100..=200).contains(&x), "value {x} outside range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_worlds_differ_from_base() {
+        let db = db();
+        let worlds = generate_uniform_worlds(&db, 10, 5);
+        assert_eq!(worlds.len(), 10);
+        for w in &worlds {
+            assert_eq!(w.total_rows(), db.total_rows(), "cardinality preserved");
+            let differs = (0..db.num_tables()).any(|t| {
+                db.table_at(t).rows != w.table_at(t).rows
+            });
+            assert!(differs, "uniform world equals the base instance");
+            // Keys preserved.
+            for t in 0..db.num_tables() {
+                for (r0, r1) in db.table_at(t).rows.iter().zip(&w.table_at(t).rows) {
+                    for &k in &db.table_at(t).schema.primary_key {
+                        assert_eq!(r0[k], r1[k], "key column changed");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_set_len() {
+        let db = db();
+        let nbrs = SupportSet::Neighborhood(generate_support(
+            &db,
+            &SupportConfig {
+                size: 7,
+                ..Default::default()
+            },
+        ));
+        assert_eq!(nbrs.len(), 7);
+        assert!(nbrs.updates().is_some());
+        let unif = SupportSet::Uniform(generate_uniform_worlds(&db, 3, 1));
+        assert_eq!(unif.len(), 3);
+        assert!(unif.updates().is_none());
+    }
+}

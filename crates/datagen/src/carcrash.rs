@@ -1,0 +1,195 @@
+//! Synthetic US Car Crash 2011 dataset.
+//!
+//! The original is a Microsoft Azure DataMarket export (one relation,
+//! 71 115 tuples, 14 attributes — paper Table 2) that is no longer
+//! distributable; this generator reproduces the schema and the
+//! distributional features the paper's Table 3 prices depend on: `Qc2`/`Qc3`
+//! (Texas/California slices) are moderately selective, while `Qc4`
+//! (Wisconsin + fatal injury + snow) is so selective that small support sets
+//! assign it price 0.
+
+use crate::names::pick;
+use qirana_sqlengine::{ColumnDef, DataType, Database, Row, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paper-scale row count.
+pub const DEFAULT_ROWS: usize = 71_115;
+
+const STATES: &[&str] = &[
+    "California",
+    "Texas",
+    "Florida",
+    "New York",
+    "Pennsylvania",
+    "Ohio",
+    "Georgia",
+    "Illinois",
+    "North Carolina",
+    "Michigan",
+    "Wisconsin",
+    "Arizona",
+    "Washington",
+    "Tennessee",
+    "Missouri",
+];
+
+const SEVERITIES: &[&str] = &[
+    "No Injury (O)",
+    "Possible Injury (C)",
+    "Non-Incapacitating Injury (B)",
+    "Incapacitating Injury (A)",
+    "Fatal Injury (K)",
+    "Unknown",
+];
+
+const ATMOSPHERE: &[&str] = &[
+    "Clear", "Rain", "Cloudy", "Snow", "Fog", "Severe Crosswinds", "Unknown",
+];
+
+const PERSON_TYPES: &[&str] = &[
+    "Driver", "Passenger", "Pedestrian", "Bicyclist", "Unknown",
+];
+
+const SEATING: &[&str] = &[
+    "Front Seat - Left Side",
+    "Front Seat - Right Side",
+    "Second Seat - Left Side",
+    "Second Seat - Right Side",
+    "Not a Motor Vehicle Occupant",
+];
+
+const SAFETY: &[&str] = &[
+    "Shoulder and Lap Belt",
+    "None Used",
+    "Helmet",
+    "Child Safety Seat",
+    "Unknown",
+];
+
+const RACES: &[&str] = &["White", "Black", "Hispanic", "Asian", "Other", "Unknown"];
+
+/// Generates the dataset with `rows` tuples. Deterministic for a fixed seed.
+pub fn generate(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = TableSchema::new(
+        "crash",
+        vec![
+            ColumnDef::new("ID", DataType::Int),
+            ColumnDef::new("State", DataType::Str),
+            ColumnDef::new("Crash_Date", DataType::Date),
+            ColumnDef::new("Gender", DataType::Str),
+            ColumnDef::new("Age", DataType::Int),
+            ColumnDef::new("Person_Type", DataType::Str),
+            ColumnDef::new("Injury_Severity", DataType::Str),
+            ColumnDef::new("Seating_Position", DataType::Str),
+            ColumnDef::new("Safety_Equipment", DataType::Str),
+            ColumnDef::new("Alcohol_Results", DataType::Float),
+            ColumnDef::new("Drug_Involvement", DataType::Str),
+            ColumnDef::new("Race", DataType::Str),
+            ColumnDef::new("Atmospheric_Condition", DataType::Str),
+            ColumnDef::new("Fatalities_in_crash", DataType::Int),
+        ],
+        &["ID"],
+    );
+
+    let jan1 = qirana_sqlengine::value::days_from_civil(2011, 1, 1);
+    let mut out: Vec<Row> = Vec::with_capacity(rows);
+    for id in 1..=rows {
+        // State skew: big states dominate; Wisconsin stays rare so Qc4's
+        // triple filter is near-empty.
+        let state = if rng.gen_bool(0.55) {
+            STATES[rng.gen_range(0..5)]
+        } else {
+            pick(&mut rng, STATES)
+        };
+        let severity = if rng.gen_bool(0.25) {
+            "Fatal Injury (K)"
+        } else {
+            pick(&mut rng, SEVERITIES)
+        };
+        let atmosphere = if rng.gen_bool(0.7) {
+            "Clear"
+        } else {
+            pick(&mut rng, ATMOSPHERE)
+        };
+        let alcohol = if rng.gen_bool(0.3) {
+            (rng.gen_range(0.0..0.35f64) * 100.0).round() / 100.0
+        } else {
+            0.0
+        };
+        out.push(vec![
+            Value::Int(id as i64),
+            Value::str(state),
+            Value::Date(jan1 + rng.gen_range(0..365)),
+            Value::str(if rng.gen_bool(0.7) { "Male" } else { "Female" }),
+            Value::Int(rng.gen_range(1..95)),
+            Value::str(pick(&mut rng, PERSON_TYPES)),
+            Value::str(severity),
+            Value::str(pick(&mut rng, SEATING)),
+            Value::str(pick(&mut rng, SAFETY)),
+            Value::Float(alcohol),
+            Value::str(if rng.gen_bool(0.12) { "Yes" } else { "No" }),
+            Value::str(pick(&mut rng, RACES)),
+            Value::str(atmosphere),
+            Value::Int(rng.gen_range(1..4)),
+        ]);
+    }
+    let mut db = Database::new();
+    db.add_table(schema, out);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qirana_sqlengine::query;
+
+    #[test]
+    fn schema_matches_paper() {
+        let db = generate(1000, 1);
+        let t = db.table("crash").unwrap();
+        assert_eq!(t.schema.arity(), 14);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(db.num_tables(), 1);
+    }
+
+    #[test]
+    fn qc_queries_run() {
+        let db = generate(5000, 2);
+        let out = query(&db, "select State, count(*) from crash group by State").unwrap();
+        assert!(out.rows.len() > 5);
+        let out = query(
+            &db,
+            "select count(*) from crash where State = 'Texas' and Gender = 'Male' and Alcohol_Results > 0.0",
+        )
+        .unwrap();
+        assert!(out.rows[0][0].as_i64().unwrap() > 0);
+        let out = query(
+            &db,
+            "select sum(Fatalities_in_crash) from crash where State = 'California' and Crash_Date >= date '2011-01-01' and Crash_Date < date '2011-01-01' + interval '6' month",
+        )
+        .unwrap();
+        assert!(out.rows[0][0].as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn qc4_is_highly_selective() {
+        let db = generate(20_000, 3);
+        let out = query(
+            &db,
+            "select count(Fatalities_in_crash) from crash where State = 'Wisconsin' and Injury_Severity = 'Fatal Injury (K)' and (Atmospheric_Condition = 'Snow')",
+        )
+        .unwrap();
+        let n = out.rows[0][0].as_i64().unwrap();
+        let frac = n as f64 / 20_000.0;
+        assert!(frac < 0.01, "Qc4 must be ultra-selective, got {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(500, 7);
+        let b = generate(500, 7);
+        assert_eq!(a.table("crash").unwrap().rows, b.table("crash").unwrap().rows);
+    }
+}

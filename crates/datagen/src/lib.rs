@@ -1,0 +1,29 @@
+//! # qirana-datagen
+//!
+//! Deterministic synthetic generators for the five datasets of QIRANA's
+//! evaluation (§5, Table 2), plus every query workload the paper runs over
+//! them. The original datasets are either not redistributable (Azure
+//! DataMarket car-crash export), fetched from external services (SNAP
+//! DBLP, MySQL `world`), or produced by external tools (`dbgen`,
+//! `ssb-dbgen`); these generators reproduce the schemas, key structure, and
+//! the distributional properties the paper's price discussion relies on.
+//! See `DESIGN.md` §1 for the substitution rationale per dataset.
+//!
+//! | Module | Dataset | Paper scale |
+//! |---|---|---|
+//! | [`world`] | MySQL `world` (3 relations) | 5 302 tuples |
+//! | [`carcrash`] | US car crash 2011 (1 relation) | 71 115 tuples |
+//! | [`dblp`] | SNAP com-DBLP co-authorship graph | 1 049 866 tuples |
+//! | [`tpch`] | TPC-H | SF 1 |
+//! | [`ssb`] | Star Schema Benchmark | SF 1 |
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible bit-for-bit.
+
+pub mod carcrash;
+pub mod dblp;
+pub mod names;
+pub mod queries;
+pub mod ssb;
+pub mod tpch;
+pub mod world;

@@ -1,0 +1,72 @@
+//! Deterministic pseudo-realistic string generation shared by the dataset
+//! generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Picks one item uniformly.
+pub fn pick<'a>(rng: &mut StdRng, items: &[&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+const ONSETS: &[&str] = &[
+    "Al", "Ar", "Ba", "Be", "Bra", "Ca", "Cha", "Da", "El", "Fra", "Ga", "Gre", "Ha", "In", "Ja",
+    "Ka", "Li", "Ma", "Mo", "Na", "Or", "Pa", "Qu", "Ro", "Sa", "Ta", "Ur", "Va", "Wa", "Ze",
+];
+const MIDDLES: &[&str] = &[
+    "ba", "da", "ga", "la", "ma", "na", "ra", "sa", "ta", "va", "li", "ri", "ni", "mi", "lo",
+    "ro", "no", "to", "ke", "le",
+];
+const CODAS: &[&str] = &[
+    "nia", "land", "stan", "via", "dor", "ria", "na", "ca", "ga", "ma", "lia", "que", "ro",
+    "ton", "ville", "berg", "mouth", "ford",
+];
+
+/// Generates a capitalized synthetic proper name ("Balinia", "Grelostan").
+pub fn synth_name(rng: &mut StdRng) -> String {
+    let mut s = String::from(pick(rng, ONSETS));
+    let middles = rng.gen_range(0..=1);
+    for _ in 0..middles {
+        s.push_str(pick(rng, MIDDLES));
+    }
+    s.push_str(pick(rng, CODAS));
+    s
+}
+
+/// Generates an uppercase alphabetic code of the given length ("USA"-like).
+pub fn synth_code(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| (b'A' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(synth_name(&mut a), synth_name(&mut b));
+        assert_eq!(synth_code(&mut a, 3), synth_code(&mut b, 3));
+    }
+
+    #[test]
+    fn names_capitalized_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let n = synth_name(&mut rng);
+            assert!(n.chars().next().unwrap().is_uppercase());
+            assert!(n.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn codes_have_requested_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(synth_code(&mut rng, 3).len(), 3);
+        assert!(synth_code(&mut rng, 2).chars().all(|c| c.is_ascii_uppercase()));
+    }
+}

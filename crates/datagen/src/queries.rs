@@ -1,0 +1,459 @@
+//! The paper's query workloads, as SQL text.
+//!
+//! * §2.4 benchmark queries `Qσ_u`, `Qπ_u`, `Q⋈_u`, `Qγ_u` over `world`;
+//! * Appendix B workloads: `Qw1..Qw34` (world), `Qd1..Qd7` (DBLP),
+//!   `Qc1..Qc4` (US car crash);
+//! * the 13 SSB queries (Figure 4e/4f, 5a) and the TPC-H subset
+//!   {Q1, Q2, Q4, Q5, Q6, Q11, Q12, Q17} (Figure 5b);
+//! * parameterized SSB Q1.1 instances (Figure 4g).
+
+use crate::world::COUNTRY_ATTRS;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// §2.4 benchmark queries
+// ---------------------------------------------------------------------------
+
+/// `Qσ_u: SELECT * FROM Country WHERE ID < u` — selectivity sweep.
+pub fn q_sigma(u: i64) -> String {
+    format!("SELECT * FROM Country WHERE ID < {u}")
+}
+
+/// `Qπ_u: SELECT A1, ..., Au FROM Country` — projection-width sweep over the
+/// 13 non-key attributes.
+pub fn q_pi(u: usize) -> String {
+    assert!((1..=COUNTRY_ATTRS.len()).contains(&u), "u must be 1..=13");
+    format!("SELECT {} FROM Country", COUNTRY_ATTRS[..u].join(", "))
+}
+
+/// `Q⋈_u`: join of Country and CountryLanguage filtered on `Percentage < u`.
+pub fn q_join(u: f64) -> String {
+    format!(
+        "SELECT * FROM Country C, CountryLanguage CL \
+         WHERE C.Code = CL.CountryCode AND CL.Percentage < {u}"
+    )
+}
+
+/// `Qγ_u`: grouped average with a LIMIT sweep.
+pub fn q_gamma(u: usize) -> String {
+    format!(
+        "SELECT Region, AVG(LifeExpectancy) FROM Country GROUP BY Region LIMIT {u}"
+    )
+}
+
+/// `Qr1` of §5.1 (swap-ratio experiment).
+pub const QR1: &str = "SELECT AVG(Population) FROM Country";
+/// `Qr2` of §5.1 (swap-ratio experiment).
+pub const QR2: &str = "SELECT Name FROM Country WHERE Population > 2000000000";
+
+// ---------------------------------------------------------------------------
+// Appendix B: world workload Qw1..Qw34
+// ---------------------------------------------------------------------------
+
+/// The 34 world queries of Appendix B (Figure 7 of the paper).
+pub const WORLD_QUERIES: [&str; 34] = [
+    "select count(Name) from Country where Continent = 'Asia'",
+    "select count(distinct Continent) from Country",
+    "select avg(Population) from Country",
+    "select max(Population) from Country",
+    "select min(LifeExpectancy) from Country",
+    "select count(Name) from Country where Name like 'A%'",
+    "select Region, max(SurfaceArea) from Country group by Region",
+    "select Continent, max(Population) from Country group by Continent",
+    "select Continent, count(Code) from Country group by Continent",
+    "select * from Country",
+    "select Name from Country where Name like 'A%'",
+    "select * from Country where Continent='Europe' and Population > 5000000",
+    "select * from Country where Region='Caribbean'",
+    "select Name from Country where Region='Caribbean'",
+    "select Name from Country where Population between 10000000 and 20000000",
+    "select * from Country where Continent='Europe' limit 2",
+    "select Population from Country where Code = 'USA'",
+    "select GovernmentForm from Country",
+    "select distinct GovernmentForm from Country",
+    "select * from City where Population >= 1000000 and CountryCode = 'USA'",
+    "select distinct Language from CountryLanguage where CountryCode='USA'",
+    "select * from CountryLanguage where IsOfficial = 'T'",
+    "select Language, count(CountryCode) from CountryLanguage group by Language",
+    "select count(Language) from CountryLanguage where CountryCode = 'USA'",
+    "select CountryCode, sum(Population) from City group by CountryCode",
+    "select CountryCode, count(ID) from City group by CountryCode",
+    "select * from City where CountryCode = 'GRC'",
+    "select distinct 1 from City where CountryCode = 'USA' and Population > 10000000",
+    "select Name from Country, CountryLanguage where Code = CountryCode and Language = 'Greek'",
+    "select C.Name from Country C, CountryLanguage L where C.Code = L.CountryCode and L.Language = 'English' and L.Percentage >= 50",
+    "select T.District from Country C, City T where C.Code = 'USA' and C.Capital = T.ID",
+    "select * from Country C, CountryLanguage L where C.Code = L.CountryCode and L.Language = 'Spanish'",
+    "select Name, Language from Country, CountryLanguage where Code = CountryCode",
+    "select * from Country, CountryLanguage where Code = CountryCode",
+];
+
+// ---------------------------------------------------------------------------
+// Appendix B: DBLP workload Qd1..Qd7
+// ---------------------------------------------------------------------------
+
+/// The 7 DBLP queries of Appendix B (Figure 8). Node-id constants are scaled
+/// into the generated graph's range by [`dblp_queries`].
+pub fn dblp_queries(num_nodes: usize) -> Vec<String> {
+    // The paper's constants (38868, 148255, 45479) lie inside the SNAP id
+    // space; map them proportionally into ours.
+    let scale = |paper_id: usize| -> usize {
+        paper_id * num_nodes / crate::dblp::PAPER_NODES
+    };
+    let hub = scale(38_868).max(1);
+    let a = scale(148_255).max(2);
+    let b = scale(45_479).max(3);
+    // Qd1's ">100 collaborators" threshold assumes the full 317k-node
+    // graph; hub degrees shrink with the instance, so scale it down
+    // (floored) to keep the query's selectivity comparable.
+    let degree_threshold = (100 * num_nodes / crate::dblp::PAPER_NODES).max(10);
+    vec![
+        format!(
+            "select FromNodeId, count(ToNodeId) from dblp group by FromNodeId having count(ToNodeId) > {degree_threshold}"
+        ),
+        "select avg(cnt) from (select FromNodeId, count(ToNodeId) as cnt from dblp group by FromNodeId) as rc"
+            .to_string(),
+        format!(
+            "select count(*) from dblp A where FromNodeId > {}",
+            num_nodes / 30
+        ),
+        format!(
+            "select FromNodeId, count(*) from dblp A where A.FromNodeId in (select FromNodeId from dblp B where B.ToNodeId = {hub}) group by FromNodeId"
+        ),
+        format!(
+            "select ToNodeId from dblp where (FromNodeId = {a} or FromNodeId = {b})"
+        ),
+        "select FromNodeId, count(*) as collab from dblp group by ToNodeId having collab = 1"
+            .to_string(),
+        format!(
+            "select * from dblp A where A.FromNodeId = {hub} or A.ToNodeId = {hub}"
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Appendix B: US car crash workload Qc1..Qc4
+// ---------------------------------------------------------------------------
+
+/// The 4 car-crash queries of Appendix B (Figure 9).
+pub const CARCRASH_QUERIES: [&str; 4] = [
+    "select State, count(*) from crash group by State",
+    "select count(*) from crash where State = 'Texas' and Gender = 'Male' and Alcohol_Results > 0.0",
+    "select sum(Fatalities_in_crash) from crash where State = 'California' and Crash_Date >= date '2011-01-01' and Crash_Date < date '2011-01-01' + interval '6' month",
+    "select count(Fatalities_in_crash) from crash where State = 'Wisconsin' and Injury_Severity = 'Fatal Injury (K)' and (Atmospheric_Condition = 'Snow')",
+];
+
+// ---------------------------------------------------------------------------
+// SSB queries (13)
+// ---------------------------------------------------------------------------
+
+/// The 13 SSB queries: `("Q1.1", sql), ...` in flight order.
+pub fn ssb_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "Q1.1",
+            "select sum(lo_extendedprice * lo_discount) as revenue from lineorder, dwdate \
+             where lo_orderdate = d_datekey and d_year = 1993 \
+             and lo_discount between 1 and 3 and lo_quantity < 25",
+        ),
+        (
+            "Q1.2",
+            "select sum(lo_extendedprice * lo_discount) as revenue from lineorder, dwdate \
+             where lo_orderdate = d_datekey and d_yearmonthnum = 199401 \
+             and lo_discount between 4 and 6 and lo_quantity between 26 and 35",
+        ),
+        (
+            "Q1.3",
+            "select sum(lo_extendedprice * lo_discount) as revenue from lineorder, dwdate \
+             where lo_orderdate = d_datekey and d_weeknuminyear = 6 and d_year = 1994 \
+             and lo_discount between 5 and 7 and lo_quantity between 26 and 35",
+        ),
+        (
+            "Q2.1",
+            "select sum(lo_revenue), d_year, p_brand1 from lineorder, dwdate, part, supplier \
+             where lo_orderdate = d_datekey and lo_partkey = p_partkey and lo_suppkey = s_suppkey \
+             and p_category = 'MFGR#12' and s_region = 'AMERICA' \
+             group by d_year, p_brand1 order by d_year, p_brand1",
+        ),
+        (
+            "Q2.2",
+            "select sum(lo_revenue), d_year, p_brand1 from lineorder, dwdate, part, supplier \
+             where lo_orderdate = d_datekey and lo_partkey = p_partkey and lo_suppkey = s_suppkey \
+             and p_brand1 between 'MFGR#2221' and 'MFGR#2228' and s_region = 'ASIA' \
+             group by d_year, p_brand1 order by d_year, p_brand1",
+        ),
+        (
+            "Q2.3",
+            "select sum(lo_revenue), d_year, p_brand1 from lineorder, dwdate, part, supplier \
+             where lo_orderdate = d_datekey and lo_partkey = p_partkey and lo_suppkey = s_suppkey \
+             and p_brand1 = 'MFGR#2221' and s_region = 'EUROPE' \
+             group by d_year, p_brand1 order by d_year, p_brand1",
+        ),
+        (
+            "Q3.1",
+            "select c_nation, s_nation, d_year, sum(lo_revenue) as revenue \
+             from customer, lineorder, supplier, dwdate \
+             where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey \
+             and c_region = 'ASIA' and s_region = 'ASIA' and d_year >= 1992 and d_year <= 1997 \
+             group by c_nation, s_nation, d_year order by d_year asc, revenue desc",
+        ),
+        (
+            "Q3.2",
+            "select c_city, s_city, d_year, sum(lo_revenue) as revenue \
+             from customer, lineorder, supplier, dwdate \
+             where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey \
+             and c_nation = 'UNITED STATES' and s_nation = 'UNITED STATES' \
+             and d_year >= 1992 and d_year <= 1997 \
+             group by c_city, s_city, d_year order by d_year asc, revenue desc",
+        ),
+        (
+            "Q3.3",
+            "select c_city, s_city, d_year, sum(lo_revenue) as revenue \
+             from customer, lineorder, supplier, dwdate \
+             where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey \
+             and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5') \
+             and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5') \
+             and d_year >= 1992 and d_year <= 1997 \
+             group by c_city, s_city, d_year order by d_year asc, revenue desc",
+        ),
+        (
+            "Q3.4",
+            "select c_city, s_city, d_year, sum(lo_revenue) as revenue \
+             from customer, lineorder, supplier, dwdate \
+             where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey \
+             and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5') \
+             and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5') \
+             and d_yearmonth = 'Dec1997' \
+             group by c_city, s_city, d_year order by d_year asc, revenue desc",
+        ),
+        (
+            "Q4.1",
+            "select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit \
+             from dwdate, customer, supplier, part, lineorder \
+             where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_partkey = p_partkey \
+             and lo_orderdate = d_datekey and c_region = 'AMERICA' and s_region = 'AMERICA' \
+             and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2') \
+             group by d_year, c_nation order by d_year, c_nation",
+        ),
+        (
+            "Q4.2",
+            "select d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) as profit \
+             from dwdate, customer, supplier, part, lineorder \
+             where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_partkey = p_partkey \
+             and lo_orderdate = d_datekey and c_region = 'AMERICA' and s_region = 'AMERICA' \
+             and (d_year = 1997 or d_year = 1998) and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2') \
+             group by d_year, s_nation, p_category order by d_year, s_nation, p_category",
+        ),
+        (
+            "Q4.3",
+            "select d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) as profit \
+             from dwdate, customer, supplier, part, lineorder \
+             where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_partkey = p_partkey \
+             and lo_orderdate = d_datekey and s_nation = 'UNITED STATES' \
+             and (d_year = 1997 or d_year = 1998) and p_category = 'MFGR#14' \
+             group by d_year, s_city, p_brand1 order by d_year, s_city, p_brand1",
+        ),
+    ]
+}
+
+/// A random parameterization of SSB Q1.1 (year, discount window, quantity
+/// cap), sampled uniformly from the attribute domains — Figure 4g.
+pub fn ssb_q11_instance(rng: &mut StdRng) -> String {
+    let year = rng.gen_range(1992..=1998);
+    let dlo = rng.gen_range(0..=8i64);
+    let dhi = dlo + 2;
+    let qty = rng.gen_range(10..=45i64);
+    format!(
+        "select sum(lo_extendedprice * lo_discount) as revenue from lineorder, dwdate \
+         where lo_orderdate = d_datekey and d_year = {year} \
+         and lo_discount between {dlo} and {dhi} and lo_quantity < {qty}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H subset {Q1, Q2, Q4, Q5, Q6, Q11, Q12, Q17}
+// ---------------------------------------------------------------------------
+
+/// The TPC-H queries of Figure 5b. `sf` parameterizes Q11's threshold
+/// fraction, exactly as the spec requires (`0.0001 / SF`).
+pub fn tpch_queries(sf: f64) -> Vec<(&'static str, String)> {
+    let q11_fraction = 0.0001 / sf;
+    vec![
+        (
+            "Q1",
+            "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, \
+             sum(l_extendedprice) as sum_base_price, \
+             sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, \
+             sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, \
+             avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price, \
+             avg(l_discount) as avg_disc, count(*) as count_order \
+             from lineitem where l_shipdate <= date '1998-12-01' - interval '90' day \
+             group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus"
+                .to_string(),
+        ),
+        (
+            "Q2",
+            "select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone \
+             from part, supplier, partsupp, nation, region \
+             where p_partkey = ps_partkey and s_suppkey = ps_suppkey and p_size = 15 \
+             and p_type like '%BRASS' and s_nationkey = n_nationkey \
+             and n_regionkey = r_regionkey and r_name = 'EUROPE' \
+             and ps_supplycost = (select min(ps2.ps_supplycost) from partsupp ps2, supplier s2, nation n2, region r2 \
+                                  where p_partkey = ps2.ps_partkey and s2.s_suppkey = ps2.ps_suppkey \
+                                  and s2.s_nationkey = n2.n_nationkey and n2.n_regionkey = r2.r_regionkey \
+                                  and r2.r_name = 'EUROPE') \
+             order by s_acctbal desc, n_name, s_name, p_partkey limit 100"
+                .to_string(),
+        ),
+        (
+            "Q4",
+            "select o_orderpriority, count(*) as order_count from orders \
+             where o_orderdate >= date '1993-07-01' \
+             and o_orderdate < date '1993-07-01' + interval '3' month \
+             and exists (select 1 from lineitem where l_orderkey = o_orderkey \
+                         and l_commitdate < l_receiptdate) \
+             group by o_orderpriority order by o_orderpriority"
+                .to_string(),
+        ),
+        (
+            "Q5",
+            "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue \
+             from customer, orders, lineitem, supplier, nation, region \
+             where c_custkey = o_custkey and l_orderkey = o_orderkey \
+             and l_suppkey = s_suppkey and c_nationkey = s_nationkey \
+             and s_nationkey = n_nationkey and n_regionkey = r_regionkey \
+             and r_name = 'ASIA' and o_orderdate >= date '1994-01-01' \
+             and o_orderdate < date '1994-01-01' + interval '1' year \
+             group by n_name order by revenue desc"
+                .to_string(),
+        ),
+        (
+            "Q6",
+            "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+             where l_shipdate >= date '1994-01-01' \
+             and l_shipdate < date '1994-01-01' + interval '1' year \
+             and l_discount between 0.05 and 0.07 and l_quantity < 24"
+                .to_string(),
+        ),
+        (
+            "Q11",
+            format!(
+                "select ps_partkey, sum(ps_supplycost * ps_availqty) as value \
+                 from partsupp, supplier, nation \
+                 where ps_suppkey = s_suppkey and s_nationkey = n_nationkey \
+                 and n_name = 'GERMANY' \
+                 group by ps_partkey \
+                 having sum(ps_supplycost * ps_availqty) > \
+                   (select sum(ps2.ps_supplycost * ps2.ps_availqty) * {q11_fraction} \
+                    from partsupp ps2, supplier s2, nation n2 \
+                    where ps2.ps_suppkey = s2.s_suppkey and s2.s_nationkey = n2.n_nationkey \
+                    and n2.n_name = 'GERMANY') \
+                 order by value desc"
+            ),
+        ),
+        (
+            "Q12",
+            "select l_shipmode, \
+             sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' \
+                 then 1 else 0 end) as high_line_count, \
+             sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' \
+                 then 1 else 0 end) as low_line_count \
+             from orders, lineitem where o_orderkey = l_orderkey \
+             and l_shipmode in ('MAIL', 'SHIP') and l_commitdate < l_receiptdate \
+             and l_shipdate < l_commitdate and l_receiptdate >= date '1994-01-01' \
+             and l_receiptdate < date '1994-01-01' + interval '1' year \
+             group by l_shipmode order by l_shipmode"
+                .to_string(),
+        ),
+        (
+            "Q17",
+            "select sum(l_extendedprice) / 7.0 as avg_yearly from lineitem, part \
+             where p_partkey = l_partkey and p_brand = 'Brand#23' and p_container = 'MED BOX' \
+             and l_quantity < (select 0.2 * avg(l2.l_quantity) from lineitem l2 \
+                               where l2.l_partkey = p_partkey)"
+                .to_string(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qirana_sqlengine::query;
+    use rand::SeedableRng;
+
+    #[test]
+    fn benchmark_query_builders() {
+        assert!(q_sigma(100).contains("ID < 100"));
+        assert!(q_pi(1).contains("Code"));
+        assert!(!q_pi(1).contains("Name"));
+        assert!(q_pi(13).contains("Capital"));
+        assert!(q_join(0.5).contains("0.5"));
+        assert!(q_gamma(7).contains("LIMIT 7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "u must be 1..=13")]
+    fn q_pi_bounds_checked() {
+        q_pi(14);
+    }
+
+    #[test]
+    fn all_world_queries_execute() {
+        let db = crate::world::generate(1);
+        for (i, q) in WORLD_QUERIES.iter().enumerate() {
+            query(&db, q).unwrap_or_else(|e| panic!("Qw{} failed: {e}\n{q}", i + 1));
+        }
+    }
+
+    #[test]
+    fn all_dblp_queries_execute() {
+        let db = crate::dblp::generate(2000, 2);
+        for (i, q) in dblp_queries(2000).iter().enumerate() {
+            query(&db, q).unwrap_or_else(|e| panic!("Qd{} failed: {e}\n{q}", i + 1));
+        }
+    }
+
+    #[test]
+    fn all_carcrash_queries_execute() {
+        let db = crate::carcrash::generate(2000, 3);
+        for (i, q) in CARCRASH_QUERIES.iter().enumerate() {
+            query(&db, q).unwrap_or_else(|e| panic!("Qc{} failed: {e}\n{q}", i + 1));
+        }
+    }
+
+    #[test]
+    fn all_ssb_queries_execute() {
+        let db = crate::ssb::generate(0.002, 4);
+        for (name, q) in ssb_queries() {
+            query(&db, q).unwrap_or_else(|e| panic!("{name} failed: {e}\n{q}"));
+        }
+    }
+
+    #[test]
+    fn all_tpch_queries_execute() {
+        let db = crate::tpch::generate(0.002, 5);
+        for (name, q) in tpch_queries(0.002) {
+            query(&db, &q).unwrap_or_else(|e| panic!("{name} failed: {e}\n{q}"));
+        }
+    }
+
+    #[test]
+    fn q11_threshold_scales_with_sf() {
+        let q = tpch_queries(0.01);
+        let q11 = &q.iter().find(|(n, _)| *n == "Q11").unwrap().1;
+        assert!(q11.contains("0.01"), "0.0001/0.01 = 0.01: {q11}");
+    }
+
+    #[test]
+    fn parameterized_q11_instances_vary_and_run() {
+        let db = crate::ssb::generate(0.002, 6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = ssb_q11_instance(&mut rng);
+        let b = ssb_q11_instance(&mut rng);
+        assert_ne!(a, b);
+        query(&db, &a).unwrap();
+        query(&db, &b).unwrap();
+    }
+}

@@ -1,0 +1,309 @@
+//! Synthetic `world` dataset.
+//!
+//! Reproduces the MySQL `world` sample database's schema and cardinalities
+//! (239 countries, ~4 000 cities, ~1 000 country languages; 5 302 tuples
+//! total in the paper's Table 2), with the extra integer candidate key `ID`
+//! on `Country` that §2.4 adds for the `Qσ_u: SELECT * FROM Country WHERE
+//! ID < u` benchmark. `Country` carries exactly 13 non-key attributes so
+//! `Qπ_u` sweeps `u = 1..13` as in Figure 2.
+
+use crate::names::{pick, synth_code, synth_name};
+use qirana_sqlengine::{ColumnDef, DataType, Database, Row, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of countries (matches the real dataset; drives `Qσ_u`'s 1..240
+/// parameter sweep).
+pub const NUM_COUNTRIES: usize = 239;
+
+/// The 13 non-key Country attributes, in `Qπ_u` sweep order.
+pub const COUNTRY_ATTRS: [&str; 13] = [
+    "Code",
+    "Name",
+    "Continent",
+    "Region",
+    "SurfaceArea",
+    "IndepYear",
+    "Population",
+    "LifeExpectancy",
+    "GNP",
+    "LocalName",
+    "GovernmentForm",
+    "HeadOfState",
+    "Capital",
+];
+
+const CONTINENTS: &[&str] = &[
+    "Asia",
+    "Europe",
+    "North America",
+    "Africa",
+    "Oceania",
+    "South America",
+    "Antarctica",
+];
+
+const REGIONS: &[&str] = &[
+    "Caribbean",
+    "Southern and Central Asia",
+    "Central Africa",
+    "Southern Europe",
+    "Middle East",
+    "South America",
+    "Polynesia",
+    "Antarctica",
+    "Australia and New Zealand",
+    "Western Europe",
+    "Eastern Africa",
+    "Western Africa",
+    "Eastern Europe",
+    "Central America",
+    "North America",
+    "Southeast Asia",
+    "Southern Africa",
+    "Eastern Asia",
+    "Nordic Countries",
+    "Northern Africa",
+    "Baltic Countries",
+    "Melanesia",
+    "Micronesia",
+    "British Islands",
+    "Micronesia/Caribbean",
+];
+
+const GOVERNMENT_FORMS: &[&str] = &[
+    "Republic",
+    "Monarchy",
+    "Federal Republic",
+    "Constitutional Monarchy",
+    "Parliamentary Republic",
+    "Federation",
+    "Socialist Republic",
+    "Emirate",
+    "Dependent Territory",
+];
+
+const LANGUAGES: &[&str] = &[
+    "English", "Spanish", "Arabic", "Chinese", "French", "German", "Portuguese", "Russian",
+    "Japanese", "Hindi", "Bengali", "Greek", "Italian", "Turkish", "Korean", "Dutch", "Swedish",
+    "Polish", "Thai", "Swahili",
+];
+
+/// Generates the dataset. Deterministic for a fixed `seed`.
+pub fn generate(seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+
+    // ---- Country ----
+    let mut country_cols = vec![ColumnDef::new("ID", DataType::Int)];
+    for (name, ty) in [
+        ("Code", DataType::Str),
+        ("Name", DataType::Str),
+        ("Continent", DataType::Str),
+        ("Region", DataType::Str),
+        ("SurfaceArea", DataType::Float),
+        ("IndepYear", DataType::Int),
+        ("Population", DataType::Int),
+        ("LifeExpectancy", DataType::Float),
+        ("GNP", DataType::Float),
+        ("LocalName", DataType::Str),
+        ("GovernmentForm", DataType::Str),
+        ("HeadOfState", DataType::Str),
+        ("Capital", DataType::Int),
+    ] {
+        country_cols.push(ColumnDef::new(name, ty));
+    }
+    let country_schema = TableSchema::new("Country", country_cols, &["ID"]);
+
+    let mut codes: Vec<String> = Vec::with_capacity(NUM_COUNTRIES);
+    let mut seen = std::collections::HashSet::new();
+    while codes.len() < NUM_COUNTRIES {
+        let c = synth_code(&mut rng, 3);
+        if seen.insert(c.clone()) {
+            codes.push(c);
+        }
+    }
+    // A couple of fixed codes so the Qw workload's constants hit real rows.
+    codes[0] = "USA".into();
+    codes[1] = "GRC".into();
+
+    let mut country_rows: Vec<Row> = Vec::with_capacity(NUM_COUNTRIES);
+    for (i, code) in codes.iter().enumerate() {
+        let continent = pick(&mut rng, CONTINENTS);
+        let region = pick(&mut rng, REGIONS);
+        let population: i64 = if rng.gen_bool(0.1) {
+            rng.gen_range(100_000_000..1_400_000_000)
+        } else {
+            rng.gen_range(10_000..100_000_000)
+        };
+        country_rows.push(vec![
+            Value::Int(i as i64 + 1),
+            Value::str(code),
+            Value::str(synth_name(&mut rng)),
+            Value::str(continent),
+            Value::str(region),
+            Value::Float((rng.gen_range(1.0..17_000_000.0f64) * 10.0).round() / 10.0),
+            Value::Int(rng.gen_range(-1000..1995)),
+            Value::Int(population),
+            Value::Float((rng.gen_range(40.0..85.0f64) * 10.0).round() / 10.0),
+            Value::Float((rng.gen_range(100.0..9_000_000.0f64) * 100.0).round() / 100.0),
+            Value::str(synth_name(&mut rng)),
+            Value::str(pick(&mut rng, GOVERNMENT_FORMS)),
+            Value::str(synth_name(&mut rng)),
+            Value::Int(0), // patched below to a real city ID
+        ]);
+    }
+
+    // ---- City ----
+    let city_schema = TableSchema::new(
+        "City",
+        vec![
+            ColumnDef::new("ID", DataType::Int),
+            ColumnDef::new("Name", DataType::Str),
+            ColumnDef::new("CountryCode", DataType::Str),
+            ColumnDef::new("District", DataType::Str),
+            ColumnDef::new("Population", DataType::Int),
+        ],
+        &["ID"],
+    );
+    let num_cities = 4079;
+    let mut city_rows: Vec<Row> = Vec::with_capacity(num_cities);
+    for id in 1..=num_cities {
+        let country = &codes[rng.gen_range(0..codes.len())];
+        let population: i64 = if rng.gen_bool(0.05) {
+            rng.gen_range(1_000_000..25_000_000)
+        } else {
+            rng.gen_range(1_000..1_000_000)
+        };
+        city_rows.push(vec![
+            Value::Int(id as i64),
+            Value::str(synth_name(&mut rng)),
+            Value::str(country),
+            Value::str(synth_name(&mut rng)),
+            Value::Int(population),
+        ]);
+    }
+    // Capitals: each country points at a uniformly chosen city.
+    for row in &mut country_rows {
+        row[13] = Value::Int(rng.gen_range(1..=num_cities as i64));
+    }
+
+    // ---- CountryLanguage ----
+    let lang_schema = TableSchema::new(
+        "CountryLanguage",
+        vec![
+            ColumnDef::new("CountryCode", DataType::Str),
+            ColumnDef::new("Language", DataType::Str),
+            ColumnDef::new("IsOfficial", DataType::Str),
+            ColumnDef::new("Percentage", DataType::Float),
+        ],
+        &["CountryCode", "Language"],
+    );
+    let mut lang_rows: Vec<Row> = Vec::new();
+    for code in &codes {
+        let k = rng.gen_range(2..=6usize);
+        let mut chosen = std::collections::HashSet::new();
+        for j in 0..k {
+            let lang = pick(&mut rng, LANGUAGES);
+            if !chosen.insert(lang) {
+                continue;
+            }
+            // Percentages spread over a log-ish range so `Percentage < u`
+            // with u in 10⁻²..10² sweeps selectivity as in Figure 2.
+            let pct = 100.0 * rng.gen::<f64>().powi(3);
+            lang_rows.push(vec![
+                Value::str(code),
+                Value::str(lang),
+                Value::str(if j == 0 { "T" } else { "F" }),
+                Value::Float((pct * 10.0).round() / 10.0),
+            ]);
+        }
+    }
+
+    db.add_table(country_schema, country_rows);
+    db.add_table(city_schema, city_rows);
+    db.add_table(lang_schema, lang_rows);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qirana_sqlengine::query;
+
+    #[test]
+    fn cardinalities_match_paper_scale() {
+        let db = generate(42);
+        assert_eq!(db.table("Country").unwrap().len(), 239);
+        assert_eq!(db.table("City").unwrap().len(), 4079);
+        let total = db.total_rows();
+        assert!(
+            (4800..6000).contains(&total),
+            "world total rows ~5302, got {total}"
+        );
+        assert_eq!(db.num_tables(), 3);
+    }
+
+    #[test]
+    fn country_has_13_non_key_attributes() {
+        let db = generate(1);
+        let c = db.table("Country").unwrap();
+        assert_eq!(c.schema.arity(), 14);
+        assert_eq!(c.schema.non_key_columns().len(), 13);
+        for a in COUNTRY_ATTRS {
+            assert!(c.schema.column_index(a).is_some(), "missing {a}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(9);
+        let b = generate(9);
+        assert_eq!(a.table("Country").unwrap().rows, b.table("Country").unwrap().rows);
+    }
+
+    #[test]
+    fn benchmark_queries_run() {
+        let db = generate(3);
+        let out = query(&db, "SELECT * FROM Country WHERE ID < 120").unwrap();
+        assert_eq!(out.rows.len(), 119);
+        let out = query(
+            &db,
+            "SELECT Region, AVG(LifeExpectancy) FROM Country GROUP BY Region LIMIT 5",
+        )
+        .unwrap();
+        assert!(out.rows.len() <= 5);
+        let out = query(
+            &db,
+            "SELECT * FROM Country C, CountryLanguage CL WHERE C.Code = CL.CountryCode AND CL.Percentage < 50",
+        )
+        .unwrap();
+        assert!(!out.rows.is_empty());
+    }
+
+    #[test]
+    fn fixed_codes_present() {
+        let db = generate(5);
+        let out = query(&db, "SELECT count(*) FROM Country WHERE Code = 'USA'").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(1));
+        let out = query(&db, "SELECT count(*) FROM City WHERE CountryCode = 'GRC'").unwrap();
+        assert!(out.rows[0][0].as_i64().unwrap() >= 0);
+    }
+
+    #[test]
+    fn language_percentage_spread() {
+        let db = generate(11);
+        let lo = query(
+            &db,
+            "SELECT count(*) FROM CountryLanguage WHERE Percentage < 1",
+        )
+        .unwrap();
+        let hi = query(
+            &db,
+            "SELECT count(*) FROM CountryLanguage WHERE Percentage < 100",
+        )
+        .unwrap();
+        assert!(lo.rows[0][0].as_i64().unwrap() > 0);
+        assert!(hi.rows[0][0].as_i64().unwrap() > lo.rows[0][0].as_i64().unwrap());
+    }
+}

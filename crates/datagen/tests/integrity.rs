@@ -1,0 +1,40 @@
+//! Every generated dataset must be a valid member of its own
+//! possible-worlds set: unique non-null primary keys, resolvable foreign
+//! keys, and in-domain values.
+
+use qirana_sqlengine::check_database;
+
+#[test]
+fn world_is_constraint_valid() {
+    let db = qirana_datagen::world::generate(5);
+    let v = check_database(&db);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn carcrash_is_constraint_valid() {
+    let db = qirana_datagen::carcrash::generate(5000, 5);
+    let v = check_database(&db);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn dblp_is_constraint_valid() {
+    let db = qirana_datagen::dblp::generate(3000, 5);
+    let v = check_database(&db);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn tpch_is_constraint_valid() {
+    let db = qirana_datagen::tpch::generate(0.005, 5);
+    let v = check_database(&db);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn ssb_is_constraint_valid() {
+    let db = qirana_datagen::ssb::generate(0.005, 5);
+    let v = check_database(&db);
+    assert!(v.is_empty(), "{v:?}");
+}

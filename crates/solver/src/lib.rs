@@ -1,0 +1,32 @@
+//! # qirana-solver
+//!
+//! A from-scratch maximum-entropy convex solver, substituting for the
+//! CVXPY + SCS stack the QIRANA paper uses to assign support-set weights
+//! from seller price points (§3.3).
+//!
+//! The entropy-maximization program with linear equality constraints has a
+//! smooth, low-dimensional dual (one variable per constraint), which a
+//! damped Newton iteration minimizes to machine precision — see
+//! [`maxent`] for the derivation. Infeasible price-point systems are
+//! reported as [`maxent::SolveResult::Infeasible`] with a diagnosis, the
+//! analogue of SCS's infeasibility certificate that QIRANA reacts to by
+//! resampling or growing the support set.
+//!
+//! ```
+//! use qirana_solver::{MaxEntProblem, solve};
+//!
+//! // Four support instances, total price 100, first two priced at 70.
+//! let problem = MaxEntProblem {
+//!     a: vec![vec![1.0, 1.0, 1.0, 1.0], vec![1.0, 1.0, 0.0, 0.0]],
+//!     b: vec![100.0, 70.0],
+//!     n: 4,
+//! };
+//! let weights = solve(&problem).weights().unwrap().to_vec();
+//! assert!((weights[0] - 35.0).abs() < 1e-6);
+//! assert!((weights[3] - 15.0).abs() < 1e-6);
+//! ```
+
+pub mod linalg;
+pub mod maxent;
+
+pub use maxent::{solve, solve_with, MaxEntProblem, SolveResult, SolverOptions};

@@ -1,0 +1,90 @@
+//! Property-based tests of the max-entropy solver: every feasible nested
+//! system solves with nonnegative weights and tight constraints, and the
+//! optimum dominates random feasible perturbations in entropy.
+
+use proptest::prelude::*;
+use qirana_solver::{solve, MaxEntProblem, SolveResult};
+
+/// Builds a feasible system of nested indicator constraints: row 0 is the
+/// total, further rows cover nested prefixes with consistent targets
+/// (generated from an explicit feasible weight vector).
+fn nested_problem(weights: Vec<f64>, cuts: Vec<usize>) -> MaxEntProblem {
+    let n = weights.len();
+    let mut a = vec![vec![1.0; n]];
+    let mut b = vec![weights.iter().sum::<f64>()];
+    for cut in cuts {
+        let cut = 1 + cut % n;
+        let mut row = vec![0.0; n];
+        row[..cut].iter_mut().for_each(|x| *x = 1.0);
+        b.push(weights[..cut].iter().sum());
+        a.push(row);
+    }
+    MaxEntProblem { a, b, n }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn feasible_nested_systems_solve(
+        weights in prop::collection::vec(0.05f64..5.0, 2..40),
+        cuts in prop::collection::vec(0usize..40, 0..4),
+    ) {
+        let p = nested_problem(weights, cuts);
+        match solve(&p) {
+            SolveResult::Optimal { weights: w, residual, .. } => {
+                prop_assert!(residual < 1e-6, "residual {residual}");
+                prop_assert!(w.iter().all(|&x| x >= -1e-9), "negative weight");
+                // Constraints hold.
+                for (row, target) in p.a.iter().zip(&p.b) {
+                    let got: f64 = row.iter().zip(&w).map(|(a, w)| a * w).sum();
+                    prop_assert!(
+                        (got - target).abs() < 1e-5 * (1.0 + target.abs()),
+                        "constraint {got} != {target}"
+                    );
+                }
+            }
+            SolveResult::Infeasible { reason } => {
+                prop_assert!(false, "feasible-by-construction system rejected: {reason}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_has_max_entropy_among_perturbations(
+        base in prop::collection::vec(0.2f64..2.0, 3..10),
+        eps in 0.01f64..0.1,
+    ) {
+        // Single total constraint: optimum is uniform; any mass transfer
+        // between two coordinates lowers entropy.
+        let total: f64 = base.iter().sum();
+        let n = base.len();
+        let p = MaxEntProblem { a: vec![vec![1.0; n]], b: vec![total], n };
+        let w = solve(&p).weights().expect("feasible").to_vec();
+        let entropy = |w: &[f64]| -> f64 {
+            w.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
+        };
+        let mut perturbed = w.clone();
+        perturbed[0] += eps;
+        perturbed[1] -= eps;
+        if perturbed[1] > 0.0 {
+            prop_assert!(entropy(&w) >= entropy(&perturbed) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn subset_above_total_always_infeasible(
+        n in 3usize..30,
+        total in 1.0f64..100.0,
+        excess in 1.01f64..3.0,
+    ) {
+        let mut sub = vec![0.0; n];
+        sub[..n / 2 + 1].iter_mut().for_each(|x| *x = 1.0);
+        let p = MaxEntProblem {
+            a: vec![vec![1.0; n], sub],
+            b: vec![total, total * excess],
+            n,
+        };
+        prop_assert!(!solve(&p).is_optimal());
+    }
+}

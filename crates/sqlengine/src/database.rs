@@ -1,0 +1,135 @@
+//! A database instance: a set of named tables.
+
+use crate::schema::TableSchema;
+use crate::table::{Row, Table};
+use std::collections::HashMap;
+
+/// An in-memory database instance (the `D` of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    /// Lowercased table name -> index into `tables`.
+    by_name: HashMap<String, usize>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a table definition with no rows.
+    ///
+    /// # Panics
+    /// Panics if a table with the same (case-insensitive) name exists.
+    pub fn create_table(&mut self, schema: TableSchema) -> usize {
+        let key = schema.name.to_ascii_lowercase();
+        assert!(
+            !self.by_name.contains_key(&key),
+            "table {} already exists",
+            schema.name
+        );
+        let idx = self.tables.len();
+        self.by_name.insert(key, idx);
+        self.tables.push(Table::new(schema));
+        idx
+    }
+
+    /// Adds a table and its rows in one step.
+    pub fn add_table(&mut self, schema: TableSchema, rows: impl IntoIterator<Item = Row>) -> usize {
+        let idx = self.create_table(schema);
+        self.tables[idx].extend(rows);
+        idx
+    }
+
+    /// Case-insensitive lookup of a table index.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.table_index(name).map(|i| &self.tables[i])
+    }
+
+    /// Mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.table_index(name).map(move |i| &mut self.tables[i])
+    }
+
+    /// Table by index.
+    pub fn table_at(&self, idx: usize) -> &Table {
+        &self.tables[idx]
+    }
+
+    /// Mutable table by index.
+    pub fn table_at_mut(&mut self, idx: usize) -> &mut Table {
+        &mut self.tables[idx]
+    }
+
+    /// All tables in creation order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total tuple count across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Total attribute (column) count across all relations.
+    pub fn total_attributes(&self) -> usize {
+        self.tables.iter().map(|t| t.schema.arity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Str),
+            ],
+            &["id"],
+        )
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.add_table(schema("Users"), vec![vec![1.into(), "a".into()]]);
+        assert!(db.table("users").is_some());
+        assert!(db.table("USERS").is_some());
+        assert!(db.table("nope").is_none());
+        assert_eq!(db.table("Users").unwrap().len(), 1);
+        assert_eq!(db.num_tables(), 1);
+        assert_eq!(db.total_rows(), 1);
+        assert_eq!(db.total_attributes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_name_panics() {
+        let mut db = Database::new();
+        db.create_table(schema("T"));
+        db.create_table(schema("t"));
+    }
+
+    #[test]
+    fn mutation_via_table_mut() {
+        let mut db = Database::new();
+        db.add_table(schema("T"), vec![vec![1.into(), "a".into()]]);
+        db.table_mut("T").unwrap().set_cell(0, 1, "b".into());
+        assert_eq!(db.table("T").unwrap().rows[0][1], "b".into());
+    }
+}

@@ -1,0 +1,64 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors produced by parsing, planning, or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Lexical or syntactic error, with byte offset into the SQL text.
+    Parse { offset: usize, message: String },
+    /// Name-resolution or semantic error (unknown table/column, ambiguous
+    /// reference, misplaced aggregate, ...).
+    Plan(String),
+    /// Runtime evaluation error (type mismatch, scalar subquery returned
+    /// multiple rows, ...).
+    Eval(String),
+}
+
+impl EngineError {
+    pub(crate) fn parse(offset: usize, message: String) -> Self {
+        EngineError::Parse { offset, message }
+    }
+
+    pub(crate) fn plan(message: impl Into<String>) -> Self {
+        EngineError::Plan(message.into())
+    }
+
+    pub(crate) fn eval(message: impl Into<String>) -> Self {
+        EngineError::Eval(message.into())
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = EngineError::parse(7, "bad token".into());
+        assert_eq!(e.to_string(), "parse error at byte 7: bad token");
+    }
+
+    #[test]
+    fn variants_display() {
+        assert!(EngineError::plan("x").to_string().contains("plan error"));
+        assert!(EngineError::eval("y").to_string().contains("evaluation"));
+    }
+}

@@ -1,0 +1,1725 @@
+//! Query execution.
+//!
+//! A volcano-free, materializing executor: the FROM clause is evaluated with
+//! greedy hash-join ordering (single-relation predicates are pushed down as
+//! scan filters, equality conjuncts between two relations become hash joins,
+//! everything else is a residual filter applied as soon as its relations are
+//! bound), then grouping/aggregation, HAVING, projection, DISTINCT,
+//! ORDER BY, and LIMIT run as bulk passes.
+//!
+//! Two features exist specifically for the pricing layer:
+//!
+//! * **Table overrides** ([`ExecContext::with_override`]): execute a plan as
+//!   if relation `R` contained different rows — this is how QIRANA evaluates
+//!   `Q((D ∖ R) ∪ {u⁺})` without touching the stored instance (§4.1) and how
+//!   batch queries run over the synthetic `R⁺` relation (§4.2).
+//! * **Open plans**: the executor accepts programmatically modified
+//!   [`ResolvedSelect`] values (key-augmented, unrolled, widened).
+
+use crate::ast::{AggFunc, BinaryOp, UnaryOp};
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::expr::{binary_op, date_interval, like_match};
+use crate::plan::{AggSpec, PExpr, PRelation, ResolvedSelect};
+use crate::table::Row;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// Execution context: the database plus optional per-table row overrides.
+#[derive(Clone)]
+pub struct ExecContext<'a> {
+    db: &'a Database,
+    overrides: Vec<(usize, &'a [Row])>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Context executing against the stored instance.
+    pub fn new(db: &'a Database) -> Self {
+        ExecContext {
+            db,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Context where table `table_idx`'s rows are replaced by `rows`.
+    pub fn with_override(db: &'a Database, table_idx: usize, rows: &'a [Row]) -> Self {
+        ExecContext {
+            db,
+            overrides: vec![(table_idx, rows)],
+        }
+    }
+
+    /// Adds (or replaces) an override.
+    pub fn add_override(&mut self, table_idx: usize, rows: &'a [Row]) {
+        if let Some(e) = self.overrides.iter_mut().find(|(t, _)| *t == table_idx) {
+            e.1 = rows;
+        } else {
+            self.overrides.push((table_idx, rows));
+        }
+    }
+
+    /// The database under execution.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    fn rows_for(&self, table_idx: usize) -> &'a [Row] {
+        self.overrides
+            .iter()
+            .find(|(t, _)| *t == table_idx)
+            .map(|(_, r)| *r)
+            .unwrap_or(&self.db.table_at(table_idx).rows)
+    }
+}
+
+/// The materialized result of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// True iff the query had an ORDER BY (row order is semantically
+    /// meaningful and agreement checks must be order-sensitive).
+    pub ordered: bool,
+}
+
+/// Executes a resolved plan.
+pub fn execute(plan: &ResolvedSelect, ctx: &ExecContext<'_>) -> Result<QueryOutput> {
+    execute_nested(plan, ctx, &[])
+}
+
+/// Evaluates a row-context expression against a single row.
+///
+/// Used by the update machinery and by QIRANA's static disagreement checks
+/// (evaluating `C[u⁺]` on a candidate tuple without running the query).
+/// Subqueries inside `e` execute against `ctx`.
+pub fn eval_row_expr(e: &PExpr, row: &[Value], ctx: &ExecContext<'_>) -> Result<Value> {
+    let cache: SubCache = RefCell::new(HashMap::new());
+    eval(
+        e,
+        &Env {
+            row,
+            aggs: None,
+            outer: &[],
+            ctx,
+            cache: &cache,
+        },
+    )
+}
+
+/// Cached result of an uncorrelated subquery, computed once per execution.
+enum CachedSub {
+    Exists(bool),
+    Set {
+        set: HashSet<Value>,
+        has_null: bool,
+    },
+    Scalar(Value),
+    /// Decorrelated EXISTS: the inner keys that have at least one row.
+    SemiKeys {
+        keys: HashSet<Value>,
+        outer_slot: usize,
+    },
+    /// Decorrelated IN: inner key → (projected values, saw NULL value).
+    InIndex {
+        map: HashMap<Value, (HashSet<Value>, bool)>,
+        outer_slot: usize,
+    },
+    /// Decorrelated scalar: inner key → (value, row count); `empty` is the
+    /// value the subquery yields when no inner row matches (NULL, or the
+    /// empty-input aggregate row for a global aggregate).
+    ScalarIndex {
+        map: HashMap<Value, (Value, usize)>,
+        empty: Value,
+        outer_slot: usize,
+    },
+}
+
+type SubCache = RefCell<HashMap<usize, CachedSub>>;
+
+/// Evaluation environment for one row.
+struct Env<'e> {
+    row: &'e [Value],
+    aggs: Option<&'e [Value]>,
+    outer: &'e [&'e [Value]],
+    ctx: &'e ExecContext<'e>,
+    cache: &'e SubCache,
+}
+
+fn execute_nested(
+    plan: &ResolvedSelect,
+    ctx: &ExecContext<'_>,
+    outer: &[&[Value]],
+) -> Result<QueryOutput> {
+    let cache: SubCache = RefCell::new(HashMap::new());
+    let joined = run_from(plan, ctx, outer, &cache)?;
+
+    let columns: Vec<String> = plan.projections.iter().map(|p| p.name.clone()).collect();
+    let mut rows: Vec<Row>;
+
+    if plan.grouped {
+        rows = run_grouped(plan, ctx, outer, &cache, joined)?;
+    } else {
+        rows = Vec::with_capacity(joined.len());
+        for r in &joined {
+            let env = Env {
+                row: r,
+                aggs: None,
+                outer,
+                ctx,
+                cache: &cache,
+            };
+            let mut out = Vec::with_capacity(plan.projections.len());
+            for p in &plan.projections {
+                out.push(eval(&p.expr, &env)?);
+            }
+            rows.push(out);
+        }
+        if !plan.order_by.is_empty() {
+            // Non-grouped ORDER BY keys are row-context expressions; sort the
+            // projected rows by keys computed from the source rows.
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+            for (src, out) in joined.iter().zip(rows) {
+                let env = Env {
+                    row: src,
+                    aggs: None,
+                    outer,
+                    ctx,
+                    cache: &cache,
+                };
+                let mut key = Vec::with_capacity(plan.order_by.len());
+                for (e, _) in &plan.order_by {
+                    key.push(eval(e, &env)?);
+                }
+                keyed.push((key, out));
+            }
+            sort_keyed(&mut keyed, &plan.order_by);
+            rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+    }
+
+    if plan.distinct {
+        let mut seen = HashSet::with_capacity(rows.len());
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+    if let Some(limit) = plan.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(QueryOutput {
+        columns,
+        rows,
+        ordered: !plan.order_by.is_empty(),
+    })
+}
+
+fn sort_keyed(keyed: &mut [(Vec<Value>, Row)], order_by: &[(PExpr, bool)]) {
+    keyed.sort_by(|(a, _), (b, _)| {
+        for (i, (_, asc)) in order_by.iter().enumerate() {
+            let ord = a[i].total_cmp(&b[i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Grouping
+// ---------------------------------------------------------------------------
+
+fn run_grouped(
+    plan: &ResolvedSelect,
+    ctx: &ExecContext<'_>,
+    outer: &[&[Value]],
+    cache: &SubCache,
+    joined: Vec<Row>,
+) -> Result<Vec<Row>> {
+    struct Group {
+        first_row: Row,
+        accums: Vec<Accum>,
+    }
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
+
+    for row in &joined {
+        let env = Env {
+            row,
+            aggs: None,
+            outer,
+            ctx,
+            cache,
+        };
+        let mut key = Vec::with_capacity(plan.group_by.len());
+        for g in &plan.group_by {
+            key.push(eval(g, &env)?);
+        }
+        let group = match groups.get_mut(&key) {
+            Some(g) => g,
+            None => {
+                order.push(key.clone());
+                groups.entry(key).or_insert_with(|| Group {
+                    first_row: row.clone(),
+                    accums: plan.aggregates.iter().map(Accum::new).collect(),
+                })
+            }
+        };
+        for (acc, spec) in group.accums.iter_mut().zip(&plan.aggregates) {
+            match &spec.arg {
+                None => acc.update_star(),
+                Some(a) => {
+                    let v = eval(a, &env)?;
+                    acc.update(v);
+                }
+            }
+        }
+    }
+
+    // Global aggregate over an empty input still yields one group.
+    if groups.is_empty() && plan.group_by.is_empty() {
+        order.push(Vec::new());
+        groups.insert(
+            Vec::new(),
+            Group {
+                first_row: vec![Value::Null; plan.width],
+                accums: plan.aggregates.iter().map(Accum::new).collect(),
+            },
+        );
+    }
+
+    let mut out_rows: Vec<Row> = Vec::with_capacity(groups.len());
+    let mut sort_keys: Vec<Vec<Value>> = Vec::new();
+    for key in &order {
+        let g = &groups[key];
+        let agg_vals: Vec<Value> = g.accums.iter().map(Accum::finalize).collect();
+        let env = Env {
+            row: &g.first_row,
+            aggs: Some(&agg_vals),
+            outer,
+            ctx,
+            cache,
+        };
+        if let Some(h) = &plan.having {
+            if eval(h, &env)?.as_bool3() != Some(true) {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(plan.projections.len());
+        for p in &plan.projections {
+            out.push(eval(&p.expr, &env)?);
+        }
+        if !plan.order_by.is_empty() {
+            let mut k = Vec::with_capacity(plan.order_by.len());
+            for (e, _) in &plan.order_by {
+                k.push(eval(e, &env)?);
+            }
+            sort_keys.push(k);
+        }
+        out_rows.push(out);
+    }
+
+    if !plan.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Row)> =
+            sort_keys.into_iter().zip(out_rows).collect();
+        sort_keyed(&mut keyed, &plan.order_by);
+        out_rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+    Ok(out_rows)
+}
+
+/// Streaming aggregate accumulator.
+enum Accum {
+    Count { n: i64 },
+    Distinct { func: AggFunc, set: HashSet<Value> },
+    Sum { i: i64, f: f64, any_float: bool, seen: bool },
+    Avg { sum: f64, n: i64 },
+    MinMax { best: Option<Value>, is_min: bool },
+}
+
+impl Accum {
+    fn new(spec: &AggSpec) -> Accum {
+        match (spec.func, spec.distinct) {
+            (AggFunc::Min, _) => Accum::MinMax {
+                best: None,
+                is_min: true,
+            },
+            (AggFunc::Max, _) => Accum::MinMax {
+                best: None,
+                is_min: false,
+            },
+            (f, true) => Accum::Distinct {
+                func: f,
+                set: HashSet::new(),
+            },
+            (AggFunc::Count, false) => Accum::Count { n: 0 },
+            (AggFunc::Sum, false) => Accum::Sum {
+                i: 0,
+                f: 0.0,
+                any_float: false,
+                seen: false,
+            },
+            (AggFunc::Avg, false) => Accum::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    /// `COUNT(*)`: counts every row, NULLs included.
+    fn update_star(&mut self) {
+        if let Accum::Count { n } = self {
+            *n += 1;
+        } else {
+            unreachable!("only COUNT may have no argument");
+        }
+    }
+
+    /// Feeds one value; NULLs are skipped per SQL aggregate semantics.
+    fn update(&mut self, v: Value) {
+        if v.is_null() {
+            return;
+        }
+        match self {
+            Accum::Count { n } => *n += 1,
+            Accum::Distinct { set, .. } => {
+                set.insert(v);
+            }
+            Accum::Sum {
+                i, f, any_float, seen,
+            } => {
+                *seen = true;
+                match v {
+                    Value::Int(x) => {
+                        *i = i.wrapping_add(x);
+                        *f += x as f64;
+                    }
+                    other => {
+                        *any_float = true;
+                        *f += other.as_f64().unwrap_or(0.0);
+                    }
+                }
+            }
+            Accum::Avg { sum, n } => {
+                *sum += v.as_f64().unwrap_or(0.0);
+                *n += 1;
+            }
+            Accum::MinMax { best, is_min } => {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        if *is_min {
+                            v.total_cmp(b).is_lt()
+                        } else {
+                            v.total_cmp(b).is_gt()
+                        }
+                    }
+                };
+                if better {
+                    *best = Some(v);
+                }
+            }
+        }
+    }
+
+    fn finalize(&self) -> Value {
+        match self {
+            Accum::Count { n } => Value::Int(*n),
+            Accum::Distinct { func, set } => match func {
+                AggFunc::Count => Value::Int(set.len() as i64),
+                AggFunc::Sum => {
+                    if set.is_empty() {
+                        Value::Null
+                    } else if set.iter().all(|v| matches!(v, Value::Int(_))) {
+                        Value::Int(set.iter().filter_map(Value::as_i64).sum())
+                    } else {
+                        Value::Float(set.iter().filter_map(Value::as_f64).sum())
+                    }
+                }
+                AggFunc::Avg => {
+                    if set.is_empty() {
+                        Value::Null
+                    } else {
+                        let s: f64 = set.iter().filter_map(Value::as_f64).sum();
+                        Value::Float(s / set.len() as f64)
+                    }
+                }
+                AggFunc::Min | AggFunc::Max => unreachable!("MIN/MAX use MinMax"),
+            },
+            Accum::Sum {
+                i, f, any_float, seen,
+            } => {
+                if !*seen {
+                    Value::Null
+                } else if *any_float {
+                    Value::Float(*f)
+                } else {
+                    Value::Int(*i)
+                }
+            }
+            Accum::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *n as f64)
+                }
+            }
+            Accum::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FROM evaluation (joins)
+// ---------------------------------------------------------------------------
+
+enum Source<'a> {
+    Borrowed(&'a [Row]),
+    Owned(Vec<Row>),
+}
+
+impl Source<'_> {
+    fn as_slice(&self) -> &[Row] {
+        match self {
+            Source::Borrowed(r) => r,
+            Source::Owned(r) => r,
+        }
+    }
+}
+
+/// A classified WHERE conjunct.
+struct Conjunct {
+    expr: PExpr,
+    /// Bitmask of relations whose slots the conjunct reads. Conjuncts that
+    /// contain subqueries conservatively require all relations.
+    rels: u64,
+    applied: bool,
+}
+
+struct EquiEdge {
+    left_rel: usize,
+    left_expr: PExpr,
+    right_rel: usize,
+    right_expr: PExpr,
+    used: bool,
+}
+
+fn rels_of(e: &PExpr, plan: &ResolvedSelect) -> u64 {
+    let mut slots = Vec::new();
+    e.collect_slots(&mut slots);
+    let mut mask = 0u64;
+    for s in slots {
+        let rel = plan
+            .offsets
+            .iter()
+            .rposition(|&o| o <= s)
+            .expect("slot below first offset");
+        mask |= 1 << rel;
+    }
+    mask
+}
+
+fn run_from(
+    plan: &ResolvedSelect,
+    ctx: &ExecContext<'_>,
+    outer: &[&[Value]],
+    cache: &SubCache,
+) -> Result<Vec<Row>> {
+    let n = plan.relations.len();
+    if n == 0 {
+        // `SELECT expr` with no FROM: a single empty row.
+        let mut row = vec![Vec::new()];
+        if let Some(f) = &plan.filter {
+            let env = Env {
+                row: &row[0],
+                aggs: None,
+                outer,
+                ctx,
+                cache,
+            };
+            if eval(f, &env)?.as_bool3() != Some(true) {
+                row.clear();
+            }
+        }
+        return Ok(row);
+    }
+    assert!(n <= 64, "at most 64 relations per query block");
+
+    // Classify conjuncts.
+    let mut prefilters: Vec<Vec<PExpr>> = vec![Vec::new(); n];
+    let mut edges: Vec<EquiEdge> = Vec::new();
+    let mut residuals: Vec<Conjunct> = Vec::new();
+    let all_mask: u64 = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+    if let Some(f) = plan.filter.clone() {
+        for c in f.conjuncts() {
+            if c.has_subquery() {
+                residuals.push(Conjunct {
+                    expr: c,
+                    rels: all_mask,
+                    applied: false,
+                });
+                continue;
+            }
+            let rels = rels_of(&c, plan);
+            if rels.count_ones() == 1 {
+                prefilters[rels.trailing_zeros() as usize].push(c);
+                continue;
+            }
+            if let PExpr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } = &c
+            {
+                let lr = rels_of(left, plan);
+                let rr = rels_of(right, plan);
+                if lr.count_ones() == 1 && rr.count_ones() == 1 && lr != rr {
+                    edges.push(EquiEdge {
+                        left_rel: lr.trailing_zeros() as usize,
+                        left_expr: (**left).clone(),
+                        right_rel: rr.trailing_zeros() as usize,
+                        right_expr: (**right).clone(),
+                        used: false,
+                    });
+                    continue;
+                }
+            }
+            residuals.push(Conjunct {
+                expr: c,
+                rels,
+                applied: false,
+            });
+        }
+    }
+
+    // Materialize and prefilter each relation's rows (rows stay relation-local
+    // width here; prefilter expressions are rebased to local slots).
+    let mut sources: Vec<Source<'_>> = Vec::with_capacity(n);
+    for (i, rel) in plan.relations.iter().enumerate() {
+        let raw: Source<'_> = match rel {
+            PRelation::Base { table, arity, .. } => {
+                let rows = ctx.rows_for(*table);
+                if let Some(r0) = rows.first() {
+                    assert_eq!(
+                        r0.len(),
+                        *arity,
+                        "override rows must match the plan's arity for {}",
+                        rel.binding()
+                    );
+                }
+                Source::Borrowed(rows)
+            }
+            PRelation::Derived { plan: sub, .. } => {
+                Source::Owned(execute_nested(sub, ctx, &[])?.rows)
+            }
+        };
+        if prefilters[i].is_empty() {
+            sources.push(raw);
+            continue;
+        }
+        let offset = plan.offsets[i];
+        let local: Vec<PExpr> = prefilters[i]
+            .iter()
+            .map(|e| {
+                let mut e = e.clone();
+                e.map_slots(&mut |s| s - offset);
+                e
+            })
+            .collect();
+        let mut kept = Vec::new();
+        for row in raw.as_slice() {
+            let env = Env {
+                row,
+                aggs: None,
+                outer,
+                ctx,
+                cache,
+            };
+            let mut pass = true;
+            for e in &local {
+                if eval(e, &env)?.as_bool3() != Some(true) {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                kept.push(row.clone());
+            }
+        }
+        sources.push(Source::Owned(kept));
+    }
+
+    // Greedy join: start from the smallest relation, repeatedly hash-join a
+    // connected relation (falling back to cartesian product).
+    let start = (0..n)
+        .min_by_key(|&i| sources[i].as_slice().len())
+        .expect("n >= 1");
+    let mut bound: u64 = 1 << start;
+    let width = plan.width;
+    let mut inter: Vec<Row> = sources[start]
+        .as_slice()
+        .iter()
+        .map(|r| widen(r, plan.offsets[start], width))
+        .collect();
+    apply_ready_residuals(&mut residuals, bound, &mut inter, ctx, outer, cache)?;
+
+    while bound != all_mask {
+        // Gather join keys for every unbound relation connected to `bound`.
+        let mut candidate: Option<usize> = None;
+        for r in 0..n {
+            if bound & (1 << r) != 0 {
+                continue;
+            }
+            let connected = edges.iter().any(|e| {
+                !e.used
+                    && ((e.left_rel == r && bound & (1 << e.right_rel) != 0)
+                        || (e.right_rel == r && bound & (1 << e.left_rel) != 0))
+            });
+            if connected
+                && candidate
+                    .map(|c| sources[r].as_slice().len() < sources[c].as_slice().len())
+                    .unwrap_or(true)
+            {
+                candidate = Some(r);
+            }
+        }
+
+        match candidate {
+            Some(r) => {
+                // Composite key across every usable edge touching r.
+                let mut build_exprs = Vec::new();
+                let mut probe_exprs = Vec::new();
+                for e in edges.iter_mut().filter(|e| !e.used) {
+                    if e.left_rel == r && bound & (1 << e.right_rel) != 0 {
+                        build_exprs.push(e.left_expr.clone());
+                        probe_exprs.push(e.right_expr.clone());
+                        e.used = true;
+                    } else if e.right_rel == r && bound & (1 << e.left_rel) != 0 {
+                        build_exprs.push(e.right_expr.clone());
+                        probe_exprs.push(e.left_expr.clone());
+                        e.used = true;
+                    }
+                }
+                let offset = plan.offsets[r];
+                let local_build: Vec<PExpr> = build_exprs
+                    .into_iter()
+                    .map(|mut e| {
+                        e.map_slots(&mut |s| s - offset);
+                        e
+                    })
+                    .collect();
+                // Build.
+                let rows_r = sources[r].as_slice();
+                let mut ht: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(rows_r.len());
+                'build: for (i, row) in rows_r.iter().enumerate() {
+                    let env = Env {
+                        row,
+                        aggs: None,
+                        outer,
+                        ctx,
+                        cache,
+                    };
+                    let mut key = Vec::with_capacity(local_build.len());
+                    for e in &local_build {
+                        let v = eval(e, &env)?;
+                        if v.is_null() {
+                            continue 'build; // NULL never joins
+                        }
+                        key.push(v);
+                    }
+                    ht.entry(key).or_default().push(i);
+                }
+                // Probe.
+                let mut next = Vec::new();
+                'probe: for irow in &inter {
+                    let env = Env {
+                        row: irow,
+                        aggs: None,
+                        outer,
+                        ctx,
+                        cache,
+                    };
+                    let mut key = Vec::with_capacity(probe_exprs.len());
+                    for e in &probe_exprs {
+                        let v = eval(e, &env)?;
+                        if v.is_null() {
+                            continue 'probe;
+                        }
+                        key.push(v);
+                    }
+                    if let Some(matches) = ht.get(&key) {
+                        for &mi in matches {
+                            let mut merged = irow.clone();
+                            fill(&mut merged, &rows_r[mi], offset);
+                            next.push(merged);
+                        }
+                    }
+                }
+                inter = next;
+                bound |= 1 << r;
+            }
+            None => {
+                // Cartesian product with the smallest unbound relation.
+                let r = (0..n)
+                    .filter(|&i| bound & (1 << i) == 0)
+                    .min_by_key(|&i| sources[i].as_slice().len())
+                    .expect("unbound relation exists");
+                let offset = plan.offsets[r];
+                let rows_r = sources[r].as_slice();
+                let mut next = Vec::with_capacity(inter.len() * rows_r.len().max(1));
+                for irow in &inter {
+                    for row in rows_r {
+                        let mut merged = irow.clone();
+                        fill(&mut merged, row, offset);
+                        next.push(merged);
+                    }
+                }
+                inter = next;
+                bound |= 1 << r;
+            }
+        }
+        apply_ready_residuals(&mut residuals, bound, &mut inter, ctx, outer, cache)?;
+    }
+
+    debug_assert!(residuals.iter().all(|c| c.applied));
+    Ok(inter)
+}
+
+fn widen(row: &Row, offset: usize, width: usize) -> Row {
+    let mut out = vec![Value::Null; width];
+    fill(&mut out, row, offset);
+    out
+}
+
+fn fill(dst: &mut Row, src: &Row, offset: usize) {
+    dst[offset..offset + src.len()].clone_from_slice(src);
+}
+
+fn apply_ready_residuals(
+    residuals: &mut [Conjunct],
+    bound: u64,
+    inter: &mut Vec<Row>,
+    ctx: &ExecContext<'_>,
+    outer: &[&[Value]],
+    cache: &SubCache,
+) -> Result<()> {
+    for c in residuals.iter_mut() {
+        if c.applied || c.rels & !bound != 0 {
+            continue;
+        }
+        c.applied = true;
+        let mut kept = Vec::with_capacity(inter.len());
+        for row in inter.drain(..) {
+            let env = Env {
+                row: &row,
+                aggs: None,
+                outer,
+                ctx,
+                cache,
+            };
+            if eval(&c.expr, &env)?.as_bool3() == Some(true) {
+                kept.push(row);
+            }
+        }
+        *inter = kept;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+fn eval(e: &PExpr, env: &Env<'_>) -> Result<Value> {
+    Ok(match e {
+        PExpr::Literal(v) => v.clone(),
+        PExpr::Interval { .. } => {
+            return Err(EngineError::eval(
+                "INTERVAL literal outside date arithmetic",
+            ))
+        }
+        PExpr::Slot(s) => env.row[*s].clone(),
+        PExpr::OuterSlot { depth, slot } => env
+            .outer
+            .get(*depth)
+            .ok_or_else(|| EngineError::eval("correlated reference without outer row"))?[*slot]
+            .clone(),
+        PExpr::AggRef(i) => {
+            let aggs = env
+                .aggs
+                .ok_or_else(|| EngineError::eval("aggregate reference outside grouping"))?;
+            aggs[*i].clone()
+        }
+        PExpr::Unary { op, expr } => {
+            let v = eval(expr, env)?;
+            match op {
+                UnaryOp::Not => match v.as_bool3() {
+                    None => Value::Null,
+                    Some(b) => Value::Bool(!b),
+                },
+                UnaryOp::Neg => match v {
+                    Value::Null => Value::Null,
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                    other => {
+                        return Err(EngineError::eval(format!("cannot negate {other}")))
+                    }
+                },
+            }
+        }
+        PExpr::Binary { left, op, right } => {
+            // Date ± INTERVAL is handled structurally.
+            if let PExpr::Interval { months, days } = right.as_ref() {
+                let l = eval(left, env)?;
+                return date_interval(&l, *months, *days, *op == BinaryOp::Add);
+            }
+            if let PExpr::Interval { months, days } = left.as_ref() {
+                if *op == BinaryOp::Add {
+                    let r = eval(right, env)?;
+                    return date_interval(&r, *months, *days, true);
+                }
+                return Err(EngineError::eval("INTERVAL may not be the minuend"));
+            }
+            // Short-circuit AND/OR to skip needless subquery work.
+            if *op == BinaryOp::And {
+                let l = eval(left, env)?;
+                if l.as_bool3() == Some(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let r = eval(right, env)?;
+                return binary_op(BinaryOp::And, &l, &r);
+            }
+            if *op == BinaryOp::Or {
+                let l = eval(left, env)?;
+                if l.as_bool3() == Some(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let r = eval(right, env)?;
+                return binary_op(BinaryOp::Or, &l, &r);
+            }
+            let l = eval(left, env)?;
+            let r = eval(right, env)?;
+            binary_op(*op, &l, &r)?
+        }
+        PExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, env)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = match &v {
+                Value::Str(s) => s.to_string(),
+                other => other.to_string(),
+            };
+            let m = like_match(pattern, &s);
+            Value::Bool(m != *negated)
+        }
+        PExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, env)?;
+            let lo = eval(low, env)?;
+            let hi = eval(high, env)?;
+            let ge = binary_op(BinaryOp::GtEq, &v, &lo)?;
+            let le = binary_op(BinaryOp::LtEq, &v, &hi)?;
+            let both = binary_op(BinaryOp::And, &ge, &le)?;
+            match (both.as_bool3(), negated) {
+                (None, _) => Value::Null,
+                (Some(b), neg) => Value::Bool(b != *neg),
+            }
+        }
+        PExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, env)?;
+            let mut saw_null = v.is_null();
+            let mut found = false;
+            for item in list {
+                let iv = eval(item, env)?;
+                if iv.is_null() || v.is_null() {
+                    saw_null = true;
+                } else if v.sql_eq(&iv) {
+                    found = true;
+                    break;
+                }
+            }
+            in_result(found, saw_null, *negated)
+        }
+        PExpr::InSubquery {
+            expr,
+            plan,
+            negated,
+        } => {
+            let v = eval(expr, env)?;
+            let (set, has_null) = subquery_set(plan, env)?;
+            if set.is_empty() && !has_null {
+                // x IN (empty) is FALSE even for NULL x.
+                return Ok(Value::Bool(*negated));
+            }
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let found = set.contains(&v);
+            in_result(found, has_null, *negated)
+        }
+        PExpr::Exists { plan, negated } => {
+            let nonempty = subquery_exists(plan, env)?;
+            Value::Bool(nonempty != *negated)
+        }
+        PExpr::ScalarSubquery(plan) => subquery_scalar(plan, env)?,
+        PExpr::IsNull { expr, negated } => {
+            let v = eval(expr, env)?;
+            Value::Bool(v.is_null() != *negated)
+        }
+        PExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            match operand {
+                Some(op) => {
+                    let ov = eval(op, env)?;
+                    for (w, t) in branches {
+                        let wv = eval(w, env)?;
+                        if !ov.is_null() && !wv.is_null() && ov.sql_eq(&wv) {
+                            return eval(t, env);
+                        }
+                    }
+                }
+                None => {
+                    for (w, t) in branches {
+                        if eval(w, env)?.as_bool3() == Some(true) {
+                            return eval(t, env);
+                        }
+                    }
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, env)?,
+                None => Value::Null,
+            }
+        }
+    })
+}
+
+fn in_result(found: bool, saw_null: bool, negated: bool) -> Value {
+    if found {
+        Value::Bool(!negated)
+    } else if saw_null {
+        Value::Null
+    } else {
+        Value::Bool(negated)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subquery evaluation with uncorrelated-result caching
+// ---------------------------------------------------------------------------
+
+/// True iff any expression inside `plan` references a row more than `level`
+/// scopes above it (i.e. escapes the plan and depends on the current row).
+fn plan_escapes(plan: &ResolvedSelect, level: usize) -> bool {
+    let exprs = plan
+        .filter
+        .iter()
+        .chain(plan.group_by.iter())
+        .chain(plan.aggregates.iter().filter_map(|a| a.arg.as_ref()))
+        .chain(plan.having.iter())
+        .chain(plan.projections.iter().map(|p| &p.expr))
+        .chain(plan.order_by.iter().map(|(e, _)| e));
+    for e in exprs {
+        if expr_escapes(e, level) {
+            return true;
+        }
+    }
+    false
+}
+
+fn expr_escapes(e: &PExpr, level: usize) -> bool {
+    match e {
+        PExpr::OuterSlot { depth, .. } => *depth >= level,
+        PExpr::Literal(_) | PExpr::Interval { .. } | PExpr::Slot(_) | PExpr::AggRef(_) => false,
+        PExpr::Unary { expr, .. } | PExpr::Like { expr, .. } | PExpr::IsNull { expr, .. } => {
+            expr_escapes(expr, level)
+        }
+        PExpr::Binary { left, right, .. } => {
+            expr_escapes(left, level) || expr_escapes(right, level)
+        }
+        PExpr::Between { expr, low, high, .. } => {
+            expr_escapes(expr, level) || expr_escapes(low, level) || expr_escapes(high, level)
+        }
+        PExpr::InList { expr, list, .. } => {
+            expr_escapes(expr, level) || list.iter().any(|e| expr_escapes(e, level))
+        }
+        PExpr::InSubquery { expr, plan, .. } => {
+            expr_escapes(expr, level) || plan_escapes(plan, level + 1)
+        }
+        PExpr::Exists { plan, .. } => plan_escapes(plan, level + 1),
+        PExpr::ScalarSubquery(plan) => plan_escapes(plan, level + 1),
+        PExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            operand.as_deref().is_some_and(|o| expr_escapes(o, level))
+                || branches
+                    .iter()
+                    .any(|(w, t)| expr_escapes(w, level) || expr_escapes(t, level))
+                || else_expr.as_deref().is_some_and(|e| expr_escapes(e, level))
+        }
+    }
+}
+
+fn run_subquery(plan: &ResolvedSelect, env: &Env<'_>) -> Result<QueryOutput> {
+    let stack: Vec<&[Value]> = std::iter::once(env.row)
+        .chain(env.outer.iter().copied())
+        .collect();
+    execute_nested(plan, env.ctx, &stack)
+}
+
+// ---------------------------------------------------------------------------
+// Decorrelation
+// ---------------------------------------------------------------------------
+
+/// A correlated subquery reducible to one keyed index build.
+///
+/// Applies when the *only* reference to enclosing rows is a single
+/// equality conjunct `inner_expr = OuterSlot{depth: 0}`. TPC-H Q4's
+/// `EXISTS (… WHERE l_orderkey = o_orderkey …)` and Q17's
+/// `(SELECT 0.2 * avg(l_quantity) … WHERE l2.l_partkey = p_partkey)` both
+/// fit; without this rewrite every outer row rescans the inner relation.
+struct Decorrelated {
+    /// The subquery with the correlated conjunct removed (no outer refs).
+    inner: ResolvedSelect,
+    /// Key expression over the subquery's own joined row.
+    inner_key: PExpr,
+    /// The parent-row slot the removed conjunct compared against.
+    outer_slot: usize,
+}
+
+fn decorrelate(plan: &ResolvedSelect) -> Option<Decorrelated> {
+    if plan.limit.is_some() {
+        return None; // LIMIT interacts with per-key row counts
+    }
+    let filter = plan.filter.clone()?;
+    let conjuncts = filter.conjuncts();
+    let mut found: Option<(usize, PExpr, usize)> = None;
+    for (i, c) in conjuncts.iter().enumerate() {
+        let PExpr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        let pick = |inner: &PExpr, outer: &PExpr| -> Option<(PExpr, usize)> {
+            if let PExpr::OuterSlot { depth: 0, slot } = outer {
+                if !expr_escapes(inner, 0) && !inner.has_subquery() {
+                    return Some((inner.clone(), *slot));
+                }
+            }
+            None
+        };
+        if let Some((k, s)) = pick(left, right).or_else(|| pick(right, left)) {
+            found = Some((i, k, s));
+            break;
+        }
+    }
+    let (idx, inner_key, outer_slot) = found?;
+    let mut rest = conjuncts;
+    rest.remove(idx);
+    let mut inner = plan.clone();
+    inner.filter = PExpr::conjoin(rest);
+    // Everything else must be outer-free, or the rewrite is unsound.
+    if plan_escapes(&inner, 0) {
+        return None;
+    }
+    Some(Decorrelated {
+        inner,
+        inner_key,
+        outer_slot,
+    })
+}
+
+/// The value of the parent-row column a decorrelated lookup keys on.
+fn outer_value(env: &Env<'_>, slot: usize) -> Value {
+    env.row[slot].clone()
+}
+
+fn subquery_exists(plan: &ResolvedSelect, env: &Env<'_>) -> Result<bool> {
+    let key = plan as *const _ as usize;
+    match env.cache.borrow().get(&key) {
+        Some(CachedSub::Exists(b)) => return Ok(*b),
+        Some(CachedSub::SemiKeys { keys, outer_slot }) => {
+            let v = outer_value(env, *outer_slot);
+            return Ok(!v.is_null() && keys.contains(&v));
+        }
+        _ => {}
+    }
+    let correlated = plan_escapes(plan, 0);
+    if !correlated {
+        let out = run_subquery(plan, env)?;
+        let b = !out.rows.is_empty();
+        env.cache.borrow_mut().insert(key, CachedSub::Exists(b));
+        return Ok(b);
+    }
+    // Correlated: try a one-shot semi-join index.
+    if !plan.grouped {
+        if let Some(dec) = decorrelate(plan) {
+            let mut probe = dec.inner;
+            probe.projections = vec![crate::plan::Projection {
+                expr: dec.inner_key,
+                name: "k".into(),
+            }];
+            probe.distinct = true;
+            probe.order_by.clear();
+            let out = execute_nested(&probe, env.ctx, &[])?;
+            let keys: HashSet<Value> = out
+                .rows
+                .into_iter()
+                .map(|mut r| r.swap_remove(0))
+                .filter(|v| !v.is_null())
+                .collect();
+            let v = outer_value(env, dec.outer_slot);
+            let b = !v.is_null() && keys.contains(&v);
+            env.cache.borrow_mut().insert(
+                key,
+                CachedSub::SemiKeys {
+                    keys,
+                    outer_slot: dec.outer_slot,
+                },
+            );
+            return Ok(b);
+        }
+    }
+    // Irreducibly correlated: run per row.
+    let out = run_subquery(plan, env)?;
+    Ok(!out.rows.is_empty())
+}
+
+fn subquery_set(plan: &ResolvedSelect, env: &Env<'_>) -> Result<(HashSet<Value>, bool)> {
+    let key = plan as *const _ as usize;
+    match env.cache.borrow().get(&key) {
+        Some(CachedSub::Set { set, has_null }) => return Ok((set.clone(), *has_null)),
+        Some(CachedSub::InIndex { map, outer_slot }) => {
+            let v = outer_value(env, *outer_slot);
+            return Ok(match map.get(&v) {
+                Some((set, has_null)) => (set.clone(), *has_null),
+                None => (HashSet::new(), false),
+            });
+        }
+        _ => {}
+    }
+    let collect = |out: QueryOutput| {
+        let mut set = HashSet::with_capacity(out.rows.len());
+        let mut has_null = false;
+        for mut r in out.rows {
+            let v = r.swap_remove(0);
+            if v.is_null() {
+                has_null = true;
+            } else {
+                set.insert(v);
+            }
+        }
+        (set, has_null)
+    };
+    let correlated = plan_escapes(plan, 0);
+    if !correlated {
+        let (set, has_null) = collect(run_subquery(plan, env)?);
+        env.cache.borrow_mut().insert(
+            key,
+            CachedSub::Set {
+                set: set.clone(),
+                has_null,
+            },
+        );
+        return Ok((set, has_null));
+    }
+    if !plan.grouped && !plan.distinct {
+        if let Some(dec) = decorrelate(plan) {
+            let mut probe = dec.inner;
+            let value_proj = probe.projections.swap_remove(0);
+            probe.projections = vec![
+                crate::plan::Projection {
+                    expr: dec.inner_key,
+                    name: "k".into(),
+                },
+                value_proj,
+            ];
+            probe.order_by.clear();
+            let out = execute_nested(&probe, env.ctx, &[])?;
+            let mut map: HashMap<Value, (HashSet<Value>, bool)> = HashMap::new();
+            for mut r in out.rows {
+                let v = r.swap_remove(1);
+                let k = r.swap_remove(0);
+                if k.is_null() {
+                    continue; // NULL keys never equal any outer value
+                }
+                let entry = map.entry(k).or_default();
+                if v.is_null() {
+                    entry.1 = true;
+                } else {
+                    entry.0.insert(v);
+                }
+            }
+            let v = outer_value(env, dec.outer_slot);
+            let result = match map.get(&v) {
+                Some((set, has_null)) => (set.clone(), *has_null),
+                None => (HashSet::new(), false),
+            };
+            env.cache.borrow_mut().insert(
+                key,
+                CachedSub::InIndex {
+                    map,
+                    outer_slot: dec.outer_slot,
+                },
+            );
+            return Ok(result);
+        }
+    }
+    Ok(collect(run_subquery(plan, env)?))
+}
+
+fn subquery_scalar(plan: &ResolvedSelect, env: &Env<'_>) -> Result<Value> {
+    let key = plan as *const _ as usize;
+    match env.cache.borrow().get(&key) {
+        Some(CachedSub::Scalar(v)) => return Ok(v.clone()),
+        Some(CachedSub::ScalarIndex {
+            map,
+            empty,
+            outer_slot,
+        }) => {
+            let v = outer_value(env, *outer_slot);
+            return match map.get(&v) {
+                Some((value, 1)) => Ok(value.clone()),
+                Some((_, n)) => Err(EngineError::eval(format!(
+                    "scalar subquery returned {n} rows"
+                ))),
+                None => Ok(empty.clone()),
+            };
+        }
+        _ => {}
+    }
+    let scalar_of = |out: QueryOutput| -> Result<Value> {
+        match out.rows.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(out.rows[0][0].clone()),
+            n => Err(EngineError::eval(format!(
+                "scalar subquery returned {n} rows"
+            ))),
+        }
+    };
+    let correlated = plan_escapes(plan, 0);
+    if !correlated {
+        let v = scalar_of(run_subquery(plan, env)?)?;
+        env.cache
+            .borrow_mut()
+            .insert(key, CachedSub::Scalar(v.clone()));
+        return Ok(v);
+    }
+    if let Some(built) = build_scalar_index(plan, env)? {
+        let v = outer_value(env, built.2);
+        let result = match built.0.get(&v) {
+            Some((value, 1)) => Ok(value.clone()),
+            Some((_, n)) => Err(EngineError::eval(format!(
+                "scalar subquery returned {n} rows"
+            ))),
+            None => Ok(built.1.clone()),
+        };
+        env.cache.borrow_mut().insert(
+            key,
+            CachedSub::ScalarIndex {
+                map: built.0,
+                empty: built.1,
+                outer_slot: built.2,
+            },
+        );
+        return result;
+    }
+    scalar_of(run_subquery(plan, env)?)
+}
+
+/// Builds a `(key → (value, count), empty-input value, outer slot)` index
+/// for a decorrelatable scalar subquery, or `None` if the shape doesn't
+/// qualify.
+#[allow(clippy::type_complexity)]
+fn build_scalar_index(
+    plan: &ResolvedSelect,
+    env: &Env<'_>,
+) -> Result<Option<(HashMap<Value, (Value, usize)>, Value, usize)>> {
+    if plan.distinct || plan.having.is_some() || plan.projections.len() != 1 {
+        return Ok(None);
+    }
+    let global_agg = plan.grouped && plan.group_by.is_empty();
+    if plan.grouped && !global_agg {
+        return Ok(None); // correlated grouped-with-keys scalars stay per-row
+    }
+    if plan.projections[0].expr.has_subquery() {
+        return Ok(None);
+    }
+    let Some(dec) = decorrelate(plan) else {
+        return Ok(None);
+    };
+
+    let mut probe = dec.inner;
+    let value_proj = probe.projections.swap_remove(0);
+    probe.order_by.clear();
+    if global_agg {
+        // γ_{key}(inner): one row per key; a missing key yields the
+        // empty-input aggregate row (COUNT = 0, others NULL), exactly what
+        // the original produces for a non-matching outer row.
+        probe.group_by = vec![dec.inner_key.clone()];
+        probe.projections = vec![
+            crate::plan::Projection {
+                expr: dec.inner_key,
+                name: "k".into(),
+            },
+            value_proj,
+        ];
+        let empty = {
+            let empties: Vec<Value> = probe
+                .aggregates
+                .iter()
+                .map(|spec| Accum::new(spec).finalize())
+                .collect();
+            let null_row = vec![Value::Null; probe.width];
+            let tmp_cache: SubCache = RefCell::new(HashMap::new());
+            eval(
+                &probe.projections[1].expr,
+                &Env {
+                    row: &null_row,
+                    aggs: Some(&empties),
+                    outer: &[],
+                    ctx: env.ctx,
+                    cache: &tmp_cache,
+                },
+            )?
+        };
+        let out = execute_nested(&probe, env.ctx, &[])?;
+        let mut map = HashMap::with_capacity(out.rows.len());
+        for mut r in out.rows {
+            let v = r.swap_remove(1);
+            let k = r.swap_remove(0);
+            if !k.is_null() {
+                map.insert(k, (v, 1));
+            }
+        }
+        Ok(Some((map, empty, dec.outer_slot)))
+    } else {
+        probe.projections = vec![
+            crate::plan::Projection {
+                expr: dec.inner_key,
+                name: "k".into(),
+            },
+            value_proj,
+        ];
+        let out = execute_nested(&probe, env.ctx, &[])?;
+        let mut map: HashMap<Value, (Value, usize)> = HashMap::with_capacity(out.rows.len());
+        for mut r in out.rows {
+            let v = r.swap_remove(1);
+            let k = r.swap_remove(0);
+            if k.is_null() {
+                continue;
+            }
+            let e = map.entry(k).or_insert((v, 0));
+            e.1 += 1;
+        }
+        Ok(Some((map, Value::Null, dec.outer_slot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use crate::plan::plan_select;
+    use crate::schema::{ColumnDef, DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "User",
+                vec![
+                    ColumnDef::new("uid", DataType::Int),
+                    ColumnDef::new("name", DataType::Str),
+                    ColumnDef::new("gender", DataType::Str),
+                    ColumnDef::new("age", DataType::Int),
+                ],
+                &["uid"],
+            ),
+            vec![
+                vec![1.into(), "John".into(), "m".into(), 25.into()],
+                vec![2.into(), "Alice".into(), "f".into(), 13.into()],
+                vec![3.into(), "Bob".into(), "m".into(), 45.into()],
+                vec![4.into(), "Anna".into(), "f".into(), 19.into()],
+            ],
+        );
+        db.add_table(
+            TableSchema::new(
+                "Tweet",
+                vec![
+                    ColumnDef::new("tid", DataType::Int),
+                    ColumnDef::new("uid", DataType::Int),
+                    ColumnDef::new("location", DataType::Str),
+                ],
+                &["tid"],
+            ),
+            vec![
+                vec![1.into(), 3.into(), "CA".into()],
+                vec![2.into(), 3.into(), "WA".into()],
+                vec![3.into(), 1.into(), "OR".into()],
+                vec![4.into(), 2.into(), "CA".into()],
+            ],
+        );
+        db
+    }
+
+    fn run(db: &Database, sql: &str) -> QueryOutput {
+        let plan = plan_select(&parse_select(sql).unwrap(), db).unwrap();
+        execute(&plan, &ExecContext::new(db)).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let db = db();
+        let out = run(&db, "select * from User");
+        assert_eq!(out.rows.len(), 4);
+        assert_eq!(out.columns, vec!["uid", "name", "gender", "age"]);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let db = db();
+        let out = run(&db, "select name from User where age > 20 and gender = 'm'");
+        let names: Vec<String> = out.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["John", "Bob"]);
+    }
+
+    #[test]
+    fn count_star_and_where() {
+        let db = db();
+        let out = run(&db, "select count(*) from User where gender = 'f'");
+        assert_eq!(out.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let db = db();
+        let out = run(
+            &db,
+            "select gender, count(*), avg(age) from User group by gender order by gender",
+        );
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0][0], Value::str("f"));
+        assert_eq!(out.rows[0][1], Value::Int(2));
+        assert_eq!(out.rows[0][2], Value::Float(16.0));
+        assert_eq!(out.rows[1][2], Value::Float(35.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let db = db();
+        let out = run(&db, "select count(*), sum(age), min(age) from User where age > 100");
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::Int(0), Value::Null, Value::Null]]
+        );
+    }
+
+    #[test]
+    fn hash_join() {
+        let db = db();
+        let out = run(
+            &db,
+            "select name, location from User, Tweet where User.uid = Tweet.uid order by tid",
+        );
+        assert_eq!(out.rows.len(), 4);
+        assert_eq!(out.rows[0][0], Value::str("Bob"));
+        assert_eq!(out.rows[0][1], Value::str("CA"));
+        assert_eq!(out.rows[2][0], Value::str("John"));
+    }
+
+    #[test]
+    fn join_with_selection() {
+        let db = db();
+        let out = run(
+            &db,
+            "select name from User U, Tweet T where U.uid = T.uid and T.location = 'CA' and U.age > 20 order by name",
+        );
+        let names: Vec<String> = out.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["Bob"]);
+    }
+
+    #[test]
+    fn cartesian_product() {
+        let db = db();
+        let out = run(&db, "select 1 from User, Tweet");
+        assert_eq!(out.rows.len(), 16);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let db = db();
+        let out = run(&db, "select distinct location from Tweet order by location");
+        assert_eq!(out.rows.len(), 3);
+        let out = run(&db, "select distinct location from Tweet order by location limit 2");
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0][0], Value::str("CA"));
+    }
+
+    #[test]
+    fn order_desc() {
+        let db = db();
+        let out = run(&db, "select age from User order by age desc");
+        let ages: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ages, vec![45, 25, 19, 13]);
+        assert!(out.ordered);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = db();
+        let out = run(
+            &db,
+            "select uid, count(*) as c from Tweet group by uid having c > 1",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(3));
+        assert_eq!(out.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn in_subquery_correlation_free() {
+        let db = db();
+        let out = run(
+            &db,
+            "select name from User where uid in (select uid from Tweet where location = 'CA') order by name",
+        );
+        let names: Vec<String> = out.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["Alice", "Bob"]);
+    }
+
+    #[test]
+    fn exists_correlated() {
+        let db = db();
+        let out = run(
+            &db,
+            "select name from User U where exists (select 1 from Tweet T where T.uid = U.uid and T.location = 'WA')",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::str("Bob"));
+    }
+
+    #[test]
+    fn not_exists() {
+        let db = db();
+        let out = run(
+            &db,
+            "select name from User U where not exists (select 1 from Tweet T where T.uid = U.uid) order by name",
+        );
+        let names: Vec<String> = out.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["Anna"]);
+    }
+
+    #[test]
+    fn scalar_subquery_correlated() {
+        let db = db();
+        // Users whose age exceeds the average age.
+        let out = run(
+            &db,
+            "select name from User where age > (select avg(age) from User) order by name",
+        );
+        let names: Vec<String> = out.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["Bob"]); // avg = 25.5
+    }
+
+    #[test]
+    fn derived_table() {
+        let db = db();
+        let out = run(
+            &db,
+            "select avg(c) from (select uid, count(*) as c from Tweet group by uid) as t",
+        );
+        assert_eq!(out.rows[0][0], Value::Float(4.0 / 3.0));
+    }
+
+    #[test]
+    fn table_override_substitutes_rows() {
+        let db = db();
+        let plan = plan_select(
+            &parse_select("select count(*) from User where gender = 'f'").unwrap(),
+            &db,
+        )
+        .unwrap();
+        let singleton: Vec<Row> = vec![vec![9.into(), "Zoe".into(), "f".into(), 33.into()]];
+        let user_idx = db.table_index("User").unwrap();
+        let ctx = ExecContext::with_override(&db, user_idx, &singleton);
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = db();
+        let out = run(&db, "select count(distinct location) from Tweet");
+        assert_eq!(out.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn case_expression() {
+        let db = db();
+        let out = run(
+            &db,
+            "select sum(case when gender = 'm' then 1 else 0 end) from User",
+        );
+        assert_eq!(out.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn like_in_where() {
+        let db = db();
+        let out = run(&db, "select count(*) from User where name like 'A%'");
+        assert_eq!(out.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn between() {
+        let db = db();
+        let out = run(&db, "select count(*) from User where age between 13 and 25");
+        assert_eq!(out.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn no_from_select() {
+        let db = db();
+        let out = run(&db, "select 40 + 2");
+        assert_eq!(out.rows, vec![vec![Value::Int(42)]]);
+    }
+
+    #[test]
+    fn group_key_null_handling() {
+        let mut db = db();
+        db.table_mut("User").unwrap().set_cell(0, 2, Value::Null);
+        let out = run(&db, "select gender, count(*) from User group by gender");
+        // NULL forms its own group.
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn join_on_null_never_matches() {
+        let mut db = db();
+        db.table_mut("Tweet").unwrap().set_cell(0, 1, Value::Null);
+        let out = run(&db, "select count(*) from User, Tweet where User.uid = Tweet.uid");
+        assert_eq!(out.rows, vec![vec![Value::Int(3)]]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Scalar operation semantics: SQL three-valued logic, arithmetic,
+//! comparisons, and `LIKE` matching.
+//!
+//! These are pure value-level functions; expression-tree evaluation (which
+//! needs execution context for subqueries) lives in [`crate::exec`].
+
+use crate::ast::BinaryOp;
+use crate::error::{EngineError, Result};
+use crate::value::{add_months, Value};
+
+/// Applies a binary operator under SQL semantics.
+///
+/// * Comparisons and arithmetic with a NULL operand yield NULL.
+/// * `AND`/`OR` follow three-valued logic (`false AND NULL = false`,
+///   `true OR NULL = true`).
+/// * Numeric operands mix freely; `Int op Int` stays integral except `/`,
+///   which is integer division like MySQL's `DIV` only when both are ints
+///   and divide evenly — otherwise it promotes to float (matching the
+///   float-friendly behavior the paper's Python prototype would see).
+/// * `Date ± Int` shifts by days.
+pub fn binary_op(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        And => Ok(bool3_and(l, r)),
+        Or => Ok(bool3_or(l, r)),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.total_cmp(r);
+            let b = match op {
+                Eq => ord.is_eq(),
+                NotEq => ord.is_ne(),
+                Lt => ord.is_lt(),
+                LtEq => ord.is_le(),
+                Gt => ord.is_gt(),
+                GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div | Mod => arith(op, l, r),
+    }
+}
+
+fn bool3_and(l: &Value, r: &Value) -> Value {
+    match (l.as_bool3(), r.as_bool3()) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn bool3_or(l: &Value, r: &Value) -> Value {
+    match (l.as_bool3(), r.as_bool3()) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Date arithmetic: Date ± Int(days).
+    if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
+        match op {
+            Add => return Ok(Value::Date(d + n as i32)),
+            Sub => return Ok(Value::Date(d - n as i32)),
+            _ => {}
+        }
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            Add => Value::Int(a.wrapping_add(*b)),
+            Sub => Value::Int(a.wrapping_sub(*b)),
+            Mul => Value::Int(a.wrapping_mul(*b)),
+            Div => {
+                if *b == 0 {
+                    Value::Null // SQL: division by zero yields NULL (MySQL default)
+                } else if a % b == 0 {
+                    Value::Int(a / b)
+                } else {
+                    Value::Float(*a as f64 / *b as f64)
+                }
+            }
+            Mod => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a % b)
+                }
+            }
+            _ => unreachable!(),
+        }),
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(EngineError::eval(format!(
+                        "cannot apply {op:?} to {l} and {r}"
+                    )))
+                }
+            };
+            Ok(match op {
+                Add => Value::Float(a + b),
+                Sub => Value::Float(a - b),
+                Mul => Value::Float(a * b),
+                Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+                Mod => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a % b)
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Shifts a date value by an interval. Errors on non-date operands.
+pub fn date_interval(l: &Value, months: i64, days: i64, add: bool) -> Result<Value> {
+    match l {
+        Value::Null => Ok(Value::Null),
+        Value::Date(d) => {
+            let sign = if add { 1 } else { -1 };
+            let shifted = add_months(*d, (months * sign) as i32) + (days * sign) as i32;
+            Ok(Value::Date(shifted))
+        }
+        other => Err(EngineError::eval(format!(
+            "INTERVAL arithmetic requires a date operand, got {other}"
+        ))),
+    }
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any single char), case-sensitive.
+///
+/// Iterative two-pointer algorithm with backtracking to the last `%` —
+/// linear in practice, worst case O(n·m), no allocation.
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BinaryOp::*;
+
+    #[test]
+    fn comparisons_with_null_are_null() {
+        assert_eq!(
+            binary_op(Eq, &Value::Null, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            binary_op(Lt, &Value::Int(1), &Value::Null).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = Value::Bool(true);
+        let f = Value::Bool(false);
+        let n = Value::Null;
+        assert_eq!(binary_op(And, &f, &n).unwrap(), f);
+        assert_eq!(binary_op(And, &t, &n).unwrap(), n);
+        assert_eq!(binary_op(Or, &t, &n).unwrap(), t);
+        assert_eq!(binary_op(Or, &f, &n).unwrap(), n);
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(
+            binary_op(Add, &Value::Int(2), &Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            binary_op(Div, &Value::Int(6), &Value::Int(3)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            binary_op(Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            binary_op(Div, &Value::Int(7), &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            binary_op(Mod, &Value::Int(7), &Value::Int(3)).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn mixed_numeric_promotes() {
+        assert_eq!(
+            binary_op(Mul, &Value::Int(2), &Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn string_arith_errors() {
+        assert!(binary_op(Add, &Value::str("a"), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn date_plus_days() {
+        let d = Value::date(2011, 1, 1);
+        assert_eq!(
+            binary_op(Add, &d, &Value::Int(30)).unwrap(),
+            Value::date(2011, 1, 31)
+        );
+        assert_eq!(
+            binary_op(Sub, &d, &Value::Int(1)).unwrap(),
+            Value::date(2010, 12, 31)
+        );
+    }
+
+    #[test]
+    fn date_interval_months() {
+        let d = Value::date(2011, 1, 1);
+        assert_eq!(
+            date_interval(&d, 6, 0, true).unwrap(),
+            Value::date(2011, 7, 1)
+        );
+        assert_eq!(
+            date_interval(&d, 0, 90, false).unwrap(),
+            Value::date(2010, 10, 3)
+        );
+        assert_eq!(date_interval(&Value::Null, 1, 0, true).unwrap(), Value::Null);
+        assert!(date_interval(&Value::Int(1), 1, 0, true).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("A%", "Argentina"));
+        assert!(!like_match("A%", "Brazil"));
+        assert!(like_match("%land", "Finland"));
+        assert!(like_match("%an%", "France"));
+        assert!(like_match("_razil", "Brazil"));
+        assert!(like_match("%", ""));
+        assert!(like_match("", ""));
+        assert!(!like_match("", "x"));
+        assert!(like_match("a%b%c", "a__b__c"));
+        assert!(!like_match("a%b%c", "a__c__b"));
+        assert!(like_match("%%x", "x"));
+    }
+
+    #[test]
+    fn cross_type_comparison() {
+        assert_eq!(
+            binary_op(Eq, &Value::Int(1), &Value::Float(1.0)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            binary_op(Lt, &Value::str("a"), &Value::str("b")).unwrap(),
+            Value::Bool(true)
+        );
+    }
+}

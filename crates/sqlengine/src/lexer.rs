@@ -1,0 +1,292 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream for the recursive-descent parser. Keywords
+//! are *not* distinguished here — they surface as [`Token::Ident`] and the
+//! parser matches them case-insensitively, which keeps the lexer trivial and
+//! lets identifiers shadow non-reserved words.
+
+use crate::error::{EngineError, Result};
+
+/// A lexical token, with its byte offset for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (unquoted, case preserved).
+    Ident(String),
+    /// Numeric literal (integer or decimal), unparsed text.
+    Number(String),
+    /// Single-quoted string literal, quotes stripped, `''` unescaped.
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+/// A token plus its starting byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Tokenizes `sql`, skipping whitespace and `--` line comments. The scanner
+/// is char-based, so multi-byte UTF-8 (in identifiers or string literals)
+/// never splits a code point.
+pub fn tokenize(sql: &str) -> Result<Vec<Spanned>> {
+    let chars: Vec<(usize, char)> = sql.char_indices().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize; // index into `chars`
+    let at = |i: usize| chars.get(i).map(|&(_, c)| c);
+    let off = |i: usize| chars.get(i).map(|&(o, _)| o).unwrap_or(sql.len());
+
+    while let Some(&(start, c)) = chars.get(i) {
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if at(i + 1) == Some('-') => {
+                while i < chars.len() && at(i) != Some('\n') {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match at(i) {
+                        None => {
+                            return Err(EngineError::parse(
+                                start,
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                        Some('\'') if at(i + 1) == Some('\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while at(i).is_some_and(|c| c.is_ascii_digit()) {
+                    i += 1;
+                }
+                if at(i) == Some('.') {
+                    i += 1;
+                    while at(i).is_some_and(|c| c.is_ascii_digit()) {
+                        i += 1;
+                    }
+                }
+                if matches!(at(i), Some('e' | 'E')) {
+                    let mut j = i + 1;
+                    if matches!(at(j), Some('+' | '-')) {
+                        j += 1;
+                    }
+                    if at(j).is_some_and(|c| c.is_ascii_digit()) {
+                        i = j;
+                        while at(i).is_some_and(|c| c.is_ascii_digit()) {
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Number(sql[start..off(i)].to_string()),
+                    offset: start,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                while at(i).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(sql[start..off(i)].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let (sym, len) = match (c, at(i + 1)) {
+                    ('(', _) => (Sym::LParen, 1),
+                    (')', _) => (Sym::RParen, 1),
+                    (',', _) => (Sym::Comma, 1),
+                    ('.', _) => (Sym::Dot, 1),
+                    ('*', _) => (Sym::Star, 1),
+                    ('+', _) => (Sym::Plus, 1),
+                    ('-', _) => (Sym::Minus, 1),
+                    ('/', _) => (Sym::Slash, 1),
+                    ('%', _) => (Sym::Percent, 1),
+                    (';', _) => (Sym::Semicolon, 1),
+                    ('<', Some('=')) => (Sym::LtEq, 2),
+                    ('<', Some('>')) => (Sym::NotEq, 2),
+                    ('<', _) => (Sym::Lt, 1),
+                    ('>', Some('=')) => (Sym::GtEq, 2),
+                    ('>', _) => (Sym::Gt, 1),
+                    ('!', Some('=')) => (Sym::NotEq, 2),
+                    ('=', _) => (Sym::Eq, 1),
+                    _ => {
+                        return Err(EngineError::parse(
+                            start,
+                            format!("unexpected character {c:?}"),
+                        ))
+                    }
+                };
+                out.push(Spanned {
+                    token: Token::Symbol(sym),
+                    offset: start,
+                });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        assert_eq!(
+            toks("SELECT * FROM t"),
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Symbol(Sym::Star),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 3e10 4.0E-2"),
+            vec![
+                Token::Number("1".into()),
+                Token::Number("2.5".into()),
+                Token::Number("3e10".into()),
+                Token::Number("4.0E-2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escape() {
+        assert_eq!(
+            toks("'it''s' 'ok'"),
+            vec![Token::Str("it's".into()), Token::Str("ok".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <= b <> c != d >= e < f > g = h"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Symbol(Sym::LtEq),
+                Token::Ident("b".into()),
+                Token::Symbol(Sym::NotEq),
+                Token::Ident("c".into()),
+                Token::Symbol(Sym::NotEq),
+                Token::Ident("d".into()),
+                Token::Symbol(Sym::GtEq),
+                Token::Ident("e".into()),
+                Token::Symbol(Sym::Lt),
+                Token::Ident("f".into()),
+                Token::Symbol(Sym::Gt),
+                Token::Ident("g".into()),
+                Token::Symbol(Sym::Eq),
+                Token::Ident("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            toks("select -- the answer\n 42"),
+            vec![Token::Ident("select".into()), Token::Number("42".into())]
+        );
+    }
+
+    #[test]
+    fn qualified_names_and_punct() {
+        assert_eq!(
+            toks("t.a, (x)"),
+            vec![
+                Token::Ident("t".into()),
+                Token::Symbol(Sym::Dot),
+                Token::Ident("a".into()),
+                Token::Symbol(Sym::Comma),
+                Token::Symbol(Sym::LParen),
+                Token::Ident("x".into()),
+                Token::Symbol(Sym::RParen),
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let s = tokenize("ab  cd").unwrap();
+        assert_eq!(s[0].offset, 0);
+        assert_eq!(s[1].offset, 4);
+    }
+}
+
+#[cfg(test)]
+mod utf8_tests {
+    use super::*;
+
+    #[test]
+    fn multibyte_identifiers_and_strings() {
+        let toks = tokenize("sélect 'héllo wörld' Ünïcode").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].token, Token::Str("héllo wörld".into()));
+    }
+
+    #[test]
+    fn multibyte_never_panics() {
+        for s in ["é", "'é", "1é2", "日本語 select", "--é\nselect"] {
+            let _ = tokenize(s);
+        }
+    }
+}

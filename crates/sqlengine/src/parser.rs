@@ -1,0 +1,903 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::error::{EngineError, Result};
+use crate::lexer::{tokenize, Spanned, Sym, Token};
+use crate::value::{days_from_civil, Value};
+
+/// Parses a single SQL statement (trailing semicolon allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        pending_tables: Vec::new(),
+    };
+    let stmt = if p.peek_kw("select") {
+        Statement::Select(p.parse_select()?)
+    } else if p.peek_kw("update") {
+        Statement::Update(p.parse_update()?)
+    } else {
+        return Err(p.err("expected SELECT or UPDATE"));
+    };
+    p.eat_sym(Sym::Semicolon);
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parses a SQL `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStmt> {
+    match parse_statement(sql)? {
+        Statement::Select(s) => Ok(s),
+        Statement::Update(_) => Err(EngineError::plan("expected a SELECT statement")),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    /// Extra relations produced by desugaring explicit `JOIN ... ON` chains;
+    /// drained into the enclosing FROM list after each from-item.
+    pending_tables: Vec<TableRef>,
+}
+
+/// Words that terminate an expression / cannot start a table alias.
+const RESERVED_AFTER_ITEM: &[&str] = &[
+    "from", "where", "group", "having", "order", "limit", "and", "or", "not", "on", "join",
+    "inner", "left", "right", "as", "asc", "desc", "when", "then", "else", "end", "between",
+    "like", "in", "is", "set", "union", "by", "outer", "exists", "null",
+];
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.offset + 1).unwrap_or(0))
+    }
+
+    fn err(&self, msg: &str) -> EngineError {
+        EngineError::parse(
+            self.offset(),
+            format!(
+                "{msg} (found {:?})",
+                self.peek().cloned().unwrap_or(Token::Ident("<eof>".into()))
+            ),
+        )
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// True if the next token is the given keyword (case-insensitive).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consumes the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword {}", kw.to_uppercase())))
+        }
+    }
+
+    fn peek_sym(&self, sym: Sym) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym)
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if self.peek_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.advance() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Str(_)) => match self.advance() {
+                Some(Token::Str(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err("expected string literal")),
+        }
+    }
+
+    // ----- statements -----
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        // Shield the join-desugaring buffer of any enclosing SELECT: every
+        // nested parse (derived tables, IN/EXISTS/scalar subqueries — even
+        // ones appearing inside an ON condition mid-join-chain) starts with
+        // an empty buffer and restores the outer one on exit.
+        let saved = std::mem::take(&mut self.pending_tables);
+        let result = self.parse_select_inner();
+        self.pending_tables = saved;
+        result
+    }
+
+    fn parse_select_inner(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut projection = vec![self.parse_select_item()?];
+        while self.eat_sym(Sym::Comma) {
+            projection.push(self.parse_select_item()?);
+        }
+
+        let mut from = Vec::new();
+        let mut join_conds: Option<Expr> = None;
+        if self.eat_kw("from") {
+            loop {
+                let (table, cond) = self.parse_from_item()?;
+                from.push(table);
+                self.drain_pending(&mut from);
+                if let Some(c) = cond {
+                    join_conds = Some(match join_conds.take() {
+                        Some(acc) => acc.and(c),
+                        None => c,
+                    });
+                }
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        // Fold ON conditions from desugared explicit joins into WHERE.
+        if let Some(jc) = join_conds {
+            where_clause = Some(match where_clause.take() {
+                Some(w) => jc.and(w),
+                None => jc,
+            });
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_sym(Sym::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderKey { expr, asc });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            match self.advance() {
+                Some(Token::Number(n)) => Some(
+                    n.parse::<u64>()
+                        .map_err(|_| self.err("LIMIT requires a non-negative integer"))?,
+                ),
+                _ => return Err(self.err("LIMIT requires a number")),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            distinct,
+            projection,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_sym(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let Some(Token::Ident(name)) = self.peek() {
+            let name = name.clone();
+            if matches!(self.tokens.get(self.pos + 1).map(|s| &s.token), Some(Token::Symbol(Sym::Dot)))
+                && matches!(
+                    self.tokens.get(self.pos + 2).map(|s| &s.token),
+                    Some(Token::Symbol(Sym::Star))
+                )
+            {
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// Parses an optional `[AS] alias`.
+    fn parse_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.expect_ident()?));
+        }
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !RESERVED_AFTER_ITEM.iter().any(|r| s.eq_ignore_ascii_case(r)) {
+                return Ok(Some(self.expect_ident()?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Parses one FROM entry, desugaring any trailing `JOIN ... ON ...`
+    /// chains into additional relations plus a conjunction of ON predicates.
+    fn parse_from_item(&mut self) -> Result<(TableRef, Option<Expr>)> {
+        let first = self.parse_table_ref()?;
+        let mut cond: Option<Expr> = None;
+        while self.peek_kw("join") || self.peek_kw("inner") {
+            self.eat_kw("inner");
+            self.expect_kw("join")?;
+            let t = self.parse_table_ref()?;
+            self.pending_tables.push(t);
+            self.expect_kw("on")?;
+            let c = self.parse_expr()?;
+            cond = Some(match cond.take() {
+                Some(acc) => acc.and(c),
+                None => c,
+            });
+        }
+        Ok((first, cond))
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        if self.eat_sym(Sym::LParen) {
+            let query = self.parse_select()?;
+            self.expect_sym(Sym::RParen)?;
+            self.eat_kw("as");
+            let alias = self.expect_ident()?;
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.expect_ident()?;
+        let alias = self.parse_alias()?;
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn parse_update(&mut self) -> Result<UpdateStmt> {
+        self.expect_kw("update")?;
+        let table = self.expect_ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_sym(Sym::Eq)?;
+            let e = self.parse_expr()?;
+            assignments.push((col, e));
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(UpdateStmt {
+            table,
+            assignments,
+            where_clause,
+        })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let e = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+
+        // Postfix predicate forms: IS [NOT] NULL, [NOT] BETWEEN/IN/LIKE.
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = self.eat_kw("not");
+        if self.eat_kw("between") {
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.expect_string()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect_sym(Sym::LParen)?;
+            if self.peek_kw("select") {
+                let sub = self.parse_select()?;
+                self.expect_sym(Sym::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_sym(Sym::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN, LIKE, or IN after NOT"));
+        }
+
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(BinaryOp::Eq),
+            Some(Token::Symbol(Sym::NotEq)) => Some(BinaryOp::NotEq),
+            Some(Token::Symbol(Sym::Lt)) => Some(BinaryOp::Lt),
+            Some(Token::Symbol(Sym::LtEq)) => Some(BinaryOp::LtEq),
+            Some(Token::Symbol(Sym::Gt)) => Some(BinaryOp::Gt),
+            Some(Token::Symbol(Sym::GtEq)) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat_sym(Sym::Plus) {
+                BinaryOp::Add
+            } else if self.eat_sym(Sym::Minus) {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.eat_sym(Sym::Star) {
+                BinaryOp::Mul
+            } else if self.eat_sym(Sym::Slash) {
+                BinaryOp::Div
+            } else if self.eat_sym(Sym::Percent) {
+                BinaryOp::Mod
+            } else {
+                break;
+            };
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_sym(Sym::Minus) {
+            let e = self.parse_unary()?;
+            // Fold negative literals for cleaner ASTs.
+            if let Expr::Literal(Value::Int(i)) = e {
+                return Ok(Expr::Literal(Value::Int(-i)));
+            }
+            if let Expr::Literal(Value::Float(f)) = e {
+                return Ok(Expr::Literal(Value::Float(-f)));
+            }
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        self.eat_sym(Sym::Plus);
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    let f = n
+                        .parse::<f64>()
+                        .map_err(|_| self.err("invalid float literal"))?;
+                    Ok(Expr::Literal(Value::Float(f)))
+                } else {
+                    let i = n
+                        .parse::<i64>()
+                        .map_err(|_| self.err("invalid integer literal"))?;
+                    Ok(Expr::Literal(Value::Int(i)))
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::str(s)))
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                self.pos += 1;
+                if self.peek_kw("select") {
+                    let sub = self.parse_select()?;
+                    self.expect_sym(Sym::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(sub)));
+                }
+                let e = self.parse_expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(word)) => self.parse_ident_expr(word),
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    fn parse_ident_expr(&mut self, word: String) -> Result<Expr> {
+        let lower = word.to_ascii_lowercase();
+        match lower.as_str() {
+            "null" => {
+                self.pos += 1;
+                return Ok(Expr::Literal(Value::Null));
+            }
+            "true" => {
+                self.pos += 1;
+                return Ok(Expr::Literal(Value::Bool(true)));
+            }
+            "false" => {
+                self.pos += 1;
+                return Ok(Expr::Literal(Value::Bool(false)));
+            }
+            "exists" => {
+                self.pos += 1;
+                self.expect_sym(Sym::LParen)?;
+                let sub = self.parse_select()?;
+                self.expect_sym(Sym::RParen)?;
+                return Ok(Expr::Exists {
+                    subquery: Box::new(sub),
+                    negated: false,
+                });
+            }
+            "case" => {
+                self.pos += 1;
+                return self.parse_case();
+            }
+            "date" => {
+                // `DATE '2011-01-01'` — only when followed by a string.
+                if let Some(Token::Str(_)) = self.tokens.get(self.pos + 1).map(|s| &s.token) {
+                    self.pos += 1;
+                    let s = self.expect_string()?;
+                    let d = parse_date_literal(&s)
+                        .ok_or_else(|| self.err("invalid DATE literal"))?;
+                    return Ok(Expr::Literal(Value::Date(d)));
+                }
+            }
+            "interval" => {
+                // `INTERVAL '6' MONTH`
+                if let Some(Token::Str(_)) = self.tokens.get(self.pos + 1).map(|s| &s.token) {
+                    self.pos += 1;
+                    let n: i64 = self
+                        .expect_string()?
+                        .trim()
+                        .parse()
+                        .map_err(|_| self.err("invalid INTERVAL quantity"))?;
+                    let unit = self.expect_ident()?.to_ascii_lowercase();
+                    let (months, days) = match unit.trim_end_matches('s') {
+                        "year" => (n * 12, 0),
+                        "month" => (n, 0),
+                        "day" => (0, n),
+                        _ => return Err(self.err("unsupported INTERVAL unit")),
+                    };
+                    return Ok(Expr::Interval { months, days });
+                }
+            }
+            _ => {}
+        }
+
+        // Aggregate call?
+        if let Some(func) = AggFunc::from_name(&word) {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|s| &s.token),
+                Some(Token::Symbol(Sym::LParen))
+            ) {
+                self.pos += 2; // name + lparen
+                if self.eat_sym(Sym::Star) {
+                    self.expect_sym(Sym::RParen)?;
+                    if func != AggFunc::Count {
+                        return Err(self.err("only COUNT accepts *"));
+                    }
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: None,
+                        distinct: false,
+                    });
+                }
+                let distinct = self.eat_kw("distinct");
+                let arg = self.parse_expr()?;
+                self.expect_sym(Sym::RParen)?;
+                return Ok(Expr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                    distinct,
+                });
+            }
+        }
+
+        // Column reference, possibly qualified.
+        self.pos += 1;
+        if self.eat_sym(Sym::Dot) {
+            let col = self.expect_ident()?;
+            return Ok(Expr::Column {
+                table: Some(word),
+                column: col,
+            });
+        }
+        Ok(Expr::Column {
+            table: None,
+            column: word,
+        })
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        let operand = if self.peek_kw("when") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw("when") {
+            let w = self.parse_expr()?;
+            self.expect_kw("then")?;
+            let t = self.parse_expr()?;
+            branches.push((w, t));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.eat_kw("else") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
+    }
+}
+
+/// Parses `YYYY-MM-DD` into days-since-epoch.
+fn parse_date_literal(s: &str) -> Option<i32> {
+    let mut it = s.trim().split('-');
+    let y: i32 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+impl Parser {
+    /// Moves relations produced by JOIN desugaring into the FROM list.
+    fn drain_pending(&mut self, from: &mut Vec<TableRef>) {
+        from.append(&mut self.pending_tables);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        parse_select(sql).unwrap()
+    }
+
+    #[test]
+    fn simple_select_star() {
+        let s = sel("SELECT * FROM Country");
+        assert_eq!(s.projection, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from.len(), 1);
+        assert!(s.where_clause.is_none());
+    }
+
+    #[test]
+    fn aliases_and_qualified_columns() {
+        let s = sel("select C.Name from Country C, CountryLanguage CL where C.Code = CL.CountryCode");
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].binding_name(), "C");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let s = sel(
+            "select Region, AVG(LifeExpectancy) from Country group by Region limit 5",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.limit, Some(5));
+        match &s.projection[1] {
+            SelectItem::Expr { expr: Expr::Agg { func, .. }, .. } => {
+                assert_eq!(*func, AggFunc::Avg)
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let s = sel("select count(*), count(distinct Continent) from Country");
+        match &s.projection[0] {
+            SelectItem::Expr { expr: Expr::Agg { arg, .. }, .. } => assert!(arg.is_none()),
+            _ => panic!(),
+        }
+        match &s.projection[1] {
+            SelectItem::Expr { expr: Expr::Agg { distinct, .. }, .. } => assert!(distinct),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn having_and_alias() {
+        let s = sel(
+            "select FromNodeId, count(*) as collab from dblp group by ToNodeId having collab = 1",
+        );
+        assert!(s.having.is_some());
+        match &s.projection[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("collab")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn between_like_in() {
+        let s = sel("select Name from Country where Population between 1 and 2 and Name like 'A%' and Code in ('USA','GRC')");
+        let w = s.where_clause.unwrap();
+        let txt = format!("{w:?}");
+        assert!(txt.contains("Between"));
+        assert!(txt.contains("Like"));
+        assert!(txt.contains("InList"));
+    }
+
+    #[test]
+    fn in_subquery() {
+        let s = sel(
+            "select FromNodeId from dblp A where A.FromNodeId in (select FromNodeId from dblp B where B.ToNodeId = 38868)",
+        );
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::InSubquery { .. }
+        ));
+    }
+
+    #[test]
+    fn derived_table() {
+        let s = sel(
+            "select avg(cnt) from (select FromNodeId, count(ToNodeId) as cnt from dblp group by FromNodeId) as rc",
+        );
+        assert!(matches!(s.from[0], TableRef::Derived { .. }));
+    }
+
+    #[test]
+    fn date_and_interval() {
+        let s = sel(
+            "select count(*) from crash where Crash_Date >= date '2011-01-01' and Crash_Date < date '2011-01-01' + interval '6' month",
+        );
+        let txt = format!("{:?}", s.where_clause.unwrap());
+        assert!(txt.contains("Date"));
+        assert!(txt.contains("Interval"));
+    }
+
+    #[test]
+    fn explicit_join_desugars() {
+        let s = sel("select * from A join B on A.x = B.y where A.z > 1");
+        assert_eq!(s.from.len(), 2);
+        // ON condition folded into WHERE as a conjunction.
+        let txt = format!("{:?}", s.where_clause.unwrap());
+        assert!(txt.contains("And"));
+    }
+
+    #[test]
+    fn case_expression() {
+        let s = sel("select sum(case when a = 1 then b else 0 end) from t");
+        let txt = format!("{:?}", s.projection[0]);
+        assert!(txt.contains("Case"));
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let s = sel("select * from A where exists (select 1 from B where B.x = A.x)");
+        assert!(matches!(s.where_clause.unwrap(), Expr::Exists { .. }));
+    }
+
+    #[test]
+    fn update_statement() {
+        let u = parse_statement("UPDATE User SET gender = 'f' WHERE uid = 1").unwrap();
+        match u {
+            Statement::Update(u) => {
+                assert_eq!(u.table, "User");
+                assert_eq!(u.assignments.len(), 1);
+                assert!(u.where_clause.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn order_by_directions() {
+        let s = sel("select a from t order by a desc, b asc, c");
+        assert_eq!(
+            s.order_by.iter().map(|k| k.asc).collect::<Vec<_>>(),
+            vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_folded() {
+        let s = sel("select -5, -2.5 from t");
+        assert!(matches!(
+            s.projection[0],
+            SelectItem::Expr { expr: Expr::Literal(Value::Int(-5)), .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_select("select 1 from t blah blah").is_err());
+        assert!(parse_select("select 1 from t; select 2").is_err());
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let s = sel("select C.* from Country C");
+        assert_eq!(s.projection, vec![SelectItem::QualifiedWildcard("C".into())]);
+    }
+
+    #[test]
+    fn semicolon_tolerated() {
+        assert!(parse_select("select 1 from t;").is_ok());
+    }
+}

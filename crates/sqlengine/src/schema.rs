@@ -1,0 +1,257 @@
+//! Schema metadata: column types, table definitions, keys, and attribute
+//! domains.
+//!
+//! QIRANA's possible-worlds model (`I` in the paper) is defined by the schema
+//! plus the constraints the buyer knows: primary keys, foreign keys, attribute
+//! domains, and fixed relation cardinalities. All of that metadata lives here
+//! so both the executor and the pricing layer share one source of truth.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Logical column type. The engine is dynamically typed at runtime ([`Value`])
+/// but declared types drive domain inference and update generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Date,
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "INTEGER",
+            DataType::Float => "DOUBLE",
+            DataType::Date => "DATE",
+            DataType::Str => "VARCHAR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The set of values an attribute may take in any possible database.
+///
+/// The seller may specify a domain explicitly; otherwise QIRANA defaults to
+/// the *active domain* (the values present in the instance), which §3.1 of the
+/// paper notes does not compromise arbitrage-freeness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Use the active domain of the column (default).
+    Active,
+    /// Explicit finite set of values.
+    Values(Vec<Value>),
+    /// Inclusive integer range.
+    IntRange(i64, i64),
+    /// Inclusive float range (sampled continuously).
+    FloatRange(f64, f64),
+}
+
+impl Domain {
+    /// Whether the domain is the implicit active domain.
+    pub fn is_active(&self) -> bool {
+        matches!(self, Domain::Active)
+    }
+}
+
+/// A single column definition.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name (case-preserved; lookups are case-insensitive).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Seller-specified domain; `Active` means derive from the data.
+    pub domain: Domain,
+}
+
+impl ColumnDef {
+    /// Creates a column with the active domain.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            domain: Domain::Active,
+        }
+    }
+
+    /// Creates a column with an explicit domain.
+    pub fn with_domain(name: impl Into<String>, ty: DataType, domain: Domain) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            domain,
+        }
+    }
+}
+
+/// A foreign-key constraint: `columns` of this table reference
+/// `parent_columns` of `parent_table`.
+#[derive(Debug, Clone)]
+pub struct ForeignKey {
+    pub columns: Vec<usize>,
+    pub parent_table: String,
+    pub parent_columns: Vec<usize>,
+}
+
+/// Full definition of one relation.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Relation name (case-preserved; lookups are case-insensitive).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Indexes of the primary-key columns (possibly composite, never empty
+    /// for tables participating in pricing — the disagreement algorithms
+    /// identify tuples by key).
+    pub primary_key: Vec<usize>,
+    /// Foreign keys out of this table.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Creates a schema; `primary_key` lists column *names*.
+    ///
+    /// # Panics
+    /// Panics if a primary-key name does not match any column.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: &[&str]) -> Self {
+        let name = name.into();
+        let pk = primary_key
+            .iter()
+            .map(|k| {
+                columns
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(k))
+                    .unwrap_or_else(|| panic!("primary key column {k} not found in {name}"))
+            })
+            .collect();
+        TableSchema {
+            name,
+            columns,
+            primary_key: pk,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Registers a foreign key by column names.
+    ///
+    /// # Panics
+    /// Panics if a named column is missing (programmer error in a generator).
+    pub fn add_foreign_key(
+        &mut self,
+        columns: &[&str],
+        parent_table: &str,
+        parent: &TableSchema,
+        parent_columns: &[&str],
+    ) {
+        let cols = columns
+            .iter()
+            .map(|c| self.column_index(c).expect("fk column not found"))
+            .collect();
+        let pcols = parent_columns
+            .iter()
+            .map(|c| parent.column_index(c).expect("fk parent column not found"))
+            .collect();
+        self.foreign_keys.push(ForeignKey {
+            columns: cols,
+            parent_table: parent_table.to_string(),
+            parent_columns: pcols,
+        });
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Indexes of columns that are *not* part of the primary key. These are
+    /// the attributes the support-set generator may perturb (updating a key
+    /// would change tuple identity, which row/swap updates never do).
+    pub fn non_key_columns(&self) -> Vec<usize> {
+        (0..self.columns.len())
+            .filter(|i| !self.primary_key.contains(i))
+            .collect()
+    }
+
+    /// True iff `col` is part of the primary key.
+    pub fn is_key_column(&self, col: usize) -> bool {
+        self.primary_key.contains(&col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user_schema() -> TableSchema {
+        TableSchema::new(
+            "User",
+            vec![
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("gender", DataType::Str),
+                ColumnDef::new("age", DataType::Int),
+            ],
+            &["uid"],
+        )
+    }
+
+    #[test]
+    fn pk_resolution() {
+        let s = user_schema();
+        assert_eq!(s.primary_key, vec![0]);
+        assert_eq!(s.non_key_columns(), vec![1, 2, 3]);
+        assert!(s.is_key_column(0));
+        assert!(!s.is_key_column(2));
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = user_schema();
+        assert_eq!(s.column_index("GENDER"), Some(2));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary key column missing not found")]
+    fn bad_pk_panics() {
+        TableSchema::new("T", vec![ColumnDef::new("a", DataType::Int)], &["missing"]);
+    }
+
+    #[test]
+    fn foreign_key_registration() {
+        let user = user_schema();
+        let mut tweet = TableSchema::new(
+            "Tweet",
+            vec![
+                ColumnDef::new("tid", DataType::Int),
+                ColumnDef::new("uid", DataType::Int),
+            ],
+            &["tid"],
+        );
+        tweet.add_foreign_key(&["uid"], "User", &user, &["uid"]);
+        assert_eq!(tweet.foreign_keys.len(), 1);
+        assert_eq!(tweet.foreign_keys[0].columns, vec![1]);
+        assert_eq!(tweet.foreign_keys[0].parent_columns, vec![0]);
+    }
+
+    #[test]
+    fn explicit_domain() {
+        let c = ColumnDef::with_domain(
+            "gender",
+            DataType::Str,
+            Domain::Values(vec![Value::str("m"), Value::str("f")]),
+        );
+        assert!(!c.domain.is_active());
+    }
+}

@@ -1,0 +1,190 @@
+//! Row-oriented table storage.
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A tuple; always exactly `schema.arity()` values long.
+pub type Row = Vec<Value>;
+
+/// One relation instance: a schema plus a bag of rows.
+///
+/// Storage is a plain `Vec<Row>`. The pricing layer identifies tuples by
+/// *row index* (stable because row/swap updates never insert or delete — the
+/// possible-worlds model fixes relation cardinality, §3.1), and by primary
+/// key through [`Table::find_by_key`].
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The relation's schema.
+    pub schema: TableSchema,
+    /// The rows, in insertion order.
+    pub rows: Vec<Row>,
+    /// Lazy primary-key index: key tuple -> row index. Built on first use.
+    key_index: Option<HashMap<Vec<Value>, usize>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            key_index: None,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row arity does not match the schema.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity mismatch for table {}",
+            self.schema.name
+        );
+        self.key_index = None;
+        self.rows.push(row);
+    }
+
+    /// Bulk-appends rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) {
+        self.key_index = None;
+        for r in rows {
+            self.push(r);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Extracts the primary-key tuple of a row.
+    pub fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.schema
+            .primary_key
+            .iter()
+            .map(|&i| row[i].clone())
+            .collect()
+    }
+
+    /// Looks up a row index by primary key, building the index on first use.
+    pub fn find_by_key(&mut self, key: &[Value]) -> Option<usize> {
+        if self.key_index.is_none() {
+            let mut idx = HashMap::with_capacity(self.rows.len());
+            for (i, row) in self.rows.iter().enumerate() {
+                idx.insert(self.key_of(row), i);
+            }
+            self.key_index = Some(idx);
+        }
+        self.key_index.as_ref().unwrap().get(key).copied()
+    }
+
+    /// Overwrites `row[col] = v` and returns the previous value.
+    ///
+    /// Used by the update machinery; invalidates the key index only when a
+    /// key column changes (which the pricing layer never does, but the
+    /// storage layer stays correct regardless).
+    pub fn set_cell(&mut self, row: usize, col: usize, v: Value) -> Value {
+        if self.schema.is_key_column(col) {
+            self.key_index = None;
+        }
+        std::mem::replace(&mut self.rows[row][col], v)
+    }
+
+    /// The active domain of a column: sorted, deduplicated values present in
+    /// the instance, excluding NULLs.
+    pub fn active_domain(&self, col: usize) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| r[col].clone())
+            .filter(|v| !v.is_null())
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    fn t() -> Table {
+        let schema = TableSchema::new(
+            "User",
+            vec![
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("gender", DataType::Str),
+                ColumnDef::new("age", DataType::Int),
+            ],
+            &["uid"],
+        );
+        let mut t = Table::new(schema);
+        t.push(vec![1.into(), "m".into(), 25.into()]);
+        t.push(vec![2.into(), "f".into(), 13.into()]);
+        t.push(vec![3.into(), "m".into(), 45.into()]);
+        t
+    }
+
+    #[test]
+    fn push_and_len() {
+        let t = t();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        t().push(vec![4.into()]);
+    }
+
+    #[test]
+    fn key_lookup() {
+        let mut t = t();
+        assert_eq!(t.find_by_key(&[Value::Int(2)]), Some(1));
+        assert_eq!(t.find_by_key(&[Value::Int(99)]), None);
+    }
+
+    #[test]
+    fn set_cell_returns_old() {
+        let mut t = t();
+        let old = t.set_cell(0, 2, 30.into());
+        assert_eq!(old, Value::Int(25));
+        assert_eq!(t.rows[0][2], Value::Int(30));
+    }
+
+    #[test]
+    fn key_index_invalidated_on_key_change() {
+        let mut t = t();
+        assert_eq!(t.find_by_key(&[Value::Int(1)]), Some(0));
+        t.set_cell(0, 0, 10.into());
+        assert_eq!(t.find_by_key(&[Value::Int(1)]), None);
+        assert_eq!(t.find_by_key(&[Value::Int(10)]), Some(0));
+    }
+
+    #[test]
+    fn active_domain_sorted_dedup() {
+        let mut t = t();
+        t.push(vec![4.into(), Value::Null, 25.into()]);
+        assert_eq!(
+            t.active_domain(1),
+            vec![Value::str("f"), Value::str("m")],
+            "nulls excluded, sorted, deduped"
+        );
+        assert_eq!(
+            t.active_domain(2),
+            vec![Value::Int(13), Value::Int(25), Value::Int(45)]
+        );
+    }
+}

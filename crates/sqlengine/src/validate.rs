@@ -1,0 +1,242 @@
+//! Database constraint validation.
+//!
+//! QIRANA's possible-worlds set `I` is defined by the constraints the buyer
+//! knows: primary keys, foreign keys, declared domains, and fixed
+//! cardinalities (§3.1 of the paper). This module checks that an instance
+//! actually satisfies them — used to validate the dataset generators, to
+//! assert that support-set updates stay inside `I`, and as a sanity gate
+//! for seller-loaded data.
+
+use crate::database::Database;
+use crate::schema::Domain;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One constraint violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two rows share a primary key.
+    DuplicateKey { table: String, key: Vec<Value> },
+    /// A primary-key column holds NULL.
+    NullInKey { table: String, row: usize },
+    /// A foreign-key value has no parent row.
+    DanglingForeignKey {
+        table: String,
+        row: usize,
+        parent: String,
+        key: Vec<Value>,
+    },
+    /// A cell value lies outside its declared domain.
+    OutOfDomain {
+        table: String,
+        row: usize,
+        column: String,
+        value: Value,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateKey { table, key } => {
+                write!(f, "{table}: duplicate primary key {key:?}")
+            }
+            Violation::NullInKey { table, row } => {
+                write!(f, "{table}: NULL in primary key at row {row}")
+            }
+            Violation::DanglingForeignKey {
+                table,
+                row,
+                parent,
+                key,
+            } => write!(
+                f,
+                "{table} row {row}: foreign key {key:?} has no parent in {parent}"
+            ),
+            Violation::OutOfDomain {
+                table,
+                row,
+                column,
+                value,
+            } => write!(f, "{table} row {row}: {column} = {value} outside its domain"),
+        }
+    }
+}
+
+/// Checks every declared constraint of every table; returns all violations
+/// (empty ⇒ the instance is a member of its own `I`).
+pub fn check_database(db: &Database) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for table in db.tables() {
+        let schema = &table.schema;
+
+        // Primary keys: non-null and unique.
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(table.len());
+        for (ri, row) in table.rows.iter().enumerate() {
+            let key: Vec<Value> = schema.primary_key.iter().map(|&c| row[c].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                out.push(Violation::NullInKey {
+                    table: schema.name.clone(),
+                    row: ri,
+                });
+                continue;
+            }
+            if !seen.insert(key.clone()) {
+                out.push(Violation::DuplicateKey {
+                    table: schema.name.clone(),
+                    key,
+                });
+            }
+        }
+
+        // Declared (non-active) domains.
+        for (ci, col) in schema.columns.iter().enumerate() {
+            let in_domain = |v: &Value| -> bool {
+                match &col.domain {
+                    Domain::Active => true,
+                    Domain::Values(vs) => vs.contains(v),
+                    Domain::IntRange(lo, hi) => {
+                        v.as_i64().is_some_and(|x| (*lo..=*hi).contains(&x))
+                    }
+                    Domain::FloatRange(lo, hi) => {
+                        v.as_f64().is_some_and(|x| x >= *lo && x <= *hi)
+                    }
+                }
+            };
+            if col.domain.is_active() {
+                continue;
+            }
+            for (ri, row) in table.rows.iter().enumerate() {
+                if !row[ci].is_null() && !in_domain(&row[ci]) {
+                    out.push(Violation::OutOfDomain {
+                        table: schema.name.clone(),
+                        row: ri,
+                        column: col.name.clone(),
+                        value: row[ci].clone(),
+                    });
+                }
+            }
+        }
+
+        // Foreign keys: every (non-null) reference resolves.
+        for fk in &schema.foreign_keys {
+            let Some(parent) = db.table(&fk.parent_table) else {
+                continue; // schema-level issue caught at registration
+            };
+            let parent_keys: HashSet<Vec<Value>> = parent
+                .rows
+                .iter()
+                .map(|r| fk.parent_columns.iter().map(|&c| r[c].clone()).collect())
+                .collect();
+            for (ri, row) in table.rows.iter().enumerate() {
+                let key: Vec<Value> = fk.columns.iter().map(|&c| row[c].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue; // SQL: NULL FKs are not violations
+                }
+                if !parent_keys.contains(&key) {
+                    out.push(Violation::DanglingForeignKey {
+                        table: schema.name.clone(),
+                        row: ri,
+                        parent: fk.parent_table.clone(),
+                        key,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType, TableSchema};
+
+    fn parent_child() -> Database {
+        let mut db = Database::new();
+        let parent = TableSchema::new(
+            "P",
+            vec![ColumnDef::new("id", DataType::Int)],
+            &["id"],
+        );
+        db.add_table(parent.clone(), vec![vec![1.into()], vec![2.into()]]);
+        let mut child = TableSchema::new(
+            "C",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("pid", DataType::Int),
+            ],
+            &["id"],
+        );
+        child.add_foreign_key(&["pid"], "P", &parent, &["id"]);
+        db.add_table(child, vec![vec![1.into(), 1.into()], vec![2.into(), 2.into()]]);
+        db
+    }
+
+    #[test]
+    fn valid_instance_passes() {
+        assert!(check_database(&parent_child()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_key_detected() {
+        let mut db = parent_child();
+        db.table_mut("P").unwrap().set_cell(1, 0, 1.into());
+        let v = check_database(&db);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DuplicateKey { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn null_key_detected() {
+        let mut db = parent_child();
+        db.table_mut("P").unwrap().set_cell(0, 0, Value::Null);
+        let v = check_database(&db);
+        assert!(v.iter().any(|x| matches!(x, Violation::NullInKey { .. })));
+    }
+
+    #[test]
+    fn dangling_fk_detected() {
+        let mut db = parent_child();
+        db.table_mut("C").unwrap().set_cell(0, 1, 99.into());
+        let v = check_database(&db);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DanglingForeignKey { .. })));
+        // NULL FK is fine.
+        db.table_mut("C").unwrap().set_cell(0, 1, Value::Null);
+        assert!(check_database(&db)
+            .iter()
+            .all(|x| !matches!(x, Violation::DanglingForeignKey { .. })));
+    }
+
+    #[test]
+    fn domain_violation_detected() {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::with_domain("v", DataType::Int, Domain::IntRange(0, 10)),
+                ],
+                &["id"],
+            ),
+            vec![vec![1.into(), 5.into()], vec![2.into(), 50.into()]],
+        );
+        let v = check_database(&db);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(&v[0], Violation::OutOfDomain { row: 1, .. }));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::DuplicateKey {
+            table: "T".into(),
+            key: vec![1.into()],
+        };
+        assert!(v.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Runtime values.
+//!
+//! [`Value`] is the single dynamic value type flowing through the engine:
+//! table cells, expression results, and aggregate accumulators all hold
+//! `Value`s. The type implements a *total* order (NULLs first, then booleans,
+//! integers/floats interleaved numerically, dates, strings) so that values can
+//! be used as grouping keys and sort keys without panics, mirroring how a
+//! DBMS's internal comparator behaves rather than SQL's three-valued
+//! comparison semantics (which live in [`crate::expr`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Number of days between 1970-01-01 and 2000-01-01, used by date tests.
+#[cfg(test)]
+const DAYS_1970_TO_2000: i32 = 10957;
+
+/// A dynamically typed SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean, produced by predicates.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Calendar date, stored as days since the Unix epoch.
+    Date(i32),
+    /// UTF-8 string. `Arc<str>` keeps row clones cheap: the pricing layer
+    /// clones rows for every candidate update it evaluates.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns true iff this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one (`Int`, `Float`, `Bool`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if exact.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness under SQL semantics: NULL is "unknown" (None).
+    pub fn as_bool3(&self) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            _ => Some(true),
+        }
+    }
+
+    /// Builds a [`Value::Date`] from a calendar date. Panics on out-of-range
+    /// months; days are not validated beyond `1..=31` (matching the lenient
+    /// behavior of the generators that call this).
+    pub fn date(year: i32, month: u32, day: u32) -> Self {
+        Value::Date(days_from_civil(year, month, day))
+    }
+
+    /// SQL equality used for grouping and join keys: numeric types compare by
+    /// value (`1 = 1.0`), everything else by variant. NULL equals NULL here —
+    /// this is the *grouping* notion of equality (SQL `GROUP BY` places NULLs
+    /// in one group), not the three-valued `=` operator.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Total order over all values. NULL sorts first; numeric variants are
+    /// interleaved; distinct non-comparable variants order by a fixed type
+    /// rank. `NaN` sorts after all other floats via `total_cmp`.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 2, // numeric types share a rank; handled above
+        Value::Date(_) => 3,
+        Value::Str(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(*b as u8);
+            }
+            // Int and Float must hash identically when numerically equal,
+            // because `sql_eq` treats 1 and 1.0 as the same grouping key.
+            Value::Int(i) => {
+                state.write_u8(2);
+                hash_f64(*i as f64, state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                hash_f64(*f, state);
+            }
+            Value::Date(d) => {
+                state.write_u8(3);
+                state.write_i32(*d);
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+fn hash_f64<H: Hasher>(f: f64, state: &mut H) {
+    // Normalize -0.0 to 0.0 so they hash identically (they compare equal
+    // numerically via total_cmp only for identical bit patterns, but the
+    // engine never produces -0.0 keys; normalizing is still the safe choice).
+    let f = if f == 0.0 { 0.0 } else { f };
+    state.write_u64(f.to_bits());
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Date(d) => {
+                let (y, m, dd) = civil_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{dd:02}")
+            }
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian calendar date.
+///
+/// Port of Howard Hinnant's `days_from_civil` algorithm.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    debug_assert!((1..=12).contains(&m), "month out of range: {m}");
+    debug_assert!((1..=31).contains(&d), "day out of range: {d}");
+    let y = if m <= 2 { y - 1 } else { y };
+    let era: i32 = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era: i32 = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Adds `months` calendar months to a date expressed in days-since-epoch,
+/// clamping the day-of-month (e.g. Jan 31 + 1 month = Feb 28/29). This is the
+/// semantics of SQL's `date + INTERVAL 'n' MONTH`.
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = civil_from_days(days);
+    let total = y * 12 + (m as i32 - 1) + months;
+    let ny = total.div_euclid(12);
+    let nm = (total.rem_euclid(12) + 1) as u32;
+    let max_d = days_in_month(ny, nm);
+    days_from_civil(ny, nm, d.min(max_d))
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month out of range: {m}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::str(""));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn numeric_cross_type_hash_agrees() {
+        assert_eq!(h(&Value::Int(42)), h(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(Value::str("abc") < Value::str("abd"));
+        assert_eq!(Value::str("x"), Value::str("x"));
+    }
+
+    #[test]
+    fn nan_is_totally_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for &(y, m, d) in &[(1970, 1, 1), (2000, 2, 29), (2011, 12, 31), (1969, 7, 20)] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2000, 1, 1), DAYS_1970_TO_2000);
+    }
+
+    #[test]
+    fn add_months_clamps() {
+        let jan31 = days_from_civil(2011, 1, 31);
+        assert_eq!(civil_from_days(add_months(jan31, 1)), (2011, 2, 28));
+        let jul1 = days_from_civil(2011, 1, 1);
+        assert_eq!(civil_from_days(add_months(jul1, 6)), (2011, 7, 1));
+        // Crossing a year boundary backwards.
+        assert_eq!(civil_from_days(add_months(jan31, -2)), (2010, 11, 30));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::date(2011, 3, 7).to_string(), "2011-03-07");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+
+    #[test]
+    fn bool3_semantics() {
+        assert_eq!(Value::Null.as_bool3(), None);
+        assert_eq!(Value::Bool(true).as_bool3(), Some(true));
+        assert_eq!(Value::Int(0).as_bool3(), Some(false));
+    }
+}

@@ -1,0 +1,344 @@
+//! Property-based tests of the engine's core invariants.
+
+use proptest::prelude::*;
+use qirana_sqlengine::expr::like_match;
+use qirana_sqlengine::update::{apply_writes, CellWrite};
+use qirana_sqlengine::value::{add_months, civil_from_days, days_from_civil};
+use qirana_sqlengine::{
+    execute, fingerprint, parse_select, plan_select, query, ColumnDef, DataType, Database,
+    ExecContext, QueryOutput, TableSchema, Value,
+};
+
+// ---------------------------------------------------------------------------
+// Value ordering
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        (-100_000i32..100_000).prop_map(Value::Date),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_order_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity via sort stability on a 3-element slice.
+        let mut v = [a.clone(), b.clone(), c.clone()];
+        v.sort();
+        prop_assert!(v[0].total_cmp(&v[1]) != Ordering::Greater);
+        prop_assert!(v[1].total_cmp(&v[2]) != Ordering::Greater);
+        // Eq agrees with cmp.
+        prop_assert_eq!(a == b, a.total_cmp(&b) == Ordering::Equal);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        // Int/Float numeric equality must be hash-compatible.
+        if let Value::Int(i) = a {
+            prop_assert_eq!(h(&Value::Int(i)), h(&Value::Float(i as f64)));
+        }
+        prop_assert_eq!(h(&a), h(&a.clone()));
+    }
+
+    #[test]
+    fn date_roundtrip(days in -200_000i32..200_000) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+    }
+
+    #[test]
+    fn add_months_inverts(days in -100_000i32..100_000, months in -240i32..240) {
+        // Adding then subtracting months lands within clamp distance
+        // (day-of-month clamping can lose at most 3 days).
+        let there = add_months(days, months);
+        let back = add_months(there, -months);
+        prop_assert!((days - back).abs() <= 3, "days={days} back={back}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LIKE matcher vs. a naive reference
+// ---------------------------------------------------------------------------
+
+fn like_reference(pattern: &[char], s: &[char]) -> bool {
+    match (pattern.first(), s.first()) {
+        (None, None) => true,
+        (None, Some(_)) => false,
+        (Some('%'), _) => {
+            like_reference(&pattern[1..], s)
+                || (!s.is_empty() && like_reference(pattern, &s[1..]))
+        }
+        (Some('_'), Some(_)) => like_reference(&pattern[1..], &s[1..]),
+        (Some(p), Some(c)) => *p == *c && like_reference(&pattern[1..], &s[1..]),
+        (Some(_), None) => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn like_matches_reference(pattern in "[ab%_]{0,8}", s in "[ab]{0,10}") {
+        let p: Vec<char> = pattern.chars().collect();
+        let t: Vec<char> = s.chars().collect();
+        prop_assert_eq!(like_match(&pattern, &s), like_reference(&p, &t));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update / undo
+// ---------------------------------------------------------------------------
+
+fn small_db(rows: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+                ColumnDef::new("w", DataType::Int),
+            ],
+            &["id"],
+        ),
+        rows.iter()
+            .enumerate()
+            .map(|(i, (v, w))| vec![Value::Int(i as i64), Value::Int(*v), Value::Int(*w)])
+            .collect::<Vec<_>>(),
+    );
+    db
+}
+
+proptest! {
+    #[test]
+    fn write_batches_always_undo(
+        rows in prop::collection::vec((0i64..50, 0i64..50), 1..8),
+        writes in prop::collection::vec((0usize..8, 1usize..3, 0i64..99), 0..12),
+    ) {
+        let mut db = small_db(&rows);
+        let before = db.table("T").unwrap().rows.clone();
+        let writes: Vec<CellWrite> = writes
+            .into_iter()
+            .map(|(r, c, v)| CellWrite {
+                table: 0,
+                row: r % rows.len(),
+                col: c,
+                value: Value::Int(v),
+            })
+            .collect();
+        let undo = apply_writes(&mut db, &writes);
+        apply_writes(&mut db, &undo);
+        prop_assert_eq!(&db.table("T").unwrap().rows, &before);
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_row_permutation(
+        rows in prop::collection::vec((0i64..50, 0i64..50), 1..8),
+        rotate_by in 0usize..8,
+    ) {
+        let out = QueryOutput {
+            columns: vec!["v".into(), "w".into()],
+            rows: rows
+                .iter()
+                .map(|(v, w)| vec![Value::Int(*v), Value::Int(*w)])
+                .collect(),
+            ordered: false,
+        };
+        let mut rotated = out.clone();
+        rotated.rows.rotate_left(rotate_by % rows.len());
+        prop_assert_eq!(fingerprint(&out), fingerprint(&rotated));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor invariants on random data
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn where_filter_is_subset_and_partition(
+        rows in prop::collection::vec((0i64..50, 0i64..50), 0..16),
+        threshold in 0i64..50,
+    ) {
+        let db = small_db(&rows);
+        let all = query(&db, "select * from T").unwrap().rows.len();
+        let lo = query(&db, &format!("select * from T where v < {threshold}"))
+            .unwrap()
+            .rows
+            .len();
+        let hi = query(&db, &format!("select * from T where v >= {threshold}"))
+            .unwrap()
+            .rows
+            .len();
+        prop_assert_eq!(lo + hi, all, "WHERE must partition the bag");
+    }
+
+    #[test]
+    fn table_override_is_equivalent_to_replacement(
+        rows in prop::collection::vec((0i64..20, 0i64..20), 1..8),
+        alt in prop::collection::vec((0i64..20, 0i64..20), 1..8),
+    ) {
+        // Running a plan with an override must equal running it on a
+        // database that actually contains the override rows.
+        let db = small_db(&rows);
+        let plan = plan_select(
+            &parse_select("select v, w from T where v >= w").unwrap(),
+            &db,
+        )
+        .unwrap();
+        let alt_rows: Vec<Vec<Value>> = alt
+            .iter()
+            .enumerate()
+            .map(|(i, (v, w))| vec![Value::Int(100 + i as i64), Value::Int(*v), Value::Int(*w)])
+            .collect();
+        let via_override = execute(&plan, &ExecContext::with_override(&db, 0, &alt_rows)).unwrap();
+        let mut db2 = small_db(&[]);
+        db2.table_mut("T").unwrap().extend(alt_rows.clone());
+        let direct = execute(&plan, &ExecContext::new(&db2)).unwrap();
+        prop_assert_eq!(fingerprint(&via_override), fingerprint(&direct));
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".{0,60}") {
+        // Errors are fine; panics are not.
+        let _ = qirana_sqlengine::parse_statement(&input);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grouped aggregation vs. a hand-rolled reference model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn grouped_aggregates_match_reference(
+        rows in prop::collection::vec((0i64..4, prop::option::of(-20i64..20)), 0..24),
+    ) {
+        use std::collections::BTreeMap;
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("grp", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                &["id"],
+            ),
+            rows.iter()
+                .enumerate()
+                .map(|(i, (g, v))| {
+                    vec![
+                        Value::Int(i as i64),
+                        Value::Int(*g),
+                        v.map(Value::Int).unwrap_or(Value::Null),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let out = query(
+            &db,
+            "select grp, count(*), count(v), sum(v), min(v), max(v), avg(v) \
+             from T group by grp order by grp",
+        )
+        .unwrap();
+
+        // Reference model.
+        let mut groups: BTreeMap<i64, Vec<Option<i64>>> = BTreeMap::new();
+        for (g, v) in &rows {
+            groups.entry(*g).or_default().push(*v);
+        }
+        prop_assert_eq!(out.rows.len(), groups.len());
+        for (row, (g, vals)) in out.rows.iter().zip(&groups) {
+            prop_assert_eq!(&row[0], &Value::Int(*g));
+            prop_assert_eq!(&row[1], &Value::Int(vals.len() as i64));
+            let nonnull: Vec<i64> = vals.iter().flatten().copied().collect();
+            prop_assert_eq!(&row[2], &Value::Int(nonnull.len() as i64));
+            if nonnull.is_empty() {
+                for cell in &row[3..=6] {
+                    prop_assert_eq!(cell, &Value::Null);
+                }
+            } else {
+                prop_assert_eq!(&row[3], &Value::Int(nonnull.iter().sum()));
+                prop_assert_eq!(&row[4], &Value::Int(*nonnull.iter().min().unwrap()));
+                prop_assert_eq!(&row[5], &Value::Int(*nonnull.iter().max().unwrap()));
+                let avg = nonnull.iter().sum::<i64>() as f64 / nonnull.len() as f64;
+                prop_assert_eq!(&row[6], &Value::Float(avg));
+            }
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference(
+        left in prop::collection::vec((0i64..5, 0i64..10), 0..10),
+        right in prop::collection::vec((0i64..5, 0i64..10), 0..10),
+    ) {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "L",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("a", DataType::Int),
+                ],
+                &["id"],
+            ),
+            left.iter()
+                .enumerate()
+                .map(|(i, (k, a))| vec![Value::Int(i as i64), Value::Int(*k), Value::Int(*a)])
+                .collect::<Vec<_>>(),
+        );
+        db.add_table(
+            TableSchema::new(
+                "R",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("b", DataType::Int),
+                ],
+                &["id"],
+            ),
+            right
+                .iter()
+                .enumerate()
+                .map(|(i, (k, b))| vec![Value::Int(i as i64), Value::Int(*k), Value::Int(*b)])
+                .collect::<Vec<_>>(),
+        );
+        let out = query(&db, "select a, b from L, R where L.k = R.k and a < b").unwrap();
+        let mut expect: Vec<(i64, i64)> = Vec::new();
+        for (lk, a) in &left {
+            for (rk, b) in &right {
+                if lk == rk && a < b {
+                    expect.push((*a, *b));
+                }
+            }
+        }
+        let mut got: Vec<(i64, i64)> = out
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,132 @@
+//! An interactive data-market shell: the closest thing to "deploying"
+//! QIRANA as the broker layer of Figure 3. Loads one of the bundled
+//! datasets, then reads commands from stdin:
+//!
+//! ```text
+//! quote <sql>      price a query without buying (history-oblivious)
+//! buy <sql>        history-aware purchase: pay for new information, see rows
+//! answer <sql>     run a query without pricing (seller-side debugging)
+//! balance          cumulative spend and dataset coverage
+//! help | quit
+//! ```
+//!
+//! Run with, e.g.:
+//! `cargo run --release --example market_repl -- world`
+//! `cargo run --release --example market_repl -- carcrash` (or `dblp`, `ssb`, `tpch`)
+//!
+//! Pipe a script: `echo 'buy SELECT * FROM Country' | cargo run --release --example market_repl -- world`
+
+use qirana::datagen::{carcrash, dblp, ssb, tpch, world};
+use qirana::{Qirana, QiranaConfig, SupportConfig};
+use std::io::{self, BufRead, Write};
+
+fn load(name: &str) -> Option<qirana::Database> {
+    Some(match name {
+        "world" => world::generate(42),
+        "carcrash" => carcrash::generate(10_000, 42),
+        "dblp" => dblp::generate(5_000, 42),
+        "ssb" => ssb::generate(0.002, 42),
+        "tpch" => tpch::generate(0.002, 42),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let dataset = std::env::args().nth(1).unwrap_or_else(|| "world".into());
+    let Some(db) = load(&dataset) else {
+        eprintln!("unknown dataset {dataset}; choose world|carcrash|dblp|ssb|tpch");
+        std::process::exit(1);
+    };
+    let tables: Vec<String> = db
+        .tables()
+        .iter()
+        .map(|t| format!("{}({} rows)", t.schema.name, t.len()))
+        .collect();
+
+    println!("loading {dataset} and building the support set...");
+    let mut broker = Qirana::new(
+        db,
+        QiranaConfig {
+            total_price: 100.0,
+            support: SupportConfig {
+                size: 2_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("broker construction");
+
+    println!(
+        "qirana market — dataset '{dataset}' [{}], full price $100.00, support {}",
+        tables.join(", "),
+        broker.support_size()
+    );
+    println!("commands: quote <sql> | buy <sql> | answer <sql> | balance | quit");
+
+    let stdin = io::stdin();
+    let buyer = "you";
+    loop {
+        print!("qirana> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd.to_ascii_lowercase().as_str() {
+            "quit" | "exit" => break,
+            "help" => {
+                println!("quote <sql> | buy <sql> | answer <sql> | balance | quit")
+            }
+            "balance" => {
+                println!(
+                    "spent ${:.2}; coverage {:.1}% of the dataset's information",
+                    broker.buyer_paid(buyer),
+                    broker.buyer_coverage(buyer) * 100.0
+                );
+            }
+            "quote" => match broker.quote(rest) {
+                Ok(p) => println!("price: ${p:.2}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "answer" => match broker.answer(rest) {
+                Ok(out) => print_rows(&out),
+                Err(e) => println!("error: {e}"),
+            },
+            "buy" => match broker.buy(buyer, rest) {
+                Ok(p) => {
+                    println!(
+                        "charged ${:.2} (total ${:.2}, coverage {:.1}%)",
+                        p.price,
+                        p.total_paid,
+                        broker.buyer_coverage(buyer) * 100.0
+                    );
+                    print_rows(&p.output);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            _ => println!("unknown command {cmd:?}; try help"),
+        }
+    }
+    println!(
+        "\nsession total: ${:.2} — thanks for trading.",
+        broker.buyer_paid(buyer)
+    );
+}
+
+fn print_rows(out: &qirana::QueryOutput) {
+    println!("  {}", out.columns.join(" | "));
+    for row in out.rows.iter().take(10) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+    if out.rows.len() > 10 {
+        println!("  ... {} more rows", out.rows.len() - 10);
+    }
+}

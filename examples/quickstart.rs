@@ -1,0 +1,95 @@
+//! Quickstart: stand up a QIRANA broker over a small database, price some
+//! queries, and observe the arbitrage-freeness guarantees.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qirana::{Qirana, QiranaConfig, SupportConfig};
+use qirana::sqlengine::{ColumnDef, DataType, Database, TableSchema};
+
+fn main() {
+    // 1. The dataset for sale: the paper's running-example Twitter database.
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "User",
+            vec![
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("gender", DataType::Str),
+                ColumnDef::new("age", DataType::Int),
+            ],
+            &["uid"],
+        ),
+        vec![
+            vec![1.into(), "John".into(), "m".into(), 25.into()],
+            vec![2.into(), "Alice".into(), "f".into(), 13.into()],
+            vec![3.into(), "Bob".into(), "m".into(), 45.into()],
+            vec![4.into(), "Anna".into(), "f".into(), 19.into()],
+        ],
+    );
+    db.add_table(
+        TableSchema::new(
+            "Tweet",
+            vec![
+                ColumnDef::new("tid", DataType::Int),
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("time", DataType::Str),
+                ColumnDef::new("location", DataType::Str),
+            ],
+            &["tid"],
+        ),
+        vec![
+            vec![1.into(), 3.into(), "23:29".into(), "CA".into()],
+            vec![2.into(), 3.into(), "23:29".into(), "WA".into()],
+            vec![3.into(), 1.into(), "23:30".into(), "OR".into()],
+            vec![4.into(), 2.into(), "23:31".into(), "CA".into()],
+        ],
+    );
+
+    // 2. The seller prices the whole dataset at $100; QIRANA derives
+    //    fine-grained query prices from that single number.
+    let mut broker = Qirana::new(
+        db,
+        QiranaConfig {
+            total_price: 100.0,
+            support: SupportConfig {
+                size: 1000,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("broker setup");
+
+    println!("support set: {} neighboring instances\n", broker.support_size());
+
+    // 3. Price a few queries (history-oblivious quotes).
+    let queries = [
+        "SELECT count(*) FROM User WHERE gender = 'f'",
+        "SELECT gender, count(*) FROM User GROUP BY gender",
+        "SELECT AVG(age) FROM User",
+        "SELECT * FROM User",
+        "SELECT * FROM Tweet WHERE location = 'CA'",
+    ];
+    for sql in queries {
+        let price = broker.quote(sql).expect("pricing");
+        println!("${price:>6.2}  {sql}");
+    }
+
+    // 4. The whole dataset prices at exactly the seller's total.
+    let all = broker
+        .quote_bundle(&["SELECT * FROM User", "SELECT * FROM Tweet"])
+        .expect("pricing");
+    println!("${all:>6.2}  <the entire dataset>\n");
+
+    // 5. No information arbitrage: the group-by query determines the
+    //    filtered count, so it can never be cheaper.
+    let q1 = broker
+        .quote("SELECT count(*) FROM User WHERE gender = 'f'")
+        .unwrap();
+    let q2 = broker
+        .quote("SELECT gender, count(*) FROM User GROUP BY gender")
+        .unwrap();
+    println!("arbitrage check: p(Q1) = {q1:.2} <= p(Q2) = {q2:.2}: {}", q1 <= q2);
+    assert!(q1 <= q2 + 1e-9);
+}

@@ -1,0 +1,123 @@
+//! The paper's Example 1.1, end to end: Alice the analyst buys a sequence
+//! of queries from a Twitter-like dataset with history-aware pricing, and
+//! every arbitrage trap from the introduction is shown to be closed.
+//!
+//! Run with: `cargo run --example twitter_market`
+
+use qirana::{Qirana, QiranaConfig, SupportConfig};
+use qirana::sqlengine::{ColumnDef, DataType, Database, TableSchema};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "User",
+            vec![
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("gender", DataType::Str),
+                ColumnDef::new("age", DataType::Int),
+            ],
+            &["uid"],
+        ),
+        vec![
+            vec![1.into(), "John".into(), "m".into(), 25.into()],
+            vec![2.into(), "Alice".into(), "f".into(), 13.into()],
+            vec![3.into(), "Bob".into(), "m".into(), 45.into()],
+            vec![4.into(), "Anna".into(), "f".into(), 19.into()],
+        ],
+    );
+    db.add_table(
+        TableSchema::new(
+            "Tweet",
+            vec![
+                ColumnDef::new("tid", DataType::Int),
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("location", DataType::Str),
+            ],
+            &["tid"],
+        ),
+        vec![
+            vec![1.into(), 3.into(), "CA".into()],
+            vec![2.into(), 3.into(), "WA".into()],
+            vec![3.into(), 1.into(), "OR".into()],
+            vec![4.into(), 2.into(), "CA".into()],
+        ],
+    );
+    db
+}
+
+fn main() {
+    let mut broker = Qirana::new(
+        db(),
+        QiranaConfig {
+            total_price: 100.0,
+            support: SupportConfig {
+                size: 2000,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("broker");
+
+    println!("== Alice's analytics session (history-aware) ==\n");
+
+    // Q1 vs Q2: the group-by reveals a superset of the filtered count, so
+    // QIRANA prices p(Q1) <= p(Q2) — no arbitrage by asking the "bigger"
+    // query instead.
+    let q1 = "SELECT count(*) FROM User WHERE gender = 'f'";
+    let q2 = "SELECT gender, count(*) FROM User GROUP BY gender";
+    {
+        // Quote both before buying anything.
+        let p1 = broker.quote(q1).unwrap();
+        let p2 = broker.quote(q2).unwrap();
+        println!("quote  Q1 (female count)      : ${p1:.2}");
+        println!("quote  Q2 (counts by gender)  : ${p2:.2}");
+        assert!(p1 <= p2 + 1e-9, "information arbitrage!");
+    }
+
+    // Alice buys Q2.
+    let p = broker.buy("alice", q2).unwrap();
+    println!("\nalice buys Q2 for ${:.2} (total ${:.2})", p.price, p.total_paid);
+    for row in &p.output.rows {
+        println!("    {} -> {}", row[0], row[1]);
+    }
+
+    // Q3 = AVG(age) must not exceed p(Q2) + p(Q4): AVG is derivable from
+    // SUM and the count Alice already has.
+    let q3 = "SELECT AVG(age) FROM User";
+    let q4 = "SELECT SUM(age) FROM User";
+    {
+        let p3 = broker.quote(q3).unwrap();
+        let p4 = broker.quote(q4).unwrap();
+        let p2 = broker.quote(q2).unwrap();
+        println!("\nquote  Q3 (avg age) : ${p3:.2}");
+        println!("quote  Q4 (sum age) : ${p4:.2}");
+        assert!(p3 <= p2 + p4 + 1e-9, "bundle arbitrage!");
+        println!("bundle check: p(Q3) <= p(Q2) + p(Q4) holds");
+    }
+
+    // Alice buys Q3; because she owns Q2 already, the history-aware price
+    // only charges the *new* information.
+    let p = broker.buy("alice", q3).unwrap();
+    println!("\nalice buys Q3 for ${:.2} (total ${:.2})", p.price, p.total_paid);
+
+    // Q5 (male count) is fully determined by Q2 — free under history-aware
+    // pricing, exactly the last step of Example 1.1.
+    let q5 = "SELECT count(*) FROM User WHERE gender = 'm'";
+    let p = broker.buy("alice", q5).unwrap();
+    println!("alice buys Q5 for ${:.2} (already determined by Q2)", p.price);
+    assert_eq!(p.price, 0.0);
+
+    // A fresh buyer pays full freight for the same query.
+    let p = broker.buy("mallory", q5).unwrap();
+    println!("\nmallory (no history) pays ${:.2} for the same Q5", p.price);
+    assert!(p.price > 0.0);
+
+    println!(
+        "\nalice total: ${:.2}; coverage of the dataset: {:.1}%",
+        broker.buyer_paid("alice"),
+        broker.buyer_coverage("alice") * 100.0
+    );
+}

@@ -1,0 +1,154 @@
+//! End-to-end pricing over the evaluation datasets (scaled), checking the
+//! qualitative price structure the paper reports in Table 3 and §5.4.
+
+use qirana::datagen::{carcrash, dblp, queries, ssb, world};
+use qirana::{PricingFunction, Qirana, QiranaConfig, SupportConfig};
+
+fn broker(db: qirana::Database, size: usize, f: PricingFunction) -> Qirana {
+    Qirana::new(
+        db,
+        QiranaConfig {
+            total_price: 100.0,
+            function: f,
+            support: SupportConfig {
+                size,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("broker")
+}
+
+#[test]
+fn world_workload_prices_in_range() {
+    let mut q = broker(world::generate(3), 800, PricingFunction::WeightedCoverage);
+    for (i, sql) in queries::WORLD_QUERIES.iter().enumerate() {
+        let p = q
+            .quote(sql)
+            .unwrap_or_else(|e| panic!("Qw{} failed: {e}", i + 1));
+        assert!(
+            (0.0..=100.0 + 1e-9).contains(&p),
+            "Qw{}: price {p} out of range",
+            i + 1
+        );
+    }
+    // Qw10 is all of Country: it must carry a substantial share of P.
+    let p_full_country = q.quote(queries::WORLD_QUERIES[9]).unwrap();
+    assert!(p_full_country > 20.0, "full Country priced at {p_full_country}");
+}
+
+#[test]
+fn dblp_prices_follow_table3_shape() {
+    let nodes = 3000;
+    let db = dblp::generate(nodes, 5);
+    let mut q = broker(db, 800, PricingFunction::WeightedCoverage);
+    let qs = queries::dblp_queries(nodes);
+
+    // Qd2 (average degree) is determined by publicly-known node and edge
+    // counts up to distinct-source fluctuations: near-free.
+    let p2 = q.quote(&qs[1]).unwrap();
+    assert!(p2 < 10.0, "Qd2 should be (near) free, got {p2}");
+
+    // Qd6 (authors with exactly one collaborator) touches the majority of
+    // the graph: the paper prices it at $58.82. Expect a dominant price.
+    let p6 = q.quote(&qs[5]).unwrap();
+    assert!(p6 > 30.0, "Qd6 should be expensive, got {p6}");
+
+    // Qd7 (edges of one author) touches a sliver: cheap.
+    let p7 = q.quote(&qs[6]).unwrap();
+    assert!(p7 < 15.0, "Qd7 should be cheap, got {p7}");
+    assert!(p7 < p6);
+}
+
+#[test]
+fn carcrash_prices_follow_table3_shape() {
+    let db = carcrash::generate(6000, 7);
+    let mut q = broker(db, 1000, PricingFunction::WeightedCoverage);
+    let prices: Vec<f64> = queries::CARCRASH_QUERIES
+        .iter()
+        .map(|sql| q.quote(sql).unwrap())
+        .collect();
+    // Qc1 (group by State) is the most informative of the four (paper: $8
+    // vs. $0.60/$0.70/$0).
+    assert!(
+        prices[0] > prices[1] && prices[0] > prices[2] && prices[0] > prices[3],
+        "Qc1 should dominate: {prices:?}"
+    );
+    // Qc4 is ultra-selective: at this support size it prices at (near) 0.
+    assert!(prices[3] < 1.0, "Qc4 should be ~0, got {}", prices[3]);
+}
+
+#[test]
+fn ssb_queries_price_under_all_engines() {
+    let db = ssb::generate(0.001, 9);
+    let mut q = broker(db, 400, PricingFunction::WeightedCoverage);
+    for (name, sql) in queries::ssb_queries() {
+        let p = q.quote(sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            (0.0..=100.0 + 1e-9).contains(&p),
+            "{name}: price {p} out of range"
+        );
+    }
+}
+
+#[test]
+fn tpch_queries_price_without_error() {
+    let sf = 0.001;
+    let db = qirana::datagen::tpch::generate(sf, 11);
+    let mut q = broker(db, 200, PricingFunction::WeightedCoverage);
+    for (name, sql) in queries::tpch_queries(sf) {
+        let p = q.quote(&sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            (0.0..=100.0 + 1e-9).contains(&p),
+            "{name}: price {p} out of range"
+        );
+    }
+}
+
+#[test]
+fn history_aware_ssb_session_saves_money() {
+    // Figure 4e's claim: pricing the 13 SSB queries history-aware costs
+    // noticeably less than summing the 13 oblivious prices.
+    let db = ssb::generate(0.001, 13);
+    let mut oblivious = broker(db.clone(), 300, PricingFunction::WeightedCoverage);
+    let mut aware = broker(db, 300, PricingFunction::WeightedCoverage);
+    let mut sum_oblivious = 0.0;
+    let mut sum_aware = 0.0;
+    for (_, sql) in queries::ssb_queries() {
+        sum_oblivious += oblivious.quote(sql).unwrap();
+        sum_aware += aware.buy("analyst", sql).unwrap().price;
+    }
+    assert!(
+        sum_aware <= sum_oblivious + 1e-9,
+        "aware {sum_aware} > oblivious {sum_oblivious}"
+    );
+    assert!(sum_aware > 0.0);
+}
+
+#[test]
+fn support_updates_stay_inside_possible_worlds() {
+    // §3.1: every support-set instance must satisfy the same constraints as
+    // D — keys untouched, cardinality fixed, values in-domain. Apply each
+    // update, validate, roll back.
+    use qirana::core::{generate_support, SupportConfig};
+    use qirana::sqlengine::{apply_writes, check_database};
+
+    let mut db = world::generate(6);
+    assert!(check_database(&db).is_empty());
+    let updates = generate_support(
+        &db,
+        &SupportConfig {
+            size: 150,
+            ..Default::default()
+        },
+    );
+    let rows_before = db.total_rows();
+    for up in &updates {
+        let undo = up.apply(&mut db);
+        let violations = check_database(&db);
+        assert!(violations.is_empty(), "update {up:?} left I: {violations:?}");
+        assert_eq!(db.total_rows(), rows_before, "cardinality must be fixed");
+        apply_writes(&mut db, &undo);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based cross-check of the §4 optimizer: for *every* query shape
+//! and every engine configuration, the disagreement bits must equal the
+//! naive engine's (Theorems 4.1 / 4.2 made executable).
+//!
+//! Random databases, random support sets, and a query pool spanning the
+//! SPJ shape (static checks, probes, batching), the aggregate shape (delta
+//! analysis, group movement, fallbacks), and opaque queries.
+
+use proptest::prelude::*;
+use qirana::core::{
+    bundle_disagreements, generate_support, prepare_query, EngineOptions, Prepared,
+    SupportConfig, SupportSet,
+};
+use qirana::sqlengine::{ColumnDef, DataType, Database, TableSchema, Value};
+
+/// Builds a two-table database whose content is driven by the proptest
+/// parameters.
+fn build_db(users: &[(i64, u8, i64)], tweets: &[(i64, i64, u8)]) -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "User",
+            vec![
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("gender", DataType::Str),
+                ColumnDef::new("age", DataType::Int),
+            ],
+            &["uid"],
+        ),
+        users
+            .iter()
+            .enumerate()
+            .map(|(i, (_, g, a))| {
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::str(if *g == 0 { "m" } else { "f" }),
+                    Value::Int(*a),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    db.add_table(
+        TableSchema::new(
+            "Tweet",
+            vec![
+                ColumnDef::new("tid", DataType::Int),
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("location", DataType::Str),
+            ],
+            &["tid"],
+        ),
+        tweets
+            .iter()
+            .enumerate()
+            .map(|(i, (_, u, l))| {
+                vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Int((*u % users.len().max(1) as i64) + 1),
+                    Value::str(["CA", "WA", "OR"][*l as usize % 3]),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    db
+}
+
+/// The query pool: every optimizer path appears.
+const QUERIES: &[&str] = &[
+    // SPJ: single relation, identity projections, selections.
+    "select gender, age from User",
+    "select age from User where gender = 'f'",
+    "select uid from User where age between 20 and 40",
+    // SPJ: expression projection (excluded from the exact B∩A static).
+    "select age + 1 from User where age > 15",
+    // SPJ: join with local + join conditions.
+    "select gender, location from User, Tweet where User.uid = Tweet.uid and age > 18",
+    "select location from User U, Tweet T where U.uid = T.uid and T.location = 'CA' and U.gender = 'm'",
+    // Aggregates: COUNT(*), delta-analysis paths, group movement.
+    "select gender, count(*) from User group by gender",
+    "select count(*) from User where age > 21",
+    "select gender, avg(age) from User group by gender",
+    "select sum(age) from User",
+    "select min(age), max(age) from User",
+    "select gender, avg(age), count(*) from User group by gender",
+    // Aggregate over a join.
+    "select location, count(*) from User, Tweet where User.uid = Tweet.uid group by location",
+    "select gender, sum(age) from User, Tweet where User.uid = Tweet.uid group by gender",
+    // Expression group key (slot overlap is not key movement).
+    "select age % 2, count(*) from User group by age % 2",
+    // Opaque shapes: DISTINCT, LIMIT, HAVING, subqueries.
+    "select distinct gender from User",
+    "select age from User order by age limit 2",
+    "select gender, count(*) as c from User group by gender having c > 1",
+    "select uid from User where uid in (select uid from Tweet where location = 'CA')",
+    "select count(*) from User U where exists (select 1 from Tweet T where T.uid = U.uid)",
+];
+
+fn check_all_configs(db: &mut Database, support: &SupportSet) {
+    let prepared: Vec<Prepared> = QUERIES
+        .iter()
+        .map(|q| prepare_query(db, q).expect("prepare"))
+        .collect();
+    for q in &prepared {
+        let bundle = [q];
+        let naive =
+            bundle_disagreements(db, &bundle, support, EngineOptions::naive(), None).unwrap();
+        for opts in [
+            EngineOptions::default(),
+            EngineOptions::no_batching(),
+            EngineOptions {
+                optimize: false,
+                batch: false,
+                reduce: true,
+            },
+        ] {
+            let got = bundle_disagreements(db, &bundle, support, opts, None).unwrap();
+            assert_eq!(
+                got, naive,
+                "engine mismatch for {:?} under {opts:?}",
+                q.sql
+            );
+        }
+    }
+    // Whole pool as one bundle, too.
+    let bundle: Vec<&Prepared> = prepared.iter().collect();
+    let naive =
+        bundle_disagreements(db, &bundle, support, EngineOptions::naive(), None).unwrap();
+    let opt =
+        bundle_disagreements(db, &bundle, support, EngineOptions::default(), None).unwrap();
+    assert_eq!(opt, naive, "bundle mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn optimizer_equals_naive(
+        users in prop::collection::vec((0i64..10, 0u8..2, 10i64..60), 3..10),
+        tweets in prop::collection::vec((0i64..10, 0i64..10, 0u8..3), 2..12),
+        seed in 0u64..1000,
+        swap_fraction in 0.0f64..1.0,
+    ) {
+        let mut db = build_db(&users, &tweets);
+        let support = SupportSet::Neighborhood(generate_support(
+            &db,
+            &SupportConfig {
+                size: 120,
+                swap_fraction,
+                seed,
+                ..Default::default()
+            },
+        ));
+        check_all_configs(&mut db, &support);
+    }
+}
+
+#[test]
+fn optimizer_equals_naive_fixed_corpus() {
+    // A deterministic, larger run for CI stability.
+    let users: Vec<(i64, u8, i64)> = (0..12)
+        .map(|i| (i, (i % 2) as u8, 12 + (i * 7) % 50))
+        .collect();
+    let tweets: Vec<(i64, i64, u8)> = (0..20).map(|i| (i, i * 3 % 12, (i % 3) as u8)).collect();
+    let mut db = build_db(&users, &tweets);
+    for seed in [1, 2, 3] {
+        for swap_fraction in [0.0, 0.5, 1.0] {
+            let support = SupportSet::Neighborhood(generate_support(
+                &db,
+                &SupportConfig {
+                    size: 250,
+                    swap_fraction,
+                    seed,
+                    ..Default::default()
+                },
+            ));
+            check_all_configs(&mut db, &support);
+        }
+    }
+}
+
+#[test]
+fn skip_bitmap_consistency() {
+    // With a skip mask, evaluated bits must match the unmasked run on the
+    // non-skipped positions and be false elsewhere.
+    let users: Vec<(i64, u8, i64)> = (0..8).map(|i| (i, (i % 2) as u8, 20 + i)).collect();
+    let tweets: Vec<(i64, i64, u8)> = (0..10).map(|i| (i, i, (i % 3) as u8)).collect();
+    let mut db = build_db(&users, &tweets);
+    let support = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: 200,
+            ..Default::default()
+        },
+    ));
+    let q = prepare_query(&db, "select gender, avg(age) from User group by gender").unwrap();
+    let full =
+        bundle_disagreements(&mut db, &[&q], &support, EngineOptions::default(), None).unwrap();
+    let skip: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+    let masked = bundle_disagreements(
+        &mut db,
+        &[&q],
+        &support,
+        EngineOptions::default(),
+        Some(&skip),
+    )
+    .unwrap();
+    for i in 0..200 {
+        if skip[i] {
+            assert!(!masked[i], "skipped position {i} must stay false");
+        } else {
+            assert_eq!(masked[i], full[i], "position {i}");
+        }
+    }
+}

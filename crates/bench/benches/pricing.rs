@@ -60,6 +60,7 @@ fn spj_engine_ladder(c: &mut Criterion) {
                 optimize: false,
                 batch: false,
                 reduce: true,
+                ..Default::default()
             },
         ),
         ("static_no_batching", EngineOptions::no_batching()),
@@ -108,10 +109,21 @@ fn entropy_partition(c: &mut Criterion) {
             ..Default::default()
         },
     ));
-    let q = prepare_query(&db, "SELECT Continent, COUNT(*) FROM Country GROUP BY Continent")
-        .unwrap();
+    let q = prepare_query(
+        &db,
+        "SELECT Continent, COUNT(*) FROM Country GROUP BY Continent",
+    )
+    .unwrap();
     c.bench_function("bundle_partition_S300", |b| {
-        b.iter(|| bundle_partition(&mut db, &[&q], &support).unwrap())
+        b.iter(|| {
+            bundle_partition(
+                &mut db,
+                &[&q],
+                &support,
+                qirana_sqlengine::ExecBudget::UNLIMITED,
+            )
+            .unwrap()
+        })
     });
 }
 
@@ -130,8 +142,7 @@ fn history_shrinks_work(c: &mut Criterion) {
     let mut g = c.benchmark_group("history_aware_S2000");
     g.bench_function("fresh_buyer", |b| {
         b.iter(|| {
-            bundle_disagreements(&mut db, &[&q], &support, EngineOptions::default(), None)
-                .unwrap()
+            bundle_disagreements(&mut db, &[&q], &support, EngineOptions::default(), None).unwrap()
         })
     });
     g.bench_function("buyer_with_90pct_history", |b| {

@@ -56,7 +56,11 @@ fn main() {
 
         println!("== {label} (S = {size}) ==");
         let p = series(&mut b, sigma_us.iter().map(|&u| q_sigma(u)).collect());
-        print_series("Qs (u=1,32,64,128,239)", &sigma_us.map(|u| u.to_string()), &p);
+        print_series(
+            "Qs (u=1,32,64,128,239)",
+            &sigma_us.map(|u| u.to_string()),
+            &p,
+        );
         let p = series(&mut b, pi_us.iter().map(|&u| q_pi(u)).collect());
         let labels: Vec<String> = pi_us.iter().map(|u| u.to_string()).collect();
         print_series("Qp (u=1..13)", &labels, &p);

@@ -11,10 +11,10 @@
 //! * `g` — 25 parameterized SSB Q1.1 instances, cumulative price
 
 use qirana_bench::{broker, subset_db, time, Args};
-use qirana_core::{
-    PricingFunction, Qirana, QiranaConfig, SupportConfig, SupportType,
+use qirana_core::{PricingFunction, Qirana, QiranaConfig, SupportConfig, SupportType};
+use qirana_datagen::queries::{
+    q_gamma, q_join, q_pi, q_sigma, ssb_q11_instance, ssb_queries, QR1, QR2,
 };
-use qirana_datagen::queries::{q_gamma, q_join, q_pi, q_sigma, ssb_q11_instance, ssb_queries, QR1, QR2};
 use qirana_datagen::{ssb, world};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,8 +150,7 @@ fn fig4c(args: &Args) {
     // ones above Qr2's 2B threshold). Model it as a wide declared range.
     let country = db.table_mut("Country").unwrap();
     let pop = country.schema.column_index("Population").unwrap();
-    country.schema.columns[pop].domain =
-        qirana_sqlengine::Domain::IntRange(10_000, 2_500_000_000);
+    country.schema.columns[pop].domain = qirana_sqlengine::Domain::IntRange(10_000, 2_500_000_000);
     let support: usize = args.get("support", 1000);
     println!("{:<8} {:>8} {:>8}", "swap%", "Qr1", "Qr2");
     for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {

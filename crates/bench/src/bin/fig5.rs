@@ -9,10 +9,8 @@
 //! result.
 
 use qirana_bench::{time, Args};
-use qirana_core::{
-    bundle_disagreements, prepare_query, EngineOptions, SupportConfig, SupportSet,
-};
 use qirana_core::generate_support;
+use qirana_core::{bundle_disagreements, prepare_query, EngineOptions, SupportConfig, SupportSet};
 use qirana_datagen::queries::{ssb_queries, tpch_queries};
 use qirana_datagen::{ssb, tpch};
 use qirana_sqlengine::{execute, ExecContext};
@@ -49,9 +47,7 @@ fn main() {
         }
     };
 
-    println!(
-        "== Figure 5 ({which}, sf={sf}, S={support}): pricing time in seconds =="
-    );
+    println!("== Figure 5 ({which}, sf={sf}, S={support}): pricing time in seconds ==");
     let support_set = SupportSet::Neighborhood(generate_support(
         &db,
         &SupportConfig {
@@ -90,26 +86,14 @@ fn main() {
             .unwrap()
         });
         let (_, t_batch) = time(|| {
-            bundle_disagreements(
-                &mut db,
-                &[&q],
-                &support_set,
-                EngineOptions::default(),
-                None,
-            )
-            .unwrap()
+            bundle_disagreements(&mut db, &[&q], &support_set, EngineOptions::default(), None)
+                .unwrap()
         });
         print!("{name:<6} {t_nobatch:>14.4} {t_batch:>14.4} {t_exec:>14.4}");
         if include_naive == 1 {
             let (_, t_naive) = time(|| {
-                bundle_disagreements(
-                    &mut db,
-                    &[&q],
-                    &support_set,
-                    EngineOptions::naive(),
-                    None,
-                )
-                .unwrap()
+                bundle_disagreements(&mut db, &[&q], &support_set, EngineOptions::naive(), None)
+                    .unwrap()
             });
             print!(" {t_naive:>14.4}");
         }

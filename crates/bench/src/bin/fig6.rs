@@ -22,7 +22,13 @@ fn main() {
         (SupportType::Neighborhood, "nbrs", support),
         (SupportType::Uniform, "uniform", uniform_support),
     ] {
-        let mut b = broker(db.clone(), PricingFunction::WeightedCoverage, ty, size, seed);
+        let mut b = broker(
+            db.clone(),
+            PricingFunction::WeightedCoverage,
+            ty,
+            size,
+            seed,
+        );
         let prices: Vec<f64> = WORLD_QUERIES
             .iter()
             .map(|q| b.quote(q).expect("price"))
@@ -33,7 +39,11 @@ fn main() {
     // 6b: all four functions with the nbrs support set.
     println!("\n== Figure 6b: nbrs support set, all pricing functions ==");
     for f in PricingFunction::ALL {
-        let size = if f.needs_partition() { support.min(400) } else { support };
+        let size = if f.needs_partition() {
+            support.min(400)
+        } else {
+            support
+        };
         let mut b = broker(db.clone(), f, SupportType::Neighborhood, size, seed);
         let prices: Vec<f64> = WORLD_QUERIES
             .iter()

@@ -14,7 +14,10 @@ fn main() {
     println!("Table 2: dataset characteristics (generated)");
     println!("paper values: world 3/5302/21, car crash 1/71115/14, DBLP 1/1049866/2,");
     println!("              TPC-H 8/SF=1/61, SSB (5 spec relations)/SF=1/57\n");
-    println!("{:<12} {:>10} {:>12} {:>12}", "dataset", "#relations", "#tuples", "#attributes");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "dataset", "#relations", "#tuples", "#attributes"
+    );
 
     let datasets: Vec<(&str, qirana_sqlengine::Database)> = vec![
         ("world", world::generate(1)),

@@ -11,12 +11,14 @@
 //! everything gets all further queries free.
 
 use crate::engine::{bundle_disagreements, bundle_partition, EngineOptions};
+use crate::fault;
 use crate::normal_form::{prepare_query, Prepared};
-use crate::pricing::{coverage_price, partition_price, PricingFunction};
+use crate::pricing::{coverage_price, partition_price, PricingError, PricingFunction};
 use crate::support::{
-    generate_support, generate_uniform_worlds, SupportConfig, SupportSet,
+    generate_uniform_worlds, try_generate_support, SupportConfig, SupportError, SupportSet,
 };
-use crate::weights::{assign_weights, PricePoint, WeightError};
+use crate::weights::{assign_weights_with, uniform_weights, PricePoint, WeightError};
+use qirana_solver::SolverOptions;
 use qirana_sqlengine::{execute, Database, EngineError, ExecContext, QueryOutput};
 use std::collections::HashMap;
 use std::fmt;
@@ -29,6 +31,37 @@ pub enum SupportType {
     /// Uniform random instances from `I` (benchmarked in §2.4 / Figure 6;
     /// poorly behaved and memory-hungry — kept for the comparison).
     Uniform,
+}
+
+/// How broker construction reacts when support generation or weight
+/// assignment fails (the §3.3 reaction loop, made configurable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts at generating a support set and solving for weights.
+    /// Each attempt reseeds the support generator; treated as 1 when 0.
+    pub max_attempts: u32,
+    /// Grow the support set across attempts (backoff): attempts beyond the
+    /// second double the size, capped at 8× the configured size.
+    pub grow_support: bool,
+    /// After every attempt fails on a *retryable* error (infeasible price
+    /// points, solver deadline, numerical divergence), degrade gracefully:
+    /// drop the price points, assign uniform weights, and mark the broker —
+    /// and every quote and purchase it issues — as [degraded]. Prices stay
+    /// arbitrage-free; only the seller's price points are no longer
+    /// honored. Off, the construction error is returned instead.
+    ///
+    /// [degraded]: Quote::degraded
+    pub fallback_to_uniform: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            grow_support: true,
+            fallback_to_uniform: true,
+        }
+    }
 }
 
 /// Broker configuration.
@@ -44,8 +77,14 @@ pub struct QiranaConfig {
     pub function: PricingFunction,
     /// Seller price points, enforced via entropy maximization.
     pub price_points: Vec<PricePoint>,
-    /// Disagreement-engine options.
+    /// Disagreement-engine options, including the execution budget every
+    /// pricing query runs under.
     pub engine: EngineOptions,
+    /// Weight-solver options (tolerance, iteration cap, wall-clock
+    /// deadline per solve attempt).
+    pub solver: SolverOptions,
+    /// Construction retry/degradation policy.
+    pub retry: RetryPolicy,
 }
 
 impl Default for QiranaConfig {
@@ -57,6 +96,8 @@ impl Default for QiranaConfig {
             function: PricingFunction::WeightedCoverage,
             price_points: Vec::new(),
             engine: EngineOptions::default(),
+            solver: SolverOptions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -64,10 +105,18 @@ impl Default for QiranaConfig {
 /// Broker errors.
 #[derive(Debug)]
 pub enum BrokerError {
-    /// SQL failed to parse, plan, or execute.
+    /// SQL failed to parse, plan, or execute (including execution-budget
+    /// trips, see [`EngineError::BudgetExceeded`]).
     Engine(EngineError),
     /// Weight assignment failed even after resampling/growing the support.
     Weights(WeightError),
+    /// Support-set generation failed even after retries.
+    Support(SupportError),
+    /// The configured pricing function was dispatched against the wrong
+    /// evaluation primitive (a broker misconfiguration).
+    Pricing(PricingError),
+    /// A fault-injection failpoint fired (tests only; never in production).
+    Injected(fault::InjectedFault),
 }
 
 impl fmt::Display for BrokerError {
@@ -75,6 +124,9 @@ impl fmt::Display for BrokerError {
         match self {
             BrokerError::Engine(e) => write!(f, "{e}"),
             BrokerError::Weights(e) => write!(f, "{e}"),
+            BrokerError::Support(e) => write!(f, "{e}"),
+            BrokerError::Pricing(e) => write!(f, "{e}"),
+            BrokerError::Injected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -93,6 +145,29 @@ impl From<WeightError> for BrokerError {
     }
 }
 
+impl From<SupportError> for BrokerError {
+    fn from(e: SupportError) -> Self {
+        BrokerError::Support(e)
+    }
+}
+
+impl From<PricingError> for BrokerError {
+    fn from(e: PricingError) -> Self {
+        BrokerError::Pricing(e)
+    }
+}
+
+/// A price, plus how it was produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quote {
+    /// The (arbitrage-free) price.
+    pub price: f64,
+    /// True when the broker is running on degraded uniform weights because
+    /// the seller's price points could not be honored (see
+    /// [`RetryPolicy::fallback_to_uniform`]).
+    pub degraded: bool,
+}
+
 /// Result of a history-aware purchase.
 #[derive(Debug, Clone)]
 pub struct Purchase {
@@ -102,6 +177,9 @@ pub struct Purchase {
     pub total_paid: f64,
     /// The query answer.
     pub output: QueryOutput,
+    /// True when priced under degraded uniform weights (see
+    /// [`Quote::degraded`]).
+    pub degraded: bool,
 }
 
 /// Per-buyer history state.
@@ -131,57 +209,123 @@ pub struct Qirana {
     /// *actual* `Q_all` partition achieves.
     shannon_factor: f64,
     tsallis_factor: f64,
+    /// True when the broker fell back to uniform weights because the
+    /// seller's price points could not be honored after every retry.
+    degraded: bool,
+}
+
+impl fmt::Debug for Qirana {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Qirana")
+            .field("support_size", &self.support.len())
+            .field("function", &self.cfg.function)
+            .field("degraded", &self.degraded)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds one support set from a (possibly reseeded/grown) config.
+fn build_support(
+    db: &Database,
+    support_cfg: &SupportConfig,
+    support_type: SupportType,
+) -> Result<SupportSet, SupportError> {
+    Ok(match support_type {
+        SupportType::Neighborhood => {
+            SupportSet::Neighborhood(try_generate_support(db, support_cfg)?)
+        }
+        SupportType::Uniform => SupportSet::Uniform(generate_uniform_worlds(
+            db,
+            support_cfg.size,
+            support_cfg.seed,
+        )),
+    })
 }
 
 impl Qirana {
     /// Builds a broker over a database: generates the support set and
     /// assigns weights. If the seller's price points are infeasible for the
-    /// sampled support set, the broker resamples and then doubles the
-    /// support size before giving up — the reaction loop of §3.3.
+    /// sampled support set — or the solve hits its deadline — the broker
+    /// retries per [`QiranaConfig::retry`]: each attempt reseeds the
+    /// support generator and (optionally) grows the support set, the
+    /// reaction loop of §3.3. When every attempt fails on a retryable
+    /// error and [`RetryPolicy::fallback_to_uniform`] is set, the broker
+    /// degrades to uniform weights and flags itself — and every quote —
+    /// [`Quote::degraded`].
     pub fn new(db: Database, cfg: QiranaConfig) -> Result<Self, BrokerError> {
         let mut db = db;
-        let mut last_err: Option<WeightError> = None;
-        for attempt in 0..3u32 {
+        let attempts = cfg.retry.max_attempts.max(1);
+        let mut last_err: Option<BrokerError> = None;
+        for attempt in 0..attempts {
             let mut support_cfg = cfg.support.clone();
             support_cfg.seed = cfg.support.seed.wrapping_add(attempt as u64);
-            if attempt == 2 {
-                support_cfg.size *= 2;
+            if cfg.retry.grow_support {
+                // Backoff: resample at the configured size first, then
+                // double per attempt, capped at 8×.
+                support_cfg.size = cfg.support.size << attempt.saturating_sub(1).min(3);
             }
-            let support = match cfg.support_type {
-                SupportType::Neighborhood => {
-                    SupportSet::Neighborhood(generate_support(&db, &support_cfg))
+            let support = match build_support(&db, &support_cfg, cfg.support_type) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = Some(e.into());
+                    continue;
                 }
-                SupportType::Uniform => SupportSet::Uniform(generate_uniform_worlds(
-                    &db,
-                    support_cfg.size,
-                    support_cfg.seed,
-                )),
             };
-            match assign_weights(
+            match assign_weights_with(
                 &mut db,
                 &support,
                 cfg.total_price,
                 &cfg.price_points,
                 cfg.engine,
+                &cfg.solver,
             ) {
-                Ok(weights) => {
-                    let (shannon_factor, tsallis_factor) =
-                        entropy_factors(&db, &support, &weights, cfg.total_price);
-                    return Ok(Qirana {
-                        db,
-                        cfg,
-                        support,
-                        weights,
-                        buyers: HashMap::new(),
-                        shannon_factor,
-                        tsallis_factor,
-                    });
-                }
+                Ok(weights) => return Ok(Self::assemble(db, cfg, support, weights, false)),
                 Err(e @ WeightError::BadPricePoint { .. }) => return Err(e.into()),
-                Err(e) => last_err = Some(e),
+                Err(e) => last_err = Some(e.into()),
             }
         }
-        Err(last_err.expect("loop ran").into())
+
+        // Every attempt failed on a retryable error. Degrade if permitted:
+        // uniform weights are always feasible and keep every arbitrage-
+        // freeness guarantee — only the seller's price points are dropped.
+        if cfg.retry.fallback_to_uniform {
+            if let Ok(support) = build_support(&db, &cfg.support, cfg.support_type) {
+                let weights = uniform_weights(support.len(), cfg.total_price);
+                return Ok(Self::assemble(db, cfg, support, weights, true));
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            BrokerError::Weights(WeightError::Infeasible {
+                reason: "broker construction made no attempts".into(),
+            })
+        }))
+    }
+
+    fn assemble(
+        db: Database,
+        cfg: QiranaConfig,
+        support: SupportSet,
+        weights: Vec<f64>,
+        degraded: bool,
+    ) -> Self {
+        let (shannon_factor, tsallis_factor) =
+            entropy_factors(&db, &support, &weights, cfg.total_price);
+        Qirana {
+            db,
+            cfg,
+            support,
+            weights,
+            buyers: HashMap::new(),
+            shannon_factor,
+            tsallis_factor,
+            degraded,
+        }
+    }
+
+    /// True when the broker runs on degraded uniform weights (price points
+    /// dropped after exhausting [`QiranaConfig::retry`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The underlying database.
@@ -199,25 +343,41 @@ impl Qirana {
         &self.weights
     }
 
-    /// Executes a query without pricing it.
+    /// Executes a query without pricing it (under the configured execution
+    /// budget).
     pub fn answer(&self, sql: &str) -> Result<QueryOutput, BrokerError> {
         let plan = qirana_sqlengine::prepare(&self.db, sql)?;
-        Ok(execute(&plan, &ExecContext::new(&self.db))?)
+        let ctx = ExecContext::new(&self.db).with_budget(self.cfg.engine.budget);
+        Ok(execute(&plan, &ctx)?)
     }
 
     /// History-oblivious price of a single query.
     pub fn quote(&mut self, sql: &str) -> Result<f64, BrokerError> {
-        self.quote_bundle(&[sql])
+        Ok(self.quote_ex(sql)?.price)
+    }
+
+    /// [`Qirana::quote`], with the degradation flag attached.
+    pub fn quote_ex(&mut self, sql: &str) -> Result<Quote, BrokerError> {
+        self.quote_bundle_ex(&[sql])
     }
 
     /// History-oblivious price of a query bundle `Q = (Q₁, …, Qₙ)`.
     pub fn quote_bundle(&mut self, sqls: &[&str]) -> Result<f64, BrokerError> {
+        Ok(self.quote_bundle_ex(sqls)?.price)
+    }
+
+    /// [`Qirana::quote_bundle`], with the degradation flag attached.
+    pub fn quote_bundle_ex(&mut self, sqls: &[&str]) -> Result<Quote, BrokerError> {
         let prepared: Vec<Prepared> = sqls
             .iter()
             .map(|s| prepare_query(&self.db, s))
             .collect::<Result<_, _>>()?;
         let bundle: Vec<&Prepared> = prepared.iter().collect();
-        self.price_bundle(&bundle, None)
+        let price = self.price_bundle(&bundle, None)?;
+        Ok(Quote {
+            price,
+            degraded: self.degraded,
+        })
     }
 
     fn entropy_factor(&self) -> f64 {
@@ -235,13 +395,12 @@ impl Qirana {
     ) -> Result<f64, BrokerError> {
         let total = self.cfg.total_price;
         if self.cfg.function.needs_partition() {
-            let partition = bundle_partition(&mut self.db, bundle, &self.support)?;
-            Ok(partition_price(
-                self.cfg.function,
-                total,
-                &self.weights,
-                &partition,
-            ) * self.entropy_factor())
+            let partition =
+                bundle_partition(&mut self.db, bundle, &self.support, self.cfg.engine.budget)?;
+            Ok(
+                partition_price(self.cfg.function, total, &self.weights, &partition)?
+                    * self.entropy_factor(),
+            )
         } else {
             let bits =
                 bundle_disagreements(&mut self.db, bundle, &self.support, self.cfg.engine, skip)?;
@@ -250,34 +409,48 @@ impl Qirana {
                 total,
                 &self.weights,
                 &bits,
-            ))
+            )?)
         }
     }
 
     /// History-aware purchase: prices the query against the buyer's
     /// account, charges only for new information, and returns the answer.
     pub fn buy(&mut self, buyer: &str, sql: &str) -> Result<Purchase, BrokerError> {
+        fault::check(fault::BROKER_BUY).map_err(BrokerError::Injected)?;
         let prepared = prepare_query(&self.db, sql)?;
         let s = self.support.len();
 
+        // Answer and price first, mutate the buyer's account only when both
+        // succeed: a failed purchase (budget trip, injected fault, solver
+        // misconfiguration) must not charge the buyer or corrupt their
+        // history. Pricing leaves the database unchanged, so answering
+        // before pricing is equivalent.
+        let output = {
+            let ctx = ExecContext::new(&self.db).with_budget(self.cfg.engine.budget);
+            execute(&prepared.plan, &ctx)?
+        };
         let price = if self.cfg.function.needs_partition() {
             // Entropy family: price the accumulated bundle and charge the
             // increment (bundle formulation of §2.2's history-aware mode).
-            let state = self.buyers.entry(buyer.to_string()).or_default();
-            let mut history = state.history.clone();
+            let mut history: Vec<Prepared> = self
+                .buyers
+                .get(buyer)
+                .map(|st| st.history.clone())
+                .unwrap_or_default();
             history.push(prepared.clone());
             let bundle: Vec<&Prepared> = history.iter().collect();
             let factor = self.entropy_factor();
             let total_now = {
-                let partition = bundle_partition(&mut self.db, &bundle, &self.support)?;
+                let partition =
+                    bundle_partition(&mut self.db, &bundle, &self.support, self.cfg.engine.budget)?;
                 partition_price(
                     self.cfg.function,
                     self.cfg.total_price,
                     &self.weights,
                     &partition,
-                ) * factor
+                )? * factor
             };
-            let state = self.buyers.get_mut(buyer).expect("created above");
+            let state = self.buyers.entry(buyer.to_string()).or_default();
             let mut delta = total_now - state.paid;
             if delta <= 0.0 {
                 delta = 0.0; // also normalizes -0.0 from float cancellation
@@ -287,12 +460,9 @@ impl Qirana {
             delta
         } else {
             // Coverage family: Algorithm 3's bitmap.
-            let charged = {
-                let state = self.buyers.entry(buyer.to_string()).or_default();
-                if state.charged.is_empty() {
-                    state.charged = vec![false; s];
-                }
-                state.charged.clone()
+            let charged = match self.buyers.get(buyer) {
+                Some(st) if !st.charged.is_empty() => st.charged.clone(),
+                _ => vec![false; s],
             };
             let bits = bundle_disagreements(
                 &mut self.db,
@@ -306,11 +476,14 @@ impl Qirana {
                 self.cfg.total_price,
                 &self.weights,
                 &bits,
-            );
+            )?;
             if delta <= 0.0 {
                 delta = 0.0; // normalize -0.0
             }
-            let state = self.buyers.get_mut(buyer).expect("created above");
+            let state = self.buyers.entry(buyer.to_string()).or_default();
+            if state.charged.is_empty() {
+                state.charged = charged;
+            }
             for (c, b) in state.charged.iter_mut().zip(&bits) {
                 *c |= b;
             }
@@ -318,12 +491,12 @@ impl Qirana {
             delta
         };
 
-        let output = execute(&prepared.plan, &ExecContext::new(&self.db))?;
-        let total_paid = self.buyers[buyer].paid;
+        let total_paid = self.buyers.get(buyer).map(|b| b.paid).unwrap_or(0.0);
         Ok(Purchase {
             price,
             total_paid,
             output,
+            degraded: self.degraded,
         })
     }
 
@@ -361,8 +534,7 @@ fn entropy_factors(
             .collect(),
         SupportSet::Uniform(worlds) => worlds.iter().map(world_fingerprint).collect(),
     };
-    let raw_shannon =
-        crate::pricing::shannon_entropy(total_price, weights, &partition);
+    let raw_shannon = crate::pricing::shannon_entropy(total_price, weights, &partition);
     let raw_tsallis = crate::pricing::q_entropy(total_price, weights, &partition);
     let factor = |raw: f64| if raw > 0.0 { total_price / raw } else { 1.0 };
     (factor(raw_shannon), factor(raw_tsallis))
@@ -587,7 +759,9 @@ mod tests {
                 },
             )
             .unwrap();
-            let p_small = q.quote("SELECT count(*) FROM User WHERE gender='f'").unwrap();
+            let p_small = q
+                .quote("SELECT count(*) FROM User WHERE gender='f'")
+                .unwrap();
             let p_all = q
                 .quote_bundle(&["SELECT * FROM User", "SELECT * FROM Tweet"])
                 .unwrap();
@@ -632,7 +806,9 @@ mod tests {
     #[test]
     fn answers_are_correct() {
         let q = broker();
-        let out = q.answer("SELECT count(*) FROM User WHERE gender = 'f'").unwrap();
+        let out = q
+            .answer("SELECT count(*) FROM User WHERE gender = 'f'")
+            .unwrap();
         assert_eq!(out.rows[0][0], 2i64.into());
     }
 }

@@ -14,7 +14,7 @@
 //! disagree on more instances), so `tests/arbitrage.rs` and the Table 1
 //! harness lean on it.
 
-use crate::engine::{bundle_partition, EngineOptions, bundle_disagreements};
+use crate::engine::{bundle_disagreements, bundle_partition, EngineOptions};
 use crate::normal_form::{prepare_query, Prepared};
 use crate::support::SupportSet;
 use qirana_sqlengine::{Database, EngineError};
@@ -54,8 +54,9 @@ pub fn determines_prepared(
     q1: &Prepared,
     q2: &Prepared,
 ) -> Result<Determinacy, EngineError> {
-    let part1 = bundle_partition(db, &[q1], support)?;
-    let part2 = bundle_partition(db, &[q2], support)?;
+    let budget = EngineOptions::default().budget;
+    let part1 = bundle_partition(db, &[q1], support, budget)?;
+    let part2 = bundle_partition(db, &[q2], support, budget)?;
 
     // Include agreement-with-D: an instance agreeing with D on Q1 must
     // agree on Q2 too, which partitions alone don't capture (the D-block
@@ -129,8 +130,13 @@ mod tests {
         let mut db = db();
         let s = support(&db);
         assert_eq!(
-            determines(&mut db, &s, "select gender, age from User", "select age from User")
-                .unwrap(),
+            determines(
+                &mut db,
+                &s,
+                "select gender, age from User",
+                "select age from User"
+            )
+            .unwrap(),
             Determinacy::Determines
         );
     }
@@ -140,8 +146,13 @@ mod tests {
         let mut db = db();
         let s = support(&db);
         assert_eq!(
-            determines(&mut db, &s, "select age from User", "select gender, age from User")
-                .unwrap(),
+            determines(
+                &mut db,
+                &s,
+                "select age from User",
+                "select gender, age from User"
+            )
+            .unwrap(),
             Determinacy::Refuted
         );
     }
@@ -186,8 +197,13 @@ mod tests {
         let mut db = db();
         let s = support(&db);
         assert_eq!(
-            determines(&mut db, &s, "select avg(age) from User", "select uid, age from User")
-                .unwrap(),
+            determines(
+                &mut db,
+                &s,
+                "select avg(age) from User",
+                "select uid, age from User"
+            )
+            .unwrap(),
             Determinacy::Refuted
         );
     }
@@ -197,8 +213,13 @@ mod tests {
         let mut db = db();
         let s = support(&db);
         assert_eq!(
-            determines(&mut db, &s, "select age from User", "select count(*) from User")
-                .unwrap(),
+            determines(
+                &mut db,
+                &s,
+                "select age from User",
+                "select count(*) from User"
+            )
+            .unwrap(),
             Determinacy::Determines,
             "cardinality is constant over I"
         );

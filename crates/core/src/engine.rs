@@ -11,13 +11,15 @@
 //!   naive path — the paper's reason weighted coverage is the recommended
 //!   default.
 
+use crate::fault;
 use crate::naive;
 use crate::normal_form::{Prepared, Shape};
 use crate::optimized;
 use crate::support::SupportSet;
-use qirana_sqlengine::{Database, EngineError, Fingerprint, QueryOutput};
+use qirana_sqlengine::{Database, EngineError, ExecBudget, Fingerprint, QueryOutput};
 
-/// Engine knobs mirroring the paper's evaluated configurations.
+/// Engine knobs mirroring the paper's evaluated configurations, plus the
+/// execution budget every pricing query runs under.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineOptions {
     /// Use the §4.1 static/dynamic disagreement checks instead of
@@ -30,6 +32,11 @@ pub struct EngineOptions {
     /// (Appendix A's instance reduction). Only used when `optimize` is off
     /// and the query is SPJ-shaped.
     pub reduce: bool,
+    /// Execution budget applied to every query the pricing engine runs
+    /// (base executions, per-instance re-executions, batched probes).
+    /// Trips surface as [`EngineError::BudgetExceeded`]. Unlimited by
+    /// default.
+    pub budget: ExecBudget,
 }
 
 impl Default for EngineOptions {
@@ -38,6 +45,7 @@ impl Default for EngineOptions {
             optimize: true,
             batch: true,
             reduce: false,
+            budget: ExecBudget::UNLIMITED,
         }
     }
 }
@@ -49,7 +57,7 @@ impl EngineOptions {
         EngineOptions {
             optimize: true,
             batch: false,
-            reduce: false,
+            ..Default::default()
         }
     }
 
@@ -58,8 +66,14 @@ impl EngineOptions {
         EngineOptions {
             optimize: false,
             batch: false,
-            reduce: false,
+            ..Default::default()
         }
+    }
+
+    /// Replaces the execution budget.
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -97,6 +111,8 @@ pub fn bundle_disagreements(
     opts: EngineOptions,
     skip: Option<&[bool]>,
 ) -> Result<Vec<bool>, EngineError> {
+    fault::check(fault::ENGINE_EXECUTE)
+        .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
     let n = support.len();
     if let Some(s) = skip {
         assert_eq!(s.len(), n, "skip bitmap must cover the support set");
@@ -111,25 +127,25 @@ pub fn bundle_disagreements(
     for q in bundle {
         let bits = match support {
             SupportSet::Uniform(worlds) => {
-                naive::disagreements_uniform(db, q, worlds, &active)?
+                naive::disagreements_uniform(db, q, worlds, &active, opts.budget)?
             }
             SupportSet::Neighborhood(updates) => {
                 if opts.optimize {
                     match &q.shape {
                         Shape::Spj(s) => {
-                            optimized::spj_disagreements(db, s, updates, &active, opts.batch)?
+                            optimized::spj_disagreements(db, s, updates, &active, opts)?
                         }
                         Shape::Agg(s) => {
-                            optimized::agg_disagreements(db, q, s, updates, &active, opts.batch)?
+                            optimized::agg_disagreements(db, q, s, updates, &active, opts)?
                         }
                         Shape::Opaque { .. } => {
-                            naive::disagreements_nbrs(db, q, updates, &active)?
+                            naive::disagreements_nbrs(db, q, updates, &active, opts.budget)?
                         }
                     }
                 } else if opts.reduce && matches!(q.shape, Shape::Spj(_)) {
-                    naive::reduced_disagreements(db, q, updates, &active)?
+                    naive::reduced_disagreements(db, q, updates, &active, opts.budget)?
                 } else {
-                    naive::disagreements_nbrs(db, q, updates, &active)?
+                    naive::disagreements_nbrs(db, q, updates, &active, opts.budget)?
                 }
             }
         };
@@ -151,10 +167,13 @@ pub fn bundle_partition(
     db: &mut Database,
     bundle: &[&Prepared],
     support: &SupportSet,
+    budget: ExecBudget,
 ) -> Result<Vec<Fingerprint>, EngineError> {
+    fault::check(fault::ENGINE_EXECUTE)
+        .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
     match support {
-        SupportSet::Neighborhood(updates) => naive::partition_nbrs(db, bundle, updates),
-        SupportSet::Uniform(worlds) => naive::partition_uniform(db, bundle, worlds),
+        SupportSet::Neighborhood(updates) => naive::partition_nbrs(db, bundle, updates, budget),
+        SupportSet::Uniform(worlds) => naive::partition_uniform(db, bundle, worlds, budget),
     }
 }
 
@@ -210,12 +229,16 @@ mod tests {
             .collect();
         let bundle: Vec<&Prepared> = prepared.iter().collect();
 
-        let naive =
-            bundle_disagreements(&mut database, &bundle, &support, EngineOptions::naive(), None)
-                .unwrap();
+        let naive = bundle_disagreements(
+            &mut database,
+            &bundle,
+            &support,
+            EngineOptions::naive(),
+            None,
+        )
+        .unwrap();
         for opts in [EngineOptions::default(), EngineOptions::no_batching()] {
-            let got =
-                bundle_disagreements(&mut database, &bundle, &support, opts, None).unwrap();
+            let got = bundle_disagreements(&mut database, &bundle, &support, opts, None).unwrap();
             assert_eq!(got, naive, "mismatch under {opts:?}");
         }
     }
@@ -232,9 +255,15 @@ mod tests {
             },
         ));
         let q = prepare_query(&database, "select avg(age) from User").unwrap();
-        bundle_disagreements(&mut database, &[&q], &support, EngineOptions::default(), None)
-            .unwrap();
-        bundle_partition(&mut database, &[&q], &support).unwrap();
+        bundle_disagreements(
+            &mut database,
+            &[&q],
+            &support,
+            EngineOptions::default(),
+            None,
+        )
+        .unwrap();
+        bundle_partition(&mut database, &[&q], &support, ExecBudget::UNLIMITED).unwrap();
         assert_eq!(database.table("User").unwrap().rows, before);
     }
 

@@ -63,6 +63,7 @@
 pub mod broker;
 pub mod determinacy;
 pub mod engine;
+pub mod fault;
 pub mod naive;
 pub mod normal_form;
 pub mod optimized;
@@ -71,11 +72,14 @@ pub mod support;
 pub mod update;
 pub mod weights;
 
-pub use broker::{BrokerError, Purchase, Qirana, QiranaConfig, SupportType};
+pub use broker::{BrokerError, Purchase, Qirana, QiranaConfig, Quote, RetryPolicy, SupportType};
 pub use determinacy::{determines, Determinacy};
 pub use engine::{bundle_disagreements, bundle_partition, EngineOptions};
 pub use normal_form::{prepare_query, Prepared, Shape};
-pub use pricing::PricingFunction;
-pub use support::{generate_support, generate_uniform_worlds, SupportConfig, SupportSet};
+pub use pricing::{PricingError, PricingFunction};
+pub use support::{
+    generate_support, generate_uniform_worlds, try_generate_support, SupportConfig, SupportError,
+    SupportSet,
+};
 pub use update::SupportUpdate;
-pub use weights::{assign_weights, uniform_weights, PricePoint, WeightError};
+pub use weights::{assign_weights, assign_weights_with, uniform_weights, PricePoint, WeightError};

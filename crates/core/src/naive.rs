@@ -6,27 +6,32 @@ use crate::engine::{bag_fp, combine_bundle};
 use crate::normal_form::{Prepared, Shape};
 use crate::update::SupportUpdate;
 use qirana_sqlengine::update::apply_writes;
-use qirana_sqlengine::{execute, Database, EngineError, ExecContext, Fingerprint, Row};
+use qirana_sqlengine::{execute, Database, EngineError, ExecBudget, ExecContext, Fingerprint, Row};
 use std::collections::HashMap;
 
 /// Per-update naive disagreement bits over a neighborhood support set.
+///
+/// Every query execution — the base run and each per-instance re-run —
+/// happens under `budget`; a trip surfaces as
+/// [`EngineError::BudgetExceeded`] with the database already rolled back.
 pub fn disagreements_nbrs(
     db: &mut Database,
     q: &Prepared,
     updates: &[SupportUpdate],
     active: &[bool],
+    budget: ExecBudget,
 ) -> Result<Vec<bool>, EngineError> {
     let refs = q.referenced_tables();
-    let base = bag_fp(execute(&q.plan, &ExecContext::new(db))?);
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
     let mut bits = vec![false; updates.len()];
     for (i, up) in updates.iter().enumerate() {
         if !active[i] || !refs.contains(&up.table()) {
             continue;
         }
         let undo = up.apply(db);
-        let fp = bag_fp(execute(&q.plan, &ExecContext::new(db))?);
+        let fp = execute(&q.plan, &ExecContext::new(db).with_budget(budget)).map(bag_fp);
         apply_writes(db, &undo);
-        bits[i] = fp != base;
+        bits[i] = fp? != base;
     }
     Ok(bits)
 }
@@ -37,14 +42,18 @@ pub fn disagreements_uniform(
     q: &Prepared,
     worlds: &[Database],
     active: &[bool],
+    budget: ExecBudget,
 ) -> Result<Vec<bool>, EngineError> {
-    let base = bag_fp(execute(&q.plan, &ExecContext::new(db))?);
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
     let mut bits = vec![false; worlds.len()];
     for (i, world) in worlds.iter().enumerate() {
         if !active[i] {
             continue;
         }
-        let fp = bag_fp(execute(&q.plan, &ExecContext::new(world))?);
+        let fp = bag_fp(execute(
+            &q.plan,
+            &ExecContext::new(world).with_budget(budget),
+        )?);
         bits[i] = fp != base;
     }
     Ok(bits)
@@ -56,11 +65,12 @@ pub fn partition_nbrs(
     db: &mut Database,
     bundle: &[&Prepared],
     updates: &[SupportUpdate],
+    budget: ExecBudget,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     let mut out = Vec::with_capacity(updates.len());
     for up in updates {
         let undo = up.apply(db);
-        let fps = bundle_fps(db, bundle);
+        let fps = bundle_fps(db, bundle, budget);
         apply_writes(db, &undo);
         out.push(fps?);
     }
@@ -72,18 +82,33 @@ pub fn partition_uniform(
     _db: &Database,
     bundle: &[&Prepared],
     worlds: &[Database],
+    budget: ExecBudget,
 ) -> Result<Vec<Fingerprint>, EngineError> {
-    worlds.iter().map(|w| bundle_fps_ref(w, bundle)).collect()
+    worlds
+        .iter()
+        .map(|w| bundle_fps_ref(w, bundle, budget))
+        .collect()
 }
 
-fn bundle_fps(db: &Database, bundle: &[&Prepared]) -> Result<Fingerprint, EngineError> {
-    bundle_fps_ref(db, bundle)
+fn bundle_fps(
+    db: &Database,
+    bundle: &[&Prepared],
+    budget: ExecBudget,
+) -> Result<Fingerprint, EngineError> {
+    bundle_fps_ref(db, bundle, budget)
 }
 
-fn bundle_fps_ref(db: &Database, bundle: &[&Prepared]) -> Result<Fingerprint, EngineError> {
+fn bundle_fps_ref(
+    db: &Database,
+    bundle: &[&Prepared],
+    budget: ExecBudget,
+) -> Result<Fingerprint, EngineError> {
     let mut fps = Vec::with_capacity(bundle.len());
     for q in bundle {
-        fps.push(bag_fp(execute(&q.plan, &ExecContext::new(db))?));
+        fps.push(bag_fp(execute(
+            &q.plan,
+            &ExecContext::new(db).with_budget(budget),
+        )?));
     }
     Ok(combine_bundle(&fps))
 }
@@ -100,6 +125,7 @@ pub fn reduced_disagreements(
     q: &Prepared,
     updates: &[SupportUpdate],
     active: &[bool],
+    budget: ExecBudget,
 ) -> Result<Vec<bool>, EngineError> {
     let Shape::Spj(shape) = &q.shape else {
         panic!("instance reduction requires an SPJ shape");
@@ -141,7 +167,7 @@ pub fn reduced_disagreements(
 
         // Base fingerprint on the reduced instance.
         let base = {
-            let ctx = ExecContext::with_override(db, table, &reduced);
+            let ctx = ExecContext::with_override(db, table, &reduced).with_budget(budget);
             bag_fp(execute(&q.plan, &ctx)?)
         };
 
@@ -175,7 +201,7 @@ pub fn reduced_disagreements(
                 }
             }
             let fp = {
-                let ctx = ExecContext::with_override(db, table, &reduced);
+                let ctx = ExecContext::with_override(db, table, &reduced).with_budget(budget);
                 bag_fp(execute(&q.plan, &ctx)?)
             };
             for (r, c, v) in restore.into_iter().rev() {
@@ -236,8 +262,12 @@ mod tests {
             "select * from T",
         ] {
             let q = prepare_query(&database, sql).unwrap();
-            let plain = disagreements_nbrs(&mut database, &q, &updates, &active).unwrap();
-            let reduced = reduced_disagreements(&database, &q, &updates, &active).unwrap();
+            let plain =
+                disagreements_nbrs(&mut database, &q, &updates, &active, ExecBudget::UNLIMITED)
+                    .unwrap();
+            let reduced =
+                reduced_disagreements(&database, &q, &updates, &active, ExecBudget::UNLIMITED)
+                    .unwrap();
             assert_eq!(plain, reduced, "reduction changed verdicts for {sql}");
         }
     }
@@ -247,8 +277,14 @@ mod tests {
         let database = db();
         let worlds = generate_uniform_worlds(&database, 20, 3);
         let q = prepare_query(&database, "select grp, v from T").unwrap();
-        let bits =
-            disagreements_uniform(&database, &q, &worlds, &vec![true; worlds.len()]).unwrap();
+        let bits = disagreements_uniform(
+            &database,
+            &q,
+            &worlds,
+            &vec![true; worlds.len()],
+            ExecBudget::UNLIMITED,
+        )
+        .unwrap();
         let frac = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
         assert!(
             frac > 0.9,
@@ -268,8 +304,9 @@ mod tests {
         );
         let q = prepare_query(&database, "select count(*) from T where v > 30").unwrap();
         let active = vec![true; updates.len()];
-        let bits = disagreements_nbrs(&mut database, &q, &updates, &active).unwrap();
-        let fps = partition_nbrs(&mut database, &[&q], &updates).unwrap();
+        let bits = disagreements_nbrs(&mut database, &q, &updates, &active, ExecBudget::UNLIMITED)
+            .unwrap();
+        let fps = partition_nbrs(&mut database, &[&q], &updates, ExecBudget::UNLIMITED).unwrap();
         let base = {
             let out = execute(&q.plan, &ExecContext::new(&database)).unwrap();
             combine_bundle(&[bag_fp(out)])

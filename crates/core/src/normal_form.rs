@@ -219,11 +219,7 @@ pub fn classify(db: &Database, plan: &ResolvedSelect) -> Shape {
     };
 
     // Structural exclusions shared by both normal forms.
-    if plan.relations.is_empty()
-        || plan.has_subquery()
-        || plan.distinct
-        || plan.limit.is_some()
-    {
+    if plan.relations.is_empty() || plan.has_subquery() || plan.distinct || plan.limit.is_some() {
         return opaque();
     }
     let mut tables = Vec::new();
@@ -448,11 +444,13 @@ fn classify_agg(plan: &ResolvedSelect, tables: &[usize], pk_cols: &[Vec<usize>])
     // `crate::optimized` (they decide NULL transitions and group
     // disappearance without rerunning the query).
     let hidden_count_col = group_table.aggregates.len();
-    group_table.aggregates.push(qirana_sqlengine::plan::AggSpec {
-        func: qirana_sqlengine::ast::AggFunc::Count,
-        arg: None,
-        distinct: false,
-    });
+    group_table
+        .aggregates
+        .push(qirana_sqlengine::plan::AggSpec {
+            func: qirana_sqlengine::ast::AggFunc::Count,
+            arg: None,
+            distinct: false,
+        });
     group_table.projections.push(Projection {
         expr: PExpr::AggRef(hidden_count_col),
         name: "_rows".into(),
@@ -462,11 +460,13 @@ fn classify_agg(plan: &ResolvedSelect, tables: &[usize], pk_cols: &[Vec<usize>])
         match &spec.arg {
             Some(a) => {
                 let idx = group_table.aggregates.len();
-                group_table.aggregates.push(qirana_sqlengine::plan::AggSpec {
-                    func: qirana_sqlengine::ast::AggFunc::Count,
-                    arg: Some(a.clone()),
-                    distinct: false,
-                });
+                group_table
+                    .aggregates
+                    .push(qirana_sqlengine::plan::AggSpec {
+                        func: qirana_sqlengine::ast::AggFunc::Count,
+                        arg: Some(a.clone()),
+                        distinct: false,
+                    });
                 group_table.projections.push(Projection {
                     expr: PExpr::AggRef(idx),
                     name: format!("_nn{idx}"),
@@ -705,7 +705,7 @@ mod tests {
     }
 
     #[test]
-    fn probe_upid_slot_is_past_relation(){
+    fn probe_upid_slot_is_past_relation() {
         let db = db();
         let p = prepare_query(
             &db,

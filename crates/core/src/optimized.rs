@@ -28,7 +28,7 @@
 //! relies on this). We use the dynamic comparison instead, which Lemma A.2
 //! makes exact.
 
-use crate::engine::bag_fp;
+use crate::engine::{bag_fp, EngineOptions};
 use crate::normal_form::{AggShape, Prepared, RelShape, SpjShape};
 use crate::update::SupportUpdate;
 use qirana_sqlengine::ast::AggFunc;
@@ -36,7 +36,7 @@ use qirana_sqlengine::exec::eval_row_expr;
 use qirana_sqlengine::plan::AggSpec;
 use qirana_sqlengine::update::apply_writes;
 use qirana_sqlengine::{
-    execute, Database, EngineError, ExecContext, Fingerprint, PExpr, QueryOutput,
+    execute, Database, EngineError, ExecBudget, ExecContext, Fingerprint, PExpr, QueryOutput,
     ResolvedSelect, Row, Value,
 };
 use std::collections::{HashMap, HashSet};
@@ -61,8 +61,9 @@ fn contributing_sets(
     db: &Database,
     keyed: &ResolvedSelect,
     ranges: &[std::ops::Range<usize>],
+    budget: ExecBudget,
 ) -> Result<Vec<HashSet<Vec<Value>>>> {
-    let out = execute(keyed, &ExecContext::new(db))?;
+    let out = execute(keyed, &ExecContext::new(db).with_budget(budget))?;
     let mut sets: Vec<HashSet<Vec<Value>>> = vec![HashSet::new(); ranges.len()];
     for row in &out.rows {
         for (set, range) in sets.iter_mut().zip(ranges) {
@@ -93,8 +94,13 @@ fn with_upid(rows: &[Row], idx: usize) -> impl Iterator<Item = Row> + '_ {
 }
 
 /// Runs a relation's widened probe over the given override rows.
-fn run_probe(db: &Database, rel: &RelShape, rows: &[Row]) -> Result<QueryOutput> {
-    let ctx = ExecContext::with_override(db, rel.table, rows);
+fn run_probe(
+    db: &Database,
+    rel: &RelShape,
+    rows: &[Row],
+    budget: ExecBudget,
+) -> Result<QueryOutput> {
+    let ctx = ExecContext::with_override(db, rel.table, rows).with_budget(budget);
     execute(&rel.probe, &ctx)
 }
 
@@ -132,11 +138,11 @@ pub fn spj_disagreements(
     shape: &SpjShape,
     updates: &[SupportUpdate],
     active: &[bool],
-    batch: bool,
+    opts: EngineOptions,
 ) -> Result<Vec<bool>> {
     let n = updates.len();
     let mut bits = vec![false; n];
-    let contrib = contributing_sets(db, &shape.keyed, &shape.keyed_ranges)?;
+    let contrib = contributing_sets(db, &shape.keyed, &shape.keyed_ranges, opts.budget)?;
 
     let nrels = shape.relations.len();
     let mut check_new: Vec<Vec<(usize, Vec<Row>)>> = vec![Vec::new(); nrels];
@@ -200,13 +206,13 @@ pub fn spj_disagreements(
         let news = &check_new[rel.rel_idx];
         let cmps = &check_cmp[rel.rel_idx];
 
-        if batch {
+        if opts.batch {
             if !news.is_empty() {
                 let rows: Vec<Row> = news
                     .iter()
                     .flat_map(|(i, rows)| with_upid(rows, *i))
                     .collect();
-                let out = run_probe(db, rel, &rows)?;
+                let out = run_probe(db, rel, &rows, opts.budget)?;
                 let ncols = out.columns.len();
                 for row in &out.rows {
                     let upid = row[ncols - 1].as_i64().expect("integer upid") as usize;
@@ -222,8 +228,8 @@ pub fn spj_disagreements(
                     .iter()
                     .flat_map(|(i, _, new)| with_upid(new, *i))
                     .collect();
-                let old_fps = per_upid_fps(run_probe(db, rel, &old_rows)?);
-                let new_fps = per_upid_fps(run_probe(db, rel, &new_rows)?);
+                let old_fps = per_upid_fps(run_probe(db, rel, &old_rows, opts.budget)?);
+                let new_fps = per_upid_fps(run_probe(db, rel, &new_rows, opts.budget)?);
                 for (i, _, _) in cmps {
                     let key = *i as i64;
                     if old_fps.get(&key) != new_fps.get(&key) {
@@ -234,7 +240,7 @@ pub fn spj_disagreements(
         } else {
             for (i, rows) in news {
                 let rows: Vec<Row> = with_upid(rows, *i).collect();
-                let out = run_probe(db, rel, &rows)?;
+                let out = run_probe(db, rel, &rows, opts.budget)?;
                 if !out.rows.is_empty() {
                     bits[*i] = true;
                 }
@@ -242,8 +248,8 @@ pub fn spj_disagreements(
             for (i, old, new) in cmps {
                 let old_rows: Vec<Row> = with_upid(old, *i).collect();
                 let new_rows: Vec<Row> = with_upid(new, *i).collect();
-                let old_fp = bag_fp(run_probe(db, rel, &old_rows)?);
-                let new_fp = bag_fp(run_probe(db, rel, &new_rows)?);
+                let old_fp = bag_fp(run_probe(db, rel, &old_rows, opts.budget)?);
+                let new_fp = bag_fp(run_probe(db, rel, &new_rows, opts.budget)?);
                 if old_fp != new_fp {
                     bits[*i] = true;
                 }
@@ -272,14 +278,17 @@ pub fn agg_disagreements(
     shape: &AggShape,
     updates: &[SupportUpdate],
     active: &[bool],
-    batch: bool,
+    opts: EngineOptions,
 ) -> Result<Vec<bool>> {
     let n = updates.len();
     let mut bits = vec![false; n];
-    let contrib = contributing_sets(db, &shape.keyed, &shape.keyed_ranges)?;
+    let contrib = contributing_sets(db, &shape.keyed, &shape.keyed_ranges, opts.budget)?;
 
     // Group table: group key -> aggregate values (Q_γ(D) bookkeeping).
-    let group_out = execute(&shape.group_table, &ExecContext::new(db))?;
+    let group_out = execute(
+        &shape.group_table,
+        &ExecContext::new(db).with_budget(opts.budget),
+    )?;
     let mut group_cache: HashMap<Vec<Value>, Vec<Value>> =
         HashMap::with_capacity(group_out.rows.len());
     for row in group_out.rows {
@@ -330,8 +339,7 @@ pub fn agg_disagreements(
         // transitions and group disappearance) — no fallback needed except
         // for MIN/MAX ties.
         if shape.relations.len() == 1 && shape.local_group_exprs[rel.rel_idx].is_some() {
-            match single_relation_delta(db, plan, shape, rel, &old_rows, &new_rows, &group_cache)?
-            {
+            match single_relation_delta(db, plan, shape, rel, &old_rows, &new_rows, &group_cache)? {
                 Delta::Change => bits[i] = true,
                 Delta::NoChange => {}
                 Delta::Unknown => check_full.push(i),
@@ -407,17 +415,17 @@ pub fn agg_disagreements(
         if news.is_empty() {
             continue;
         }
-        if batch {
+        if opts.batch {
             let rows: Vec<Row> = news
                 .iter()
                 .flat_map(|(i, rows)| with_upid(rows, *i))
                 .collect();
-            let out = run_probe(db, rel, &rows)?;
+            let out = run_probe(db, rel, &rows, opts.budget)?;
             apply_addition_analysis(shape, &group_cache, out, &mut bits);
         } else {
             for (i, rows) in news {
                 let rows: Vec<Row> = with_upid(rows, *i).collect();
-                let out = run_probe(db, rel, &rows)?;
+                let out = run_probe(db, rel, &rows, opts.budget)?;
                 apply_addition_analysis(shape, &group_cache, out, &mut bits);
             }
         }
@@ -426,12 +434,15 @@ pub fn agg_disagreements(
     // Full fallback: apply the update, rerun the query, compare (the paper
     // notes this check cannot be batched).
     if !check_full.is_empty() {
-        let base = bag_fp(execute(plan, &ExecContext::new(db))?);
+        let base = bag_fp(execute(
+            plan,
+            &ExecContext::new(db).with_budget(opts.budget),
+        )?);
         for i in check_full {
             let undo = updates[i].apply(db);
-            let fp = bag_fp(execute(plan, &ExecContext::new(db))?);
+            let fp = execute(plan, &ExecContext::new(db).with_budget(opts.budget)).map(bag_fp);
             apply_writes(db, &undo);
-            bits[i] = fp != base;
+            bits[i] = fp? != base;
         }
     }
     Ok(bits)
@@ -658,7 +669,13 @@ fn one_group_value_delta(
 ) -> Delta {
     let nn_col = match shape.hidden_nonnull_cols[j] {
         Some(c) => c,
-        None => return if removed.len() != added.len() { Delta::Change } else { Delta::NoChange },
+        None => {
+            return if removed.len() != added.len() {
+                Delta::Change
+            } else {
+                Delta::NoChange
+            }
+        }
     };
     let nn = cached[nn_col].as_i64().unwrap_or(0);
     let rm_nonnull: Vec<&&Value> = removed.iter().filter(|v| !v.is_null()).collect();
@@ -730,7 +747,11 @@ fn one_group_value_delta(
         AggFunc::Min | AggFunc::Max => {
             let cur = &cached[j];
             if cur.is_null() {
-                return if dn > 0 { Delta::Change } else { Delta::NoChange };
+                return if dn > 0 {
+                    Delta::Change
+                } else {
+                    Delta::NoChange
+                };
             }
             if nn + dn == 0 {
                 return Delta::Change; // extremum → NULL
@@ -800,8 +821,7 @@ fn apply_addition_analysis(
                     }
                     Some(c) => rows.iter().map(|r| &r[*c]).collect(),
                 };
-                let nonnull: Vec<f64> =
-                    vals.iter().filter_map(|v| v.as_f64()).collect();
+                let nonnull: Vec<f64> = vals.iter().filter_map(|v| v.as_f64()).collect();
                 let cached_val = &cached[j];
                 let perturbed = match spec_func {
                     AggFunc::Count => vals.iter().any(|v| !v.is_null()),

@@ -21,6 +21,7 @@
 
 use qirana_sqlengine::Fingerprint;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Which pricing function the broker applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,31 +136,72 @@ pub fn q_entropy(total_price: f64, weights: &[f64], partition: &[Fingerprint]) -
     total_price * t / (1.0 - 1.0 / s as f64) + 0.0
 }
 
-/// Dispatches on the coverage-family functions.
+/// A pricing function was dispatched with the wrong kind of evidence
+/// (disagreement bits for an entropy function, or a partition for a
+/// coverage function) — a broker misconfiguration, not a data problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PricingError {
+    /// The function that was dispatched.
+    pub function: PricingFunction,
+    /// True when the mismatch was coverage-style dispatch of an
+    /// entropy-family function (it needs a partition); false for the
+    /// reverse direction.
+    pub needs_partition: bool,
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.needs_partition {
+            write!(
+                f,
+                "{:?} needs a partition, not disagreement bits",
+                self.function
+            )
+        } else {
+            write!(
+                f,
+                "{:?} uses disagreement bits, not a partition",
+                self.function
+            )
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+/// Dispatches on the coverage-family functions; entropy-family functions
+/// return [`PricingError`] (they need the output partition).
 pub fn coverage_price(
     function: PricingFunction,
     total_price: f64,
     weights: &[f64],
     disagree: &[bool],
-) -> f64 {
+) -> Result<f64, PricingError> {
     match function {
-        PricingFunction::WeightedCoverage => weighted_coverage(weights, disagree),
-        PricingFunction::UniformEntropyGain => uniform_entropy_gain(total_price, disagree),
-        other => panic!("{other:?} needs a partition, not disagreement bits"),
+        PricingFunction::WeightedCoverage => Ok(weighted_coverage(weights, disagree)),
+        PricingFunction::UniformEntropyGain => Ok(uniform_entropy_gain(total_price, disagree)),
+        other => Err(PricingError {
+            function: other,
+            needs_partition: true,
+        }),
     }
 }
 
-/// Dispatches on the entropy-family functions.
+/// Dispatches on the entropy-family functions; coverage-family functions
+/// return [`PricingError`] (they consume disagreement bits).
 pub fn partition_price(
     function: PricingFunction,
     total_price: f64,
     weights: &[f64],
     partition: &[Fingerprint],
-) -> f64 {
+) -> Result<f64, PricingError> {
     match function {
-        PricingFunction::ShannonEntropy => shannon_entropy(total_price, weights, partition),
-        PricingFunction::QEntropy => q_entropy(total_price, weights, partition),
-        other => panic!("{other:?} uses disagreement bits, not a partition"),
+        PricingFunction::ShannonEntropy => Ok(shannon_entropy(total_price, weights, partition)),
+        PricingFunction::QEntropy => Ok(q_entropy(total_price, weights, partition)),
+        other => Err(PricingError {
+            function: other,
+            needs_partition: false,
+        }),
     }
 }
 
@@ -192,11 +234,15 @@ mod tests {
     #[test]
     fn ueg_limits() {
         assert_eq!(uniform_entropy_gain(100.0, &[false; 10]), 0.0);
-        assert_eq!(uniform_entropy_gain(100.0, &{
-            let mut v = vec![false; 10];
-            v[0] = true;
-            v
-        }), 0.0, "a single disagreement carries log 1 = 0 information");
+        assert_eq!(
+            uniform_entropy_gain(100.0, &{
+                let mut v = vec![false; 10];
+                v[0] = true;
+                v
+            }),
+            0.0,
+            "a single disagreement carries log 1 = 0 information"
+        );
         let all = vec![true; 10];
         assert!((uniform_entropy_gain(100.0, &all) - 100.0).abs() < 1e-12);
     }
@@ -279,9 +325,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs a partition")]
     fn coverage_dispatch_rejects_entropy() {
-        coverage_price(PricingFunction::ShannonEntropy, 100.0, &[1.0], &[true]);
+        let err =
+            coverage_price(PricingFunction::ShannonEntropy, 100.0, &[1.0], &[true]).unwrap_err();
+        assert!(err.needs_partition);
+        assert!(err.to_string().contains("needs a partition"));
+    }
+
+    #[test]
+    fn partition_dispatch_rejects_coverage() {
+        let err = partition_price(PricingFunction::WeightedCoverage, 100.0, &[1.0], &[fp(1)])
+            .unwrap_err();
+        assert!(!err.needs_partition);
+        assert!(err.to_string().contains("disagreement bits"));
+    }
+
+    #[test]
+    fn correct_dispatch_still_prices() {
+        let p = coverage_price(
+            PricingFunction::WeightedCoverage,
+            100.0,
+            &[1.0, 2.0],
+            &[true, true],
+        )
+        .unwrap();
+        assert_eq!(p, 3.0);
+        let p = partition_price(
+            PricingFunction::ShannonEntropy,
+            100.0,
+            &[1.0, 1.0],
+            &[fp(1), fp(2)],
+        )
+        .unwrap();
+        assert!((p - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -296,6 +372,9 @@ mod tests {
         let p2 = weighted_coverage(&w, &d2);
         let pb = weighted_coverage(&w, &both);
         assert!(pb <= p1 + p2);
-        assert!(pb >= p1.max(p2), "monotone: bundle reveals at least as much");
+        assert!(
+            pb >= p1.max(p2),
+            "monotone: bundle reveals at least as much"
+        );
     }
 }

@@ -18,10 +18,12 @@
 //! its memory footprint is `|D| × S` — both reproduced by our Figure 2/6
 //! harnesses.
 
+use crate::fault;
 use crate::update::SupportUpdate;
 use qirana_sqlengine::{Database, Domain, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 
 /// Configuration for the `nbrs` support-set generator.
 #[derive(Debug, Clone)]
@@ -48,6 +50,36 @@ impl Default for SupportConfig {
         }
     }
 }
+
+/// Why support generation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupportError {
+    /// No relation can be updated: every table is empty or key-only.
+    NoUpdatableRelation,
+    /// Generation could not produce enough distinct neighbors (data too
+    /// constant); carries the number generated before stalling.
+    Stalled { generated: usize },
+    /// A fault-injection failpoint fired.
+    Injected(fault::InjectedFault),
+}
+
+impl fmt::Display for SupportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupportError::NoUpdatableRelation => {
+                write!(f, "no relation is updatable (all empty or key-only)")
+            }
+            SupportError::Stalled { generated } => write!(
+                f,
+                "support generation stalled after {generated} updates; \
+                 data too constant for neighbors"
+            ),
+            SupportError::Injected(fault) => write!(f, "injected fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for SupportError {}
 
 /// A generated support set: either neighborhood updates or whole uniform
 /// random databases.
@@ -141,7 +173,18 @@ impl ColumnSampler {
 /// # Panics
 /// Panics if the database has no updatable relation (every relation empty
 /// or key-only), or if generation stalls (pathologically constant data).
+/// Use [`try_generate_support`] to handle those conditions as errors.
 pub fn generate_support(db: &Database, cfg: &SupportConfig) -> Vec<SupportUpdate> {
+    try_generate_support(db, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`generate_support`]: returns [`SupportError`] instead
+/// of panicking, and honors the [`fault::SUPPORT_GENERATE`] failpoint.
+pub fn try_generate_support(
+    db: &Database,
+    cfg: &SupportConfig,
+) -> Result<Vec<SupportUpdate>, SupportError> {
+    fault::check(fault::SUPPORT_GENERATE).map_err(SupportError::Injected)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let candidates: Vec<usize> = (0..db.num_tables())
         .filter(|&t| {
@@ -149,10 +192,9 @@ pub fn generate_support(db: &Database, cfg: &SupportConfig) -> Vec<SupportUpdate
             !tab.is_empty() && !tab.schema.non_key_columns().is_empty()
         })
         .collect();
-    assert!(
-        !candidates.is_empty(),
-        "no relation is updatable (all empty or key-only)"
-    );
+    if candidates.is_empty() {
+        return Err(SupportError::NoUpdatableRelation);
+    }
 
     // Samplers built lazily per touched column.
     let mut samplers: std::collections::HashMap<(usize, usize), ColumnSampler> =
@@ -162,10 +204,11 @@ pub fn generate_support(db: &Database, cfg: &SupportConfig) -> Vec<SupportUpdate
     let mut stall = 0usize;
     while out.len() < cfg.size {
         stall += 1;
-        assert!(
-            stall < cfg.size * 100 + 10_000,
-            "support generation stalled; data too constant for neighbors"
-        );
+        if stall >= cfg.size * 100 + 10_000 {
+            return Err(SupportError::Stalled {
+                generated: out.len(),
+            });
+        }
         // 1. relation, uniformly.
         let table = candidates[rng.gen_range(0..candidates.len())];
         let tab = db.table_at(table);
@@ -225,7 +268,7 @@ pub fn generate_support(db: &Database, cfg: &SupportConfig) -> Vec<SupportUpdate
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Generates `count` uniform random databases from `I` (same schema, keys,
@@ -391,6 +434,30 @@ mod tests {
     }
 
     #[test]
+    fn try_generate_reports_no_updatable_relation() {
+        let mut key_only = Database::new();
+        key_only.add_table(
+            TableSchema::new("K", vec![ColumnDef::new("id", DataType::Int)], &["id"]),
+            vec![vec![1.into()], vec![2.into()]],
+        );
+        let err = try_generate_support(&key_only, &SupportConfig::default()).unwrap_err();
+        assert_eq!(err, SupportError::NoUpdatableRelation);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_support_error() {
+        let db = db();
+        let _guard = fault::serialize_tests();
+        fault::reset();
+        fault::arm(fault::SUPPORT_GENERATE, fault::Trigger::Once);
+        let err = try_generate_support(&db, &SupportConfig::default()).unwrap_err();
+        assert!(matches!(err, SupportError::Injected(_)), "got {err:?}");
+        // Disarmed after firing once: generation works again.
+        assert!(try_generate_support(&db, &SupportConfig::default()).is_ok());
+        fault::reset();
+    }
+
+    #[test]
     fn row_update_values_from_active_domain() {
         let db = db();
         let s = generate_support(
@@ -452,9 +519,7 @@ mod tests {
         assert_eq!(worlds.len(), 10);
         for w in &worlds {
             assert_eq!(w.total_rows(), db.total_rows(), "cardinality preserved");
-            let differs = (0..db.num_tables()).any(|t| {
-                db.table_at(t).rows != w.table_at(t).rows
-            });
+            let differs = (0..db.num_tables()).any(|t| db.table_at(t).rows != w.table_at(t).rows);
             assert!(differs, "uniform world equals the base instance");
             // Keys preserved.
             for t in 0..db.num_tables() {

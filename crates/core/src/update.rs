@@ -172,7 +172,11 @@ impl SupportUpdate {
     /// columns; the generator filters these, but validation code checks).
     pub fn is_effective(&self, db: &Database) -> bool {
         match self {
-            SupportUpdate::Row { table, row, changes } => {
+            SupportUpdate::Row {
+                table,
+                row,
+                changes,
+            } => {
                 let r = &db.table_at(*table).rows[*row];
                 changes.iter().any(|(c, v)| r[*c] != *v)
             }
@@ -183,8 +187,7 @@ impl SupportUpdate {
                 cols,
             } => {
                 let t = db.table_at(*table);
-                cols.iter()
-                    .any(|&c| t.rows[*row_a][c] != t.rows[*row_b][c])
+                cols.iter().any(|&c| t.rows[*row_a][c] != t.rows[*row_b][c])
             }
         }
     }
@@ -226,7 +229,10 @@ mod tests {
             changes: vec![(1, "f".into()), (2, 30.into())],
         };
         let undo = up.apply(&mut db);
-        assert_eq!(db.table_at(0).rows[0], vec![1.into(), "f".into(), 30.into()]);
+        assert_eq!(
+            db.table_at(0).rows[0],
+            vec![1.into(), "f".into(), 30.into()]
+        );
         apply_writes(&mut db, &undo);
         assert_eq!(db.table_at(0).rows, before);
     }

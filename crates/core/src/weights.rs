@@ -10,9 +10,10 @@
 //! §3.3 describes.
 
 use crate::engine::{bundle_disagreements, EngineOptions};
+use crate::fault;
 use crate::normal_form::prepare_query;
 use crate::support::SupportSet;
-use qirana_solver::{solve, MaxEntProblem, SolveResult};
+use qirana_solver::{solve_with, AbortCause, MaxEntProblem, SolveResult, SolverOptions};
 use qirana_sqlengine::Database;
 use std::fmt;
 
@@ -40,6 +41,14 @@ pub enum WeightError {
     BadPricePoint { sql: String, error: String },
     /// The entropy-maximization program is infeasible for this support set.
     Infeasible { reason: String },
+    /// The solver hit its deadline or diverged numerically before reaching
+    /// a verdict. Unlike [`WeightError::Infeasible`], retrying (more time,
+    /// a resampled support set) may succeed.
+    SolverAborted {
+        cause: AbortCause,
+        iterations: usize,
+        residual: f64,
+    },
 }
 
 impl fmt::Display for WeightError {
@@ -50,6 +59,17 @@ impl fmt::Display for WeightError {
             }
             WeightError::Infeasible { reason } => {
                 write!(f, "price points infeasible for this support set: {reason}")
+            }
+            WeightError::SolverAborted {
+                cause,
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "weight solve aborted ({cause:?}) after {iterations} iterations \
+                     (residual {residual:.2e})"
+                )
             }
         }
     }
@@ -73,6 +93,30 @@ pub fn assign_weights(
     points: &[PricePoint],
     opts: EngineOptions,
 ) -> Result<Vec<f64>, WeightError> {
+    assign_weights_with(
+        db,
+        support,
+        total_price,
+        points,
+        opts,
+        &SolverOptions::default(),
+    )
+}
+
+/// [`assign_weights`] with explicit solver options (deadline, tolerance,
+/// iteration cap) — the broker's retry loop threads its per-attempt time
+/// limit through here.
+pub fn assign_weights_with(
+    db: &mut Database,
+    support: &SupportSet,
+    total_price: f64,
+    points: &[PricePoint],
+    opts: EngineOptions,
+    solver: &SolverOptions,
+) -> Result<Vec<f64>, WeightError> {
+    fault::check(fault::WEIGHTS_ASSIGN).map_err(|f| WeightError::Infeasible {
+        reason: format!("injected fault: {f}"),
+    })?;
     let s = support.len();
     if points.is_empty() {
         return Ok(uniform_weights(s, total_price));
@@ -82,11 +126,10 @@ pub fn assign_weights(
     let mut a: Vec<Vec<f64>> = vec![vec![1.0; s]];
     let mut b: Vec<f64> = vec![total_price];
     for pt in points {
-        let prepared =
-            prepare_query(db, &pt.sql).map_err(|e| WeightError::BadPricePoint {
-                sql: pt.sql.clone(),
-                error: e.to_string(),
-            })?;
+        let prepared = prepare_query(db, &pt.sql).map_err(|e| WeightError::BadPricePoint {
+            sql: pt.sql.clone(),
+            error: e.to_string(),
+        })?;
         let bits = bundle_disagreements(db, &[&prepared], support, opts, None).map_err(|e| {
             WeightError::BadPricePoint {
                 sql: pt.sql.clone(),
@@ -97,9 +140,18 @@ pub fn assign_weights(
         b.push(pt.price);
     }
 
-    match solve(&MaxEntProblem { a, b, n: s }) {
+    match solve_with(&MaxEntProblem { a, b, n: s }, solver) {
         SolveResult::Optimal { weights, .. } => Ok(weights),
         SolveResult::Infeasible { reason } => Err(WeightError::Infeasible { reason }),
+        SolveResult::Aborted {
+            cause,
+            iterations,
+            residual,
+        } => Err(WeightError::SolverAborted {
+            cause,
+            iterations,
+            residual,
+        }),
     }
 }
 
@@ -140,7 +192,9 @@ mod tests {
                 ],
                 &["tid"],
             ),
-            (1..=6i64).map(|i| vec![i.into(), (i % 8 + 1).into()]).collect::<Vec<_>>(),
+            (1..=6i64)
+                .map(|i| vec![i.into(), (i % 8 + 1).into()])
+                .collect::<Vec<_>>(),
         );
         db
     }
@@ -174,15 +228,14 @@ mod tests {
         let mut database = db();
         let s = support(&database, 400);
         let points = [PricePoint::new("SELECT * FROM User", 70.0)];
-        let w = assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default())
-            .unwrap();
+        let w =
+            assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default()).unwrap();
         assert_eq!(w.len(), 400);
         assert!((w.iter().sum::<f64>() - 100.0).abs() < 1e-5);
         // Re-derive the constraint: User-touching updates must carry 70.
         let q = prepare_query(&database, "SELECT * FROM User").unwrap();
         let bits =
-            bundle_disagreements(&mut database, &[&q], &s, EngineOptions::default(), None)
-                .unwrap();
+            bundle_disagreements(&mut database, &[&q], &s, EngineOptions::default(), None).unwrap();
         let user_mass: f64 = w
             .iter()
             .zip(&bits)
@@ -221,8 +274,8 @@ mod tests {
             PricePoint::new("SELECT uid, age FROM User", 50.0),
             PricePoint::new("SELECT * FROM User", 70.0),
         ];
-        let w = assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default())
-            .unwrap();
+        let w =
+            assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default()).unwrap();
         assert!((w.iter().sum::<f64>() - 100.0).abs() < 1e-5);
         assert!(w.iter().all(|&x| x >= -1e-12), "weights nonnegative");
     }

@@ -44,12 +44,16 @@ const SEVERITIES: &[&str] = &[
 ];
 
 const ATMOSPHERE: &[&str] = &[
-    "Clear", "Rain", "Cloudy", "Snow", "Fog", "Severe Crosswinds", "Unknown",
+    "Clear",
+    "Rain",
+    "Cloudy",
+    "Snow",
+    "Fog",
+    "Severe Crosswinds",
+    "Unknown",
 ];
 
-const PERSON_TYPES: &[&str] = &[
-    "Driver", "Passenger", "Pedestrian", "Bicyclist", "Unknown",
-];
+const PERSON_TYPES: &[&str] = &["Driver", "Passenger", "Pedestrian", "Bicyclist", "Unknown"];
 
 const SEATING: &[&str] = &[
     "Front Seat - Left Side",
@@ -99,7 +103,7 @@ pub fn generate(rows: usize, seed: u64) -> Database {
         // State skew: big states dominate; Wisconsin stays rare so Qc4's
         // triple filter is near-empty.
         let state = if rng.gen_bool(0.55) {
-            STATES[rng.gen_range(0..5)]
+            STATES[rng.gen_range(0..5usize)]
         } else {
             pick(&mut rng, STATES)
         };
@@ -190,6 +194,9 @@ mod tests {
     fn deterministic() {
         let a = generate(500, 7);
         let b = generate(500, 7);
-        assert_eq!(a.table("crash").unwrap().rows, b.table("crash").unwrap().rows);
+        assert_eq!(
+            a.table("crash").unwrap().rows,
+            b.table("crash").unwrap().rows
+        );
     }
 }

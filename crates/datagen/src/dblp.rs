@@ -112,7 +112,9 @@ mod tests {
         )
         .unwrap();
         let singles = out.rows[0][0].as_i64().unwrap() as f64;
-        let nodes = query(&db, "select count(distinct FromNodeId) from dblp").unwrap().rows[0][0]
+        let nodes = query(&db, "select count(distinct FromNodeId) from dblp")
+            .unwrap()
+            .rows[0][0]
             .as_i64()
             .unwrap() as f64;
         let frac = singles / nodes;

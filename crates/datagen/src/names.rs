@@ -14,12 +14,12 @@ const ONSETS: &[&str] = &[
     "Ka", "Li", "Ma", "Mo", "Na", "Or", "Pa", "Qu", "Ro", "Sa", "Ta", "Ur", "Va", "Wa", "Ze",
 ];
 const MIDDLES: &[&str] = &[
-    "ba", "da", "ga", "la", "ma", "na", "ra", "sa", "ta", "va", "li", "ri", "ni", "mi", "lo",
-    "ro", "no", "to", "ke", "le",
+    "ba", "da", "ga", "la", "ma", "na", "ra", "sa", "ta", "va", "li", "ri", "ni", "mi", "lo", "ro",
+    "no", "to", "ke", "le",
 ];
 const CODAS: &[&str] = &[
-    "nia", "land", "stan", "via", "dor", "ria", "na", "ca", "ga", "ma", "lia", "que", "ro",
-    "ton", "ville", "berg", "mouth", "ford",
+    "nia", "land", "stan", "via", "dor", "ria", "na", "ca", "ga", "ma", "lia", "que", "ro", "ton",
+    "ville", "berg", "mouth", "ford",
 ];
 
 /// Generates a capitalized synthetic proper name ("Balinia", "Grelostan").
@@ -67,6 +67,8 @@ mod tests {
     fn codes_have_requested_length() {
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(synth_code(&mut rng, 3).len(), 3);
-        assert!(synth_code(&mut rng, 2).chars().all(|c| c.is_ascii_uppercase()));
+        assert!(synth_code(&mut rng, 2)
+            .chars()
+            .all(|c| c.is_ascii_uppercase()));
     }
 }

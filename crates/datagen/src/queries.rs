@@ -37,9 +37,7 @@ pub fn q_join(u: f64) -> String {
 
 /// `Qγ_u`: grouped average with a LIMIT sweep.
 pub fn q_gamma(u: usize) -> String {
-    format!(
-        "SELECT Region, AVG(LifeExpectancy) FROM Country GROUP BY Region LIMIT {u}"
-    )
+    format!("SELECT Region, AVG(LifeExpectancy) FROM Country GROUP BY Region LIMIT {u}")
 }
 
 /// `Qr1` of §5.1 (swap-ratio experiment).
@@ -98,9 +96,7 @@ pub const WORLD_QUERIES: [&str; 34] = [
 pub fn dblp_queries(num_nodes: usize) -> Vec<String> {
     // The paper's constants (38868, 148255, 45479) lie inside the SNAP id
     // space; map them proportionally into ours.
-    let scale = |paper_id: usize| -> usize {
-        paper_id * num_nodes / crate::dblp::PAPER_NODES
-    };
+    let scale = |paper_id: usize| -> usize { paper_id * num_nodes / crate::dblp::PAPER_NODES };
     let hub = scale(38_868).max(1);
     let a = scale(148_255).max(2);
     let b = scale(45_479).max(3);

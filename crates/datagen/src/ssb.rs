@@ -124,10 +124,16 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         ],
         &["c_custkey"],
     );
-    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    let segments = [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "MACHINERY",
+        "HOUSEHOLD",
+    ];
     let customer_rows: Vec<Row> = (1..=n_customer as i64)
         .map(|k| {
-            let (nation, region) = NATIONS[rng.gen_range(0..25)];
+            let (nation, region) = NATIONS[rng.gen_range(0..25usize)];
             vec![
                 Value::Int(k),
                 Value::str(format!("Customer#{k:09}")),
@@ -135,7 +141,11 @@ pub fn generate(sf: f64, seed: u64) -> Database {
                 Value::str(city(&mut rng, nation)),
                 Value::str(nation),
                 Value::str(REGIONS[region]),
-                Value::str(format!("{}-{}", rng.gen_range(10..35), rng.gen_range(100..999))),
+                Value::str(format!(
+                    "{}-{}",
+                    rng.gen_range(10..35),
+                    rng.gen_range(100..999)
+                )),
                 Value::str(pick(&mut rng, &segments)),
             ]
         })
@@ -158,7 +168,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     );
     let supplier_rows: Vec<Row> = (1..=n_supplier as i64)
         .map(|k| {
-            let (nation, region) = NATIONS[rng.gen_range(0..25)];
+            let (nation, region) = NATIONS[rng.gen_range(0..25usize)];
             vec![
                 Value::Int(k),
                 Value::str(format!("Supplier#{k:09}")),
@@ -166,7 +176,11 @@ pub fn generate(sf: f64, seed: u64) -> Database {
                 Value::str(city(&mut rng, nation)),
                 Value::str(nation),
                 Value::str(REGIONS[region]),
-                Value::str(format!("{}-{}", rng.gen_range(10..35), rng.gen_range(100..999))),
+                Value::str(format!(
+                    "{}-{}",
+                    rng.gen_range(10..35),
+                    rng.gen_range(100..999)
+                )),
             ]
         })
         .collect();

@@ -344,12 +344,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         ],
         &["l_orderkey", "l_linenumber"],
     );
-    li_schema.add_foreign_key(
-        &["l_orderkey"],
-        "orders",
-        &orders_schema,
-        &["o_orderkey"],
-    );
+    li_schema.add_foreign_key(&["l_orderkey"], "orders", &orders_schema, &["o_orderkey"]);
 
     let start = days_from_civil(1992, 1, 1);
     let end = days_from_civil(1998, 8, 2);

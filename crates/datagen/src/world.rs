@@ -84,9 +84,26 @@ const GOVERNMENT_FORMS: &[&str] = &[
 ];
 
 const LANGUAGES: &[&str] = &[
-    "English", "Spanish", "Arabic", "Chinese", "French", "German", "Portuguese", "Russian",
-    "Japanese", "Hindi", "Bengali", "Greek", "Italian", "Turkish", "Korean", "Dutch", "Swedish",
-    "Polish", "Thai", "Swahili",
+    "English",
+    "Spanish",
+    "Arabic",
+    "Chinese",
+    "French",
+    "German",
+    "Portuguese",
+    "Russian",
+    "Japanese",
+    "Hindi",
+    "Bengali",
+    "Greek",
+    "Italian",
+    "Turkish",
+    "Korean",
+    "Dutch",
+    "Swedish",
+    "Polish",
+    "Thai",
+    "Swahili",
 ];
 
 /// Generates the dataset. Deterministic for a fixed `seed`.
@@ -259,7 +276,10 @@ mod tests {
     fn deterministic() {
         let a = generate(9);
         let b = generate(9);
-        assert_eq!(a.table("Country").unwrap().rows, b.table("Country").unwrap().rows);
+        assert_eq!(
+            a.table("Country").unwrap().rows,
+            b.table("Country").unwrap().rows
+        );
     }
 
     #[test]

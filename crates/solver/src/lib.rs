@@ -29,4 +29,4 @@
 pub mod linalg;
 pub mod maxent;
 
-pub use maxent::{solve, solve_with, MaxEntProblem, SolveResult, SolverOptions};
+pub use maxent::{solve, solve_with, AbortCause, MaxEntProblem, SolveResult, SolverOptions};

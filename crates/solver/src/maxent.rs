@@ -22,6 +22,7 @@
 //! residual, mirroring SCS's infeasibility certificates.
 
 use crate::linalg::{dot, norm, Matrix};
+use std::time::{Duration, Instant};
 
 /// The entropy-maximization problem `max -Σ w log w  s.t.  A w = b, w ≥ 0`.
 #[derive(Debug, Clone)]
@@ -42,6 +43,11 @@ pub struct SolverOptions {
     pub tolerance: f64,
     /// Newton/gradient iteration cap.
     pub max_iterations: usize,
+    /// Wall-clock deadline for the iteration loop; `None` (the default)
+    /// means iterations are bounded only by `max_iterations`. Checked at
+    /// the top of every iteration, so the solve returns within one
+    /// iteration's work of the limit.
+    pub time_limit: Option<Duration>,
 }
 
 impl Default for SolverOptions {
@@ -49,8 +55,27 @@ impl Default for SolverOptions {
         SolverOptions {
             tolerance: 1e-9,
             max_iterations: 200,
+            time_limit: None,
         }
     }
+}
+
+impl SolverOptions {
+    /// Builder: sets the wall-clock deadline.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+}
+
+/// Why a solve was cut short without a feasibility verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// [`SolverOptions::time_limit`] elapsed before convergence.
+    TimeLimit,
+    /// Iterates became non-finite (NaN/∞ in the residual) — numerically
+    /// diverged input, e.g. non-finite entries in `A` or `b`.
+    NumericalDivergence,
 }
 
 /// Outcome of a solve.
@@ -69,6 +94,17 @@ pub enum SolveResult {
         /// Human-readable diagnosis.
         reason: String,
     },
+    /// The solve was cut short (deadline or numerical divergence) before
+    /// either converging or certifying infeasibility. Unlike `Infeasible`,
+    /// a retry — with more time, a resampled support set, or cleaner
+    /// inputs — may still succeed.
+    Aborted {
+        cause: AbortCause,
+        /// Iterations completed before the abort.
+        iterations: usize,
+        /// Last observed relative primal residual (∞ if none was computed).
+        residual: f64,
+    },
 }
 
 impl SolveResult {
@@ -76,13 +112,18 @@ impl SolveResult {
     pub fn weights(&self) -> Option<&[f64]> {
         match self {
             SolveResult::Optimal { weights, .. } => Some(weights),
-            SolveResult::Infeasible { .. } => None,
+            SolveResult::Infeasible { .. } | SolveResult::Aborted { .. } => None,
         }
     }
 
     /// True iff the solve succeeded.
     pub fn is_optimal(&self) -> bool {
         matches!(self, SolveResult::Optimal { .. })
+    }
+
+    /// True iff the solve was cut short without a feasibility verdict.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, SolveResult::Aborted { .. })
     }
 }
 
@@ -157,8 +198,20 @@ pub fn solve_with(problem: &MaxEntProblem, opts: &SolverOptions) -> SolveResult 
     let mut lambda = vec![0.0; k];
     let mut w = vec![0.0; n];
     let mut residual = f64::INFINITY;
+    let start = Instant::now();
 
     for iter in 0..opts.max_iterations {
+        // Deadline check up front: the loop body is the expensive part
+        // (O(k²n)), so this bounds total runtime to limit + one iteration.
+        if let Some(limit) = opts.time_limit {
+            if start.elapsed() >= limit {
+                return SolveResult::Aborted {
+                    cause: AbortCause::TimeLimit,
+                    iterations: iter,
+                    residual,
+                };
+            }
+        }
         // w(λ) and the primal residual r = A w - b.
         for (i, wi) in w.iter_mut().enumerate() {
             let mut e = -1.0;
@@ -175,6 +228,16 @@ pub fn solve_with(problem: &MaxEntProblem, opts: &SolverOptions) -> SolveResult 
             r[j] = dot(row, &w) - problem.b[j];
         }
         residual = norm(&r) / b_norm;
+        // Divergence guard: a non-finite residual means the inputs (or the
+        // iterates) left the representable range — no further iteration can
+        // recover, so abort instead of looping to the iteration cap.
+        if !residual.is_finite() {
+            return SolveResult::Aborted {
+                cause: AbortCause::NumericalDivergence,
+                iterations: iter,
+                residual,
+            };
+        }
         if residual < opts.tolerance {
             return SolveResult::Optimal {
                 weights: w,
@@ -404,12 +467,113 @@ mod tests {
         }
         let p = MaxEntProblem { a, b, n };
         match solve(&p) {
-            SolveResult::Optimal { weights, residual, .. } => {
+            SolveResult::Optimal {
+                weights, residual, ..
+            } => {
                 assert!(residual < 1e-7);
                 assert!(weights.iter().all(|&w| w >= 0.0));
                 assert_close(weights.iter().sum::<f64>(), 100.0, 1e-4);
             }
             SolveResult::Infeasible { reason } => panic!("should be feasible: {reason}"),
+            SolveResult::Aborted { cause, .. } => panic!("should not abort: {cause:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_price_points_are_infeasible_not_garbage() {
+        // Two disjoint subsets priced above their union's total: the solver
+        // must report Infeasible, never Optimal with nonsense weights.
+        let p = MaxEntProblem {
+            a: vec![
+                vec![1.0, 1.0, 1.0, 1.0],
+                vec![1.0, 1.0, 0.0, 0.0],
+                vec![0.0, 0.0, 1.0, 1.0],
+            ],
+            b: vec![10.0, 8.0, 9.0],
+            n: 4,
+        };
+        match solve(&p) {
+            SolveResult::Infeasible { reason } => {
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_time_limit_aborts_within_bound() {
+        // A large feasible instance with an already-expired deadline must
+        // return Aborted(TimeLimit) after at most one iteration's work.
+        let n = 20_000;
+        let p = MaxEntProblem {
+            a: vec![vec![1.0; n]],
+            b: vec![100.0],
+            n,
+        };
+        let started = Instant::now();
+        let r = solve_with(
+            &p,
+            &SolverOptions::default().with_time_limit(Duration::ZERO),
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "did not terminate promptly"
+        );
+        match r {
+            SolveResult::Aborted {
+                cause: AbortCause::TimeLimit,
+                iterations,
+                ..
+            } => assert_eq!(iterations, 0),
+            other => panic!("expected TimeLimit abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_time_limit_terminates_promptly_on_hard_instance() {
+        // 40 overlapping constraints over 50k variables would churn through
+        // many Newton iterations; a 5 ms deadline must cut it short well
+        // within the test timeout, and the result must never be Optimal
+        // with an unconverged residual.
+        let n = 50_000;
+        let k = 40;
+        let mut a = vec![vec![1.0; n]];
+        let mut b = vec![1000.0];
+        for j in 1..k {
+            let mut row = vec![0.0; n];
+            for (i, r) in row.iter_mut().enumerate() {
+                if i % (j + 1) == 0 {
+                    *r = 1.0;
+                }
+            }
+            a.push(row);
+            b.push(1000.0 / (j + 1) as f64 * 0.9);
+        }
+        let p = MaxEntProblem { a, b, n };
+        let started = Instant::now();
+        let r = solve_with(
+            &p,
+            &SolverOptions::default().with_time_limit(Duration::from_millis(5)),
+        );
+        assert!(started.elapsed() < Duration::from_secs(10), "runaway solve");
+        if let SolveResult::Optimal { residual, .. } = &r {
+            assert!(*residual < 1e-6, "Optimal claimed with residual {residual}");
+        }
+    }
+
+    #[test]
+    fn non_finite_input_aborts_as_divergence() {
+        let p = MaxEntProblem {
+            a: vec![vec![1.0, 1.0]],
+            b: vec![f64::NAN],
+            n: 2,
+        };
+        match solve(&p) {
+            SolveResult::Aborted {
+                cause: AbortCause::NumericalDivergence,
+                ..
+            } => {}
+            other => panic!("expected divergence abort, got {other:?}"),
         }
     }
 
@@ -423,12 +587,8 @@ mod tests {
             n: 3,
         };
         let w = solve(&p).weights().unwrap().to_vec();
-        let entropy = |w: &[f64]| -> f64 {
-            w.iter()
-                .filter(|&&x| x > 0.0)
-                .map(|&x| -x * x.ln())
-                .sum()
-        };
+        let entropy =
+            |w: &[f64]| -> f64 { w.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum() };
         let ours = entropy(&w);
         let perturbed = entropy(&[0.5, 0.3, 0.2]);
         assert!(ours > perturbed);

@@ -47,6 +47,9 @@ proptest! {
             SolveResult::Infeasible { reason } => {
                 prop_assert!(false, "feasible-by-construction system rejected: {reason}");
             }
+            SolveResult::Aborted { cause, .. } => {
+                prop_assert!(false, "no limits configured, yet aborted: {cause:?}");
+            }
         }
     }
 

@@ -133,7 +133,10 @@ pub enum Expr {
     Literal(Value),
     /// Interval literal, e.g. `INTERVAL '6' MONTH`; participates in date
     /// arithmetic only.
-    Interval { months: i64, days: i64 },
+    Interval {
+        months: i64,
+        days: i64,
+    },
     /// Possibly-qualified column reference.
     Column {
         table: Option<String>,
@@ -241,9 +244,9 @@ impl Expr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             Expr::Like { expr, .. } => expr.contains_aggregate(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -274,9 +277,9 @@ impl Expr {
                 left.contains_subquery() || right.contains_subquery()
             }
             Expr::Like { expr, .. } => expr.contains_subquery(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_subquery() || low.contains_subquery() || high.contains_subquery()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_subquery() || low.contains_subquery() || high.contains_subquery(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_subquery() || list.iter().any(Expr::contains_subquery)
             }

@@ -5,6 +5,27 @@ use std::fmt;
 /// Result alias used throughout the engine.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
+/// The resource dimension an execution budget was exceeded on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Wall-clock deadline (limit is in milliseconds).
+    WallClock,
+    /// Materialized-row cap (limit is a row count).
+    Rows,
+    /// Estimated-memory cap (limit is in bytes).
+    Memory,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::WallClock => write!(f, "wall-clock (ms)"),
+            BudgetResource::Rows => write!(f, "rows"),
+            BudgetResource::Memory => write!(f, "memory (bytes)"),
+        }
+    }
+}
+
 /// Errors produced by parsing, planning, or executing SQL.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -16,6 +37,16 @@ pub enum EngineError {
     /// Runtime evaluation error (type mismatch, scalar subquery returned
     /// multiple rows, ...).
     Eval(String),
+    /// Schema construction or catalog error (bad primary key, unknown
+    /// relation referenced by a foreign key, ...).
+    Schema(String),
+    /// An [`ExecBudget`](crate::exec::ExecBudget) limit was hit; execution
+    /// stopped cooperatively before completing. `limit` is the configured
+    /// cap in the units of `resource`.
+    BudgetExceeded {
+        resource: BudgetResource,
+        limit: u64,
+    },
 }
 
 impl EngineError {
@@ -30,6 +61,17 @@ impl EngineError {
     pub(crate) fn eval(message: impl Into<String>) -> Self {
         EngineError::Eval(message.into())
     }
+
+    pub(crate) fn schema(message: impl Into<String>) -> Self {
+        EngineError::Schema(message.into())
+    }
+
+    /// True when this error is a budget trip (as opposed to a genuine
+    /// query failure); callers use this to decide whether a retry with a
+    /// larger budget could succeed.
+    pub fn is_budget_exceeded(&self) -> bool {
+        matches!(self, EngineError::BudgetExceeded { .. })
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -40,6 +82,10 @@ impl fmt::Display for EngineError {
             }
             EngineError::Plan(m) => write!(f, "plan error: {m}"),
             EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Schema(m) => write!(f, "schema error: {m}"),
+            EngineError::BudgetExceeded { resource, limit } => {
+                write!(f, "execution budget exceeded: {resource} limit {limit}")
+            }
         }
     }
 }

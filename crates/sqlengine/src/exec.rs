@@ -18,19 +18,151 @@
 
 use crate::ast::{AggFunc, BinaryOp, UnaryOp};
 use crate::database::Database;
-use crate::error::{EngineError, Result};
+use crate::error::{BudgetResource, EngineError, Result};
 use crate::expr::{binary_op, date_interval, like_match};
 use crate::plan::{AggSpec, PExpr, PRelation, ResolvedSelect};
 use crate::table::Row;
 use crate::value::Value;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
-/// Execution context: the database plus optional per-table row overrides.
+/// Resource limits for one execution context.
+///
+/// All limits are optional; the default is unlimited. The executor checks
+/// them **cooperatively** at every row-materialization point (scan
+/// prefilters, hash-join build and probe, cartesian products, group
+/// creation, projection), so a tripped budget surfaces as
+/// [`EngineError::BudgetExceeded`] within a bounded amount of extra work —
+/// no partial results are returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecBudget {
+    /// Wall-clock deadline, measured from [`ExecContext`] creation (or the
+    /// last [`ExecContext::set_budget`] call).
+    pub timeout: Option<Duration>,
+    /// Cap on materialized rows (intermediate and output combined).
+    pub max_rows: Option<u64>,
+    /// Cap on estimated bytes of materialized row data. The estimate counts
+    /// `size_of::<Value>()` per cell and ignores string heap allocations —
+    /// it is a safety net against runaway intermediates, not an allocator
+    /// audit.
+    pub max_bytes: Option<u64>,
+}
+
+impl ExecBudget {
+    /// No limits (the default).
+    pub const UNLIMITED: ExecBudget = ExecBudget {
+        timeout: None,
+        max_rows: None,
+        max_bytes: None,
+    };
+
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    pub fn with_max_rows(mut self, max_rows: u64) -> Self {
+        self.max_rows = Some(max_rows);
+        self
+    }
+
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// True when no limit is set (the meter fast-path).
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none() && self.max_rows.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// Interior-mutable consumption meter for an [`ExecBudget`].
+///
+/// Cloning a context clones the meter *state*: the clone continues from the
+/// parent's consumption at clone time, and the two track independently
+/// afterwards.
+#[derive(Debug, Clone)]
+struct BudgetMeter {
+    budget: ExecBudget,
+    start: Instant,
+    rows: Cell<u64>,
+    bytes: Cell<u64>,
+    /// Charge-call counter; the wall clock is only read every
+    /// [`DEADLINE_CHECK_PERIOD`] charges to keep per-row overhead negligible.
+    tick: Cell<u32>,
+}
+
+/// How many budget charges elapse between wall-clock reads.
+const DEADLINE_CHECK_PERIOD: u32 = 64;
+
+impl BudgetMeter {
+    fn new(budget: ExecBudget) -> Self {
+        BudgetMeter {
+            budget,
+            start: Instant::now(),
+            rows: Cell::new(0),
+            bytes: Cell::new(0),
+            tick: Cell::new(0),
+        }
+    }
+
+    fn charge(&self, rows: u64, bytes: u64) -> Result<()> {
+        let b = &self.budget;
+        if b.is_unlimited() {
+            return Ok(());
+        }
+        let total_rows = self.rows.get().saturating_add(rows);
+        self.rows.set(total_rows);
+        let total_bytes = self.bytes.get().saturating_add(bytes);
+        self.bytes.set(total_bytes);
+        if let Some(cap) = b.max_rows {
+            if total_rows > cap {
+                return Err(EngineError::BudgetExceeded {
+                    resource: BudgetResource::Rows,
+                    limit: cap,
+                });
+            }
+        }
+        if let Some(cap) = b.max_bytes {
+            if total_bytes > cap {
+                return Err(EngineError::BudgetExceeded {
+                    resource: BudgetResource::Memory,
+                    limit: cap,
+                });
+            }
+        }
+        if b.timeout.is_some() {
+            let tick = self.tick.get().wrapping_add(1);
+            self.tick.set(tick);
+            if tick.is_multiple_of(DEADLINE_CHECK_PERIOD) {
+                self.check_deadline()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_deadline(&self) -> Result<()> {
+        if let Some(t) = self.budget.timeout {
+            if self.start.elapsed() > t {
+                return Err(EngineError::BudgetExceeded {
+                    resource: BudgetResource::WallClock,
+                    limit: t.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Execution context: the database, optional per-table row overrides, and
+/// an optional resource budget.
 #[derive(Clone)]
 pub struct ExecContext<'a> {
     db: &'a Database,
     overrides: Vec<(usize, &'a [Row])>,
+    meter: BudgetMeter,
 }
 
 impl<'a> ExecContext<'a> {
@@ -39,6 +171,7 @@ impl<'a> ExecContext<'a> {
         ExecContext {
             db,
             overrides: Vec::new(),
+            meter: BudgetMeter::new(ExecBudget::UNLIMITED),
         }
     }
 
@@ -47,7 +180,41 @@ impl<'a> ExecContext<'a> {
         ExecContext {
             db,
             overrides: vec![(table_idx, rows)],
+            meter: BudgetMeter::new(ExecBudget::UNLIMITED),
         }
+    }
+
+    /// Installs a resource budget; the wall-clock deadline starts now.
+    /// Resets any consumption already metered on this context.
+    pub fn set_budget(&mut self, budget: ExecBudget) {
+        self.meter = BudgetMeter::new(budget);
+    }
+
+    /// Builder form of [`ExecContext::set_budget`].
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.set_budget(budget);
+        self
+    }
+
+    /// The installed budget (default [`ExecBudget::UNLIMITED`]).
+    pub fn budget(&self) -> ExecBudget {
+        self.meter.budget
+    }
+
+    /// Rows charged against the budget so far.
+    pub fn rows_charged(&self) -> u64 {
+        self.meter.rows.get()
+    }
+
+    /// Estimated bytes charged against the budget so far.
+    pub fn bytes_charged(&self) -> u64 {
+        self.meter.bytes.get()
+    }
+
+    /// Charges `n` materialized rows of `row_width` cells each.
+    fn charge_rows(&self, n: u64, row_width: usize) -> Result<()> {
+        self.meter
+            .charge(n, n * (row_width * std::mem::size_of::<Value>()) as u64)
     }
 
     /// Adds (or replaces) an override.
@@ -153,6 +320,9 @@ fn execute_nested(
     ctx: &ExecContext<'_>,
     outer: &[&[Value]],
 ) -> Result<QueryOutput> {
+    // Catch an already-expired deadline before doing any work (the periodic
+    // in-loop checks only fire once enough rows have been charged).
+    ctx.meter.check_deadline()?;
     let cache: SubCache = RefCell::new(HashMap::new());
     let joined = run_from(plan, ctx, outer, &cache)?;
 
@@ -175,6 +345,7 @@ fn execute_nested(
             for p in &plan.projections {
                 out.push(eval(&p.expr, &env)?);
             }
+            ctx.charge_rows(1, out.len())?;
             rows.push(out);
         }
         if !plan.order_by.is_empty() {
@@ -260,6 +431,7 @@ fn run_grouped(
         let group = match groups.get_mut(&key) {
             Some(g) => g,
             None => {
+                ctx.charge_rows(1, key.len() + row.len())?;
                 order.push(key.clone());
                 groups.entry(key).or_insert_with(|| Group {
                     first_row: row.clone(),
@@ -322,8 +494,7 @@ fn run_grouped(
     }
 
     if !plan.order_by.is_empty() {
-        let mut keyed: Vec<(Vec<Value>, Row)> =
-            sort_keys.into_iter().zip(out_rows).collect();
+        let mut keyed: Vec<(Vec<Value>, Row)> = sort_keys.into_iter().zip(out_rows).collect();
         sort_keyed(&mut keyed, &plan.order_by);
         out_rows = keyed.into_iter().map(|(_, r)| r).collect();
     }
@@ -332,11 +503,27 @@ fn run_grouped(
 
 /// Streaming aggregate accumulator.
 enum Accum {
-    Count { n: i64 },
-    Distinct { func: AggFunc, set: HashSet<Value> },
-    Sum { i: i64, f: f64, any_float: bool, seen: bool },
-    Avg { sum: f64, n: i64 },
-    MinMax { best: Option<Value>, is_min: bool },
+    Count {
+        n: i64,
+    },
+    Distinct {
+        func: AggFunc,
+        set: HashSet<Value>,
+    },
+    Sum {
+        i: i64,
+        f: f64,
+        any_float: bool,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
 }
 
 impl Accum {
@@ -385,7 +572,10 @@ impl Accum {
                 set.insert(v);
             }
             Accum::Sum {
-                i, f, any_float, seen,
+                i,
+                f,
+                any_float,
+                seen,
             } => {
                 *seen = true;
                 match v {
@@ -446,7 +636,10 @@ impl Accum {
                 AggFunc::Min | AggFunc::Max => unreachable!("MIN/MAX use MinMax"),
             },
             Accum::Sum {
-                i, f, any_float, seen,
+                i,
+                f,
+                any_float,
+                seen,
             } => {
                 if !*seen {
                     Value::Null
@@ -642,6 +835,7 @@ fn run_from(
                 }
             }
             if pass {
+                ctx.charge_rows(1, row.len())?;
                 kept.push(row.clone());
             }
         }
@@ -655,11 +849,12 @@ fn run_from(
         .expect("n >= 1");
     let mut bound: u64 = 1 << start;
     let width = plan.width;
-    let mut inter: Vec<Row> = sources[start]
-        .as_slice()
-        .iter()
-        .map(|r| widen(r, plan.offsets[start], width))
-        .collect();
+    let start_rows = sources[start].as_slice();
+    let mut inter: Vec<Row> = Vec::with_capacity(start_rows.len());
+    for r in start_rows {
+        ctx.charge_rows(1, width)?;
+        inter.push(widen(r, plan.offsets[start], width));
+    }
     apply_ready_residuals(&mut residuals, bound, &mut inter, ctx, outer, cache)?;
 
     while bound != all_mask {
@@ -709,8 +904,7 @@ fn run_from(
                     .collect();
                 // Build.
                 let rows_r = sources[r].as_slice();
-                let mut ht: HashMap<Vec<Value>, Vec<usize>> =
-                    HashMap::with_capacity(rows_r.len());
+                let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rows_r.len());
                 'build: for (i, row) in rows_r.iter().enumerate() {
                     let env = Env {
                         row,
@@ -727,6 +921,7 @@ fn run_from(
                         }
                         key.push(v);
                     }
+                    ctx.charge_rows(1, key.len())?;
                     ht.entry(key).or_default().push(i);
                 }
                 // Probe.
@@ -749,6 +944,7 @@ fn run_from(
                     }
                     if let Some(matches) = ht.get(&key) {
                         for &mi in matches {
+                            ctx.charge_rows(1, width)?;
                             let mut merged = irow.clone();
                             fill(&mut merged, &rows_r[mi], offset);
                             next.push(merged);
@@ -769,6 +965,7 @@ fn run_from(
                 let mut next = Vec::with_capacity(inter.len() * rows_r.len().max(1));
                 for irow in &inter {
                     for row in rows_r {
+                        ctx.charge_rows(1, width)?;
                         let mut merged = irow.clone();
                         fill(&mut merged, row, offset);
                         next.push(merged);
@@ -861,9 +1058,7 @@ fn eval(e: &PExpr, env: &Env<'_>) -> Result<Value> {
                     Value::Null => Value::Null,
                     Value::Int(i) => Value::Int(-i),
                     Value::Float(f) => Value::Float(-f),
-                    other => {
-                        return Err(EngineError::eval(format!("cannot negate {other}")))
-                    }
+                    other => return Err(EngineError::eval(format!("cannot negate {other}"))),
                 },
             }
         }
@@ -1053,9 +1248,9 @@ fn expr_escapes(e: &PExpr, level: usize) -> bool {
         PExpr::Binary { left, right, .. } => {
             expr_escapes(left, level) || expr_escapes(right, level)
         }
-        PExpr::Between { expr, low, high, .. } => {
-            expr_escapes(expr, level) || expr_escapes(low, level) || expr_escapes(high, level)
-        }
+        PExpr::Between {
+            expr, low, high, ..
+        } => expr_escapes(expr, level) || expr_escapes(low, level) || expr_escapes(high, level),
         PExpr::InList { expr, list, .. } => {
             expr_escapes(expr, level) || list.iter().any(|e| expr_escapes(e, level))
         }
@@ -1529,7 +1724,10 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_input() {
         let db = db();
-        let out = run(&db, "select count(*), sum(age), min(age) from User where age > 100");
+        let out = run(
+            &db,
+            "select count(*), sum(age), min(age) from User where age > 100",
+        );
         assert_eq!(
             out.rows,
             vec![vec![Value::Int(0), Value::Null, Value::Null]]
@@ -1572,7 +1770,10 @@ mod tests {
         let db = db();
         let out = run(&db, "select distinct location from Tweet order by location");
         assert_eq!(out.rows.len(), 3);
-        let out = run(&db, "select distinct location from Tweet order by location limit 2");
+        let out = run(
+            &db,
+            "select distinct location from Tweet order by location limit 2",
+        );
         assert_eq!(out.rows.len(), 2);
         assert_eq!(out.rows[0][0], Value::str("CA"));
     }
@@ -1719,7 +1920,110 @@ mod tests {
     fn join_on_null_never_matches() {
         let mut db = db();
         db.table_mut("Tweet").unwrap().set_cell(0, 1, Value::Null);
-        let out = run(&db, "select count(*) from User, Tweet where User.uid = Tweet.uid");
+        let out = run(
+            &db,
+            "select count(*) from User, Tweet where User.uid = Tweet.uid",
+        );
         assert_eq!(out.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    // -- budget enforcement --------------------------------------------------
+
+    fn run_budgeted(db: &Database, sql: &str, budget: ExecBudget) -> Result<QueryOutput> {
+        let plan = plan_select(&parse_select(sql).unwrap(), db).unwrap();
+        execute(&plan, &ExecContext::new(db).with_budget(budget))
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let db = db();
+        let sql = "select count(*) from User, Tweet where User.uid = Tweet.uid";
+        let plain = run(&db, sql);
+        let budgeted = run_budgeted(&db, sql, ExecBudget::UNLIMITED).unwrap();
+        assert_eq!(plain.rows, budgeted.rows);
+    }
+
+    #[test]
+    fn row_cap_trips_on_join() {
+        let db = db();
+        let err = run_budgeted(
+            &db,
+            "select * from User, Tweet",
+            ExecBudget::default().with_max_rows(6),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::BudgetExceeded {
+                resource: BudgetResource::Rows,
+                limit: 6,
+            }
+        );
+    }
+
+    #[test]
+    fn generous_row_cap_does_not_trip() {
+        let db = db();
+        let out = run_budgeted(
+            &db,
+            "select name from User where age > 18",
+            ExecBudget::default().with_max_rows(1000),
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn memory_cap_trips_on_cartesian_product() {
+        let db = db();
+        let err = run_budgeted(
+            &db,
+            "select * from User, Tweet",
+            ExecBudget::default().with_max_bytes(64),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::BudgetExceeded {
+                    resource: BudgetResource::Memory,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let db = db();
+        let err = run_budgeted(
+            &db,
+            "select count(*) from User",
+            ExecBudget::default().with_timeout(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(err.is_budget_exceeded(), "got {err:?}");
+        assert!(
+            matches!(
+                err,
+                EngineError::BudgetExceeded {
+                    resource: BudgetResource::WallClock,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_meter_reports_consumption() {
+        let db = db();
+        let plan = plan_select(&parse_select("select name from User").unwrap(), &db).unwrap();
+        let ctx = ExecContext::new(&db).with_budget(ExecBudget::default().with_max_rows(100));
+        execute(&plan, &ctx).unwrap();
+        // 4 scanned rows widened + 4 projected rows.
+        assert_eq!(ctx.rows_charged(), 8);
+        assert!(ctx.bytes_charged() > 0);
     }
 }

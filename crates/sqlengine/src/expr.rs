@@ -263,7 +263,10 @@ mod tests {
             date_interval(&d, 0, 90, false).unwrap(),
             Value::date(2010, 10, 3)
         );
-        assert_eq!(date_interval(&Value::Null, 1, 0, true).unwrap(), Value::Null);
+        assert_eq!(
+            date_interval(&Value::Null, 1, 0, true).unwrap(),
+            Value::Null
+        );
         assert!(date_interval(&Value::Int(1), 1, 0, true).is_err());
     }
 

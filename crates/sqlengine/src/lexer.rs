@@ -174,7 +174,11 @@ mod tests {
     use super::*;
 
     fn toks(sql: &str) -> Vec<Token> {
-        tokenize(sql).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub mod value;
 
 pub use ast::{SelectStmt, Statement};
 pub use database::Database;
-pub use error::{EngineError, Result};
-pub use exec::{execute, ExecContext, QueryOutput};
+pub use error::{BudgetResource, EngineError, Result};
+pub use exec::{execute, ExecBudget, ExecContext, QueryOutput};
 pub use fingerprint::{fingerprint, fingerprint_bundle, Fingerprint};
 pub use parser::{parse_select, parse_statement};
 pub use plan::{plan_select, PExpr, PRelation, ResolvedSelect};
@@ -101,7 +101,9 @@ mod tests {
                 ],
                 &["id"],
             ),
-            (0..10i64).map(|i| vec![i.into(), (i * i).into()]).collect::<Vec<_>>(),
+            (0..10i64)
+                .map(|i| vec![i.into(), (i * i).into()])
+                .collect::<Vec<_>>(),
         );
         let out = query(&db, "select sum(v) from T where id < 4").unwrap();
         assert_eq!(out.rows[0][0], Value::Int(1 + 4 + 9));

@@ -265,12 +265,13 @@ impl Parser {
         // `t.*`
         if let Some(Token::Ident(name)) = self.peek() {
             let name = name.clone();
-            if matches!(self.tokens.get(self.pos + 1).map(|s| &s.token), Some(Token::Symbol(Sym::Dot)))
-                && matches!(
-                    self.tokens.get(self.pos + 2).map(|s| &s.token),
-                    Some(Token::Symbol(Sym::Star))
-                )
-            {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|s| &s.token),
+                Some(Token::Symbol(Sym::Dot))
+            ) && matches!(
+                self.tokens.get(self.pos + 2).map(|s| &s.token),
+                Some(Token::Symbol(Sym::Star))
+            ) {
                 self.pos += 3;
                 return Ok(SelectItem::QualifiedWildcard(name));
             }
@@ -286,7 +287,10 @@ impl Parser {
             return Ok(Some(self.expect_ident()?));
         }
         if let Some(Token::Ident(s)) = self.peek() {
-            if !RESERVED_AFTER_ITEM.iter().any(|r| s.eq_ignore_ascii_case(r)) {
+            if !RESERVED_AFTER_ITEM
+                .iter()
+                .any(|r| s.eq_ignore_ascii_case(r))
+            {
                 return Ok(Some(self.expect_ident()?));
             }
         }
@@ -608,8 +612,8 @@ impl Parser {
                 if let Some(Token::Str(_)) = self.tokens.get(self.pos + 1).map(|s| &s.token) {
                     self.pos += 1;
                     let s = self.expect_string()?;
-                    let d = parse_date_literal(&s)
-                        .ok_or_else(|| self.err("invalid DATE literal"))?;
+                    let d =
+                        parse_date_literal(&s).ok_or_else(|| self.err("invalid DATE literal"))?;
                     return Ok(Expr::Literal(Value::Date(d)));
                 }
             }
@@ -746,7 +750,8 @@ mod tests {
 
     #[test]
     fn aliases_and_qualified_columns() {
-        let s = sel("select C.Name from Country C, CountryLanguage CL where C.Code = CL.CountryCode");
+        let s =
+            sel("select C.Name from Country C, CountryLanguage CL where C.Code = CL.CountryCode");
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].binding_name(), "C");
         assert!(s.where_clause.is_some());
@@ -754,13 +759,14 @@ mod tests {
 
     #[test]
     fn aggregates_and_group_by() {
-        let s = sel(
-            "select Region, AVG(LifeExpectancy) from Country group by Region limit 5",
-        );
+        let s = sel("select Region, AVG(LifeExpectancy) from Country group by Region limit 5");
         assert_eq!(s.group_by.len(), 1);
         assert_eq!(s.limit, Some(5));
         match &s.projection[1] {
-            SelectItem::Expr { expr: Expr::Agg { func, .. }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Agg { func, .. },
+                ..
+            } => {
                 assert_eq!(*func, AggFunc::Avg)
             }
             other => panic!("unexpected projection {other:?}"),
@@ -771,11 +777,17 @@ mod tests {
     fn count_star_and_distinct() {
         let s = sel("select count(*), count(distinct Continent) from Country");
         match &s.projection[0] {
-            SelectItem::Expr { expr: Expr::Agg { arg, .. }, .. } => assert!(arg.is_none()),
+            SelectItem::Expr {
+                expr: Expr::Agg { arg, .. },
+                ..
+            } => assert!(arg.is_none()),
             _ => panic!(),
         }
         match &s.projection[1] {
-            SelectItem::Expr { expr: Expr::Agg { distinct, .. }, .. } => assert!(distinct),
+            SelectItem::Expr {
+                expr: Expr::Agg { distinct, .. },
+                ..
+            } => assert!(distinct),
             _ => panic!(),
         }
     }
@@ -807,10 +819,7 @@ mod tests {
         let s = sel(
             "select FromNodeId from dblp A where A.FromNodeId in (select FromNodeId from dblp B where B.ToNodeId = 38868)",
         );
-        assert!(matches!(
-            s.where_clause.unwrap(),
-            Expr::InSubquery { .. }
-        ));
+        assert!(matches!(s.where_clause.unwrap(), Expr::InSubquery { .. }));
     }
 
     #[test]
@@ -880,7 +889,10 @@ mod tests {
         let s = sel("select -5, -2.5 from t");
         assert!(matches!(
             s.projection[0],
-            SelectItem::Expr { expr: Expr::Literal(Value::Int(-5)), .. }
+            SelectItem::Expr {
+                expr: Expr::Literal(Value::Int(-5)),
+                ..
+            }
         ));
     }
 
@@ -893,7 +905,10 @@ mod tests {
     #[test]
     fn qualified_wildcard() {
         let s = sel("select C.* from Country C");
-        assert_eq!(s.projection, vec![SelectItem::QualifiedWildcard("C".into())]);
+        assert_eq!(
+            s.projection,
+            vec![SelectItem::QualifiedWildcard("C".into())]
+        );
     }
 
     #[test]

@@ -211,7 +211,9 @@ impl PExpr {
                 left.walk(f);
                 right.walk(f);
             }
-            PExpr::Between { expr, low, high, .. } => {
+            PExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk(f);
                 low.walk(f);
                 high.walk(f);
@@ -278,7 +280,9 @@ impl PExpr {
                 left.map_slots(f);
                 right.map_slots(f);
             }
-            PExpr::Between { expr, low, high, .. } => {
+            PExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.map_slots(f);
                 low.map_slots(f);
                 high.map_slots(f);
@@ -535,12 +539,12 @@ impl<'a> Resolver<'a> {
         for tref in &stmt.from {
             let (rel, columns) = match tref {
                 TableRef::Table { name, alias } => {
-                    let idx = self.db.table_index(name).ok_or_else(|| {
-                        EngineError::plan(format!("unknown table {name}"))
-                    })?;
+                    let idx = self
+                        .db
+                        .table_index(name)
+                        .ok_or_else(|| EngineError::plan(format!("unknown table {name}")))?;
                     let schema = &self.db.table_at(idx).schema;
-                    let cols: Vec<String> =
-                        schema.columns.iter().map(|c| c.name.clone()).collect();
+                    let cols: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
                     (
                         PRelation::Base {
                             table: idx,
@@ -672,7 +676,9 @@ impl<'a> Resolver<'a> {
                         }
                     }
                     if grouped {
-                        return Err(EngineError::plan("SELECT * cannot be combined with aggregation"));
+                        return Err(EngineError::plan(
+                            "SELECT * cannot be combined with aggregation",
+                        ));
                     }
                 }
                 SelectItem::QualifiedWildcard(t) => {
@@ -680,7 +686,9 @@ impl<'a> Resolver<'a> {
                         .bindings
                         .iter()
                         .find(|b| b.name.eq_ignore_ascii_case(t))
-                        .ok_or_else(|| EngineError::plan(format!("unknown relation {t} in {t}.*")))?;
+                        .ok_or_else(|| {
+                            EngineError::plan(format!("unknown relation {t} in {t}.*"))
+                        })?;
                     for (ci, cname) in b.columns.iter().enumerate() {
                         projections.push(Projection {
                             expr: PExpr::Slot(b.offset + ci),
@@ -688,7 +696,9 @@ impl<'a> Resolver<'a> {
                         });
                     }
                     if grouped {
-                        return Err(EngineError::plan("SELECT t.* cannot be combined with aggregation"));
+                        return Err(EngineError::plan(
+                            "SELECT t.* cannot be combined with aggregation",
+                        ));
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
@@ -972,11 +982,8 @@ mod tests {
 
     #[test]
     fn ambiguous_column_rejected() {
-        let err = plan_select(
-            &parse_select("select uid from User, Tweet").unwrap(),
-            &db(),
-        )
-        .unwrap_err();
+        let err =
+            plan_select(&parse_select("select uid from User, Tweet").unwrap(), &db()).unwrap_err();
         assert!(err.to_string().contains("ambiguous"));
     }
 
@@ -1026,11 +1033,8 @@ mod tests {
 
     #[test]
     fn duplicate_binding_rejected() {
-        let err = plan_select(
-            &parse_select("select 1 from User, User").unwrap(),
-            &db(),
-        )
-        .unwrap_err();
+        let err =
+            plan_select(&parse_select("select 1 from User, User").unwrap(), &db()).unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 

@@ -6,6 +6,7 @@
 //! domains, and fixed relation cardinalities. All of that metadata lives here
 //! so both the executor and the pricing layer share one source of truth.
 
+use crate::error::{EngineError, Result};
 use crate::value::Value;
 use std::fmt;
 
@@ -116,8 +117,21 @@ impl TableSchema {
     /// Creates a schema; `primary_key` lists column *names*.
     ///
     /// # Panics
-    /// Panics if a primary-key name does not match any column.
+    /// Panics if a primary-key name does not match any column. Callers
+    /// handling untrusted schema definitions should use
+    /// [`TableSchema::try_new`] instead.
     pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: &[&str]) -> Self {
+        Self::try_new(name, columns, primary_key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`TableSchema::new`]: returns
+    /// [`EngineError::Schema`] instead of panicking when a primary-key name
+    /// does not match any column.
+    pub fn try_new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: &[&str],
+    ) -> Result<Self> {
         let name = name.into();
         let pk = primary_key
             .iter()
@@ -125,15 +139,17 @@ impl TableSchema {
                 columns
                     .iter()
                     .position(|c| c.name.eq_ignore_ascii_case(k))
-                    .unwrap_or_else(|| panic!("primary key column {k} not found in {name}"))
+                    .ok_or_else(|| {
+                        EngineError::schema(format!("primary key column {k} not found in {name}"))
+                    })
             })
-            .collect();
-        TableSchema {
+            .collect::<Result<Vec<usize>>>()?;
+        Ok(TableSchema {
             name,
             columns,
             primary_key: pk,
             foreign_keys: Vec::new(),
-        }
+        })
     }
 
     /// Registers a foreign key by column names.
@@ -226,6 +242,28 @@ mod tests {
     #[should_panic(expected = "primary key column missing not found")]
     fn bad_pk_panics() {
         TableSchema::new("T", vec![ColumnDef::new("a", DataType::Int)], &["missing"]);
+    }
+
+    #[test]
+    fn bad_pk_try_new_returns_schema_error() {
+        let err = TableSchema::try_new("T", vec![ColumnDef::new("a", DataType::Int)], &["missing"])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Schema(_)), "got {err:?}");
+        assert!(err.to_string().contains("primary key column missing"));
+    }
+
+    #[test]
+    fn try_new_accepts_valid_composite_key() {
+        let schema = TableSchema::try_new(
+            "T",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+            ],
+            &["b", "a"],
+        )
+        .unwrap();
+        assert_eq!(schema.primary_key, vec![1, 0]);
     }
 
     #[test]

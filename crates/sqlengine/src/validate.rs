@@ -59,7 +59,10 @@ impl fmt::Display for Violation {
                 row,
                 column,
                 value,
-            } => write!(f, "{table} row {row}: {column} = {value} outside its domain"),
+            } => write!(
+                f,
+                "{table} row {row}: {column} = {value} outside its domain"
+            ),
         }
     }
 }
@@ -99,9 +102,7 @@ pub fn check_database(db: &Database) -> Vec<Violation> {
                     Domain::IntRange(lo, hi) => {
                         v.as_i64().is_some_and(|x| (*lo..=*hi).contains(&x))
                     }
-                    Domain::FloatRange(lo, hi) => {
-                        v.as_f64().is_some_and(|x| x >= *lo && x <= *hi)
-                    }
+                    Domain::FloatRange(lo, hi) => v.as_f64().is_some_and(|x| x >= *lo && x <= *hi),
                 }
             };
             if col.domain.is_active() {
@@ -155,11 +156,7 @@ mod tests {
 
     fn parent_child() -> Database {
         let mut db = Database::new();
-        let parent = TableSchema::new(
-            "P",
-            vec![ColumnDef::new("id", DataType::Int)],
-            &["id"],
-        );
+        let parent = TableSchema::new("P", vec![ColumnDef::new("id", DataType::Int)], &["id"]);
         db.add_table(parent.clone(), vec![vec![1.into()], vec![2.into()]]);
         let mut child = TableSchema::new(
             "C",
@@ -170,7 +167,10 @@ mod tests {
             &["id"],
         );
         child.add_foreign_key(&["pid"], "P", &parent, &["id"]);
-        db.add_table(child, vec![vec![1.into(), 1.into()], vec![2.into(), 2.into()]]);
+        db.add_table(
+            child,
+            vec![vec![1.into(), 1.into()], vec![2.into(), 2.into()]],
+        );
         db
     }
 
@@ -184,9 +184,11 @@ mod tests {
         let mut db = parent_child();
         db.table_mut("P").unwrap().set_cell(1, 0, 1.into());
         let v = check_database(&db);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, Violation::DuplicateKey { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DuplicateKey { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -162,7 +162,7 @@ fn group_by_expression_key() {
     )
     .unwrap();
     assert_eq!(out.rows.len(), 2); // {0: 3 rows (20, 20, v? 10%20=10...)}
-    // v values: 10, 20, 30, 20 → v%20: 10, 0, 10, 0.
+                                   // v values: 10, 20, 30, 20 → v%20: 10, 0, 10, 0.
     assert_eq!(out.rows[0], vec![Value::Int(0), Value::Int(2)]);
     assert_eq!(out.rows[1], vec![Value::Int(10), Value::Int(2)]);
 }

@@ -80,8 +80,7 @@ fn like_reference(pattern: &[char], s: &[char]) -> bool {
         (None, None) => true,
         (None, Some(_)) => false,
         (Some('%'), _) => {
-            like_reference(&pattern[1..], s)
-                || (!s.is_empty() && like_reference(pattern, &s[1..]))
+            like_reference(&pattern[1..], s) || (!s.is_empty() && like_reference(pattern, &s[1..]))
         }
         (Some('_'), Some(_)) => like_reference(&pattern[1..], &s[1..]),
         (Some(p), Some(c)) => *p == *c && like_reference(&pattern[1..], &s[1..]),

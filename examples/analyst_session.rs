@@ -26,7 +26,10 @@ fn main() {
     .expect("broker");
 
     println!("== crash-data analyst session ==");
-    println!("dataset price: $100.00, support set: {}\n", broker.support_size());
+    println!(
+        "dataset price: $100.00, support set: {}\n",
+        broker.support_size()
+    );
 
     let narrative = [
         "state-by-state crash counts",
@@ -41,8 +44,10 @@ fn main() {
         oblivious_total += quote;
         let purchase = broker.buy("analyst", sql).expect("buy");
         println!("{label}");
-        println!("    quote ${quote:>6.2}   charged ${:>6.2}   running total ${:>6.2}",
-            purchase.price, purchase.total_paid);
+        println!(
+            "    quote ${quote:>6.2}   charged ${:>6.2}   running total ${:>6.2}",
+            purchase.price, purchase.total_paid
+        );
         // Show a sample of the answer.
         for row in purchase.output.rows.iter().take(3) {
             let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
@@ -61,7 +66,10 @@ fn main() {
     }
 
     println!("history-oblivious sum of quotes : ${oblivious_total:>7.2}");
-    println!("history-aware session total     : ${:>7.2}", broker.buyer_paid("analyst"));
+    println!(
+        "history-aware session total     : ${:>7.2}",
+        broker.buyer_paid("analyst")
+    );
     println!("re-running the workload costs   : ${rerun:>7.2}");
     assert!(broker.buyer_paid("analyst") <= oblivious_total + 1e-9);
     assert_eq!(rerun, 0.0);

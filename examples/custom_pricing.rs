@@ -49,7 +49,10 @@ fn main() {
 
     // The enforced points bind exactly.
     let country = broker.quote("SELECT * FROM Country").unwrap();
-    assert!((country - 70.0).abs() < 1e-3, "Country point binds: {country}");
+    assert!(
+        (country - 70.0).abs() < 1e-3,
+        "Country point binds: {country}"
+    );
     let pop = broker.quote("SELECT ID, Population FROM Country").unwrap();
     assert!((pop - 25.0).abs() < 1e-3, "Population point binds: {pop}");
 

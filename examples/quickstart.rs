@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use qirana::{Qirana, QiranaConfig, SupportConfig};
 use qirana::sqlengine::{ColumnDef, DataType, Database, TableSchema};
+use qirana::{Qirana, QiranaConfig, SupportConfig};
 
 fn main() {
     // 1. The dataset for sale: the paper's running-example Twitter database.
@@ -61,7 +61,10 @@ fn main() {
     )
     .expect("broker setup");
 
-    println!("support set: {} neighboring instances\n", broker.support_size());
+    println!(
+        "support set: {} neighboring instances\n",
+        broker.support_size()
+    );
 
     // 3. Price a few queries (history-oblivious quotes).
     let queries = [
@@ -90,6 +93,9 @@ fn main() {
     let q2 = broker
         .quote("SELECT gender, count(*) FROM User GROUP BY gender")
         .unwrap();
-    println!("arbitrage check: p(Q1) = {q1:.2} <= p(Q2) = {q2:.2}: {}", q1 <= q2);
+    println!(
+        "arbitrage check: p(Q1) = {q1:.2} <= p(Q2) = {q2:.2}: {}",
+        q1 <= q2
+    );
     assert!(q1 <= q2 + 1e-9);
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example twitter_market`
 
-use qirana::{Qirana, QiranaConfig, SupportConfig};
 use qirana::sqlengine::{ColumnDef, DataType, Database, TableSchema};
+use qirana::{Qirana, QiranaConfig, SupportConfig};
 
 fn db() -> Database {
     let mut db = Database::new();
@@ -79,7 +79,10 @@ fn main() {
 
     // Alice buys Q2.
     let p = broker.buy("alice", q2).unwrap();
-    println!("\nalice buys Q2 for ${:.2} (total ${:.2})", p.price, p.total_paid);
+    println!(
+        "\nalice buys Q2 for ${:.2} (total ${:.2})",
+        p.price, p.total_paid
+    );
     for row in &p.output.rows {
         println!("    {} -> {}", row[0], row[1]);
     }
@@ -101,18 +104,27 @@ fn main() {
     // Alice buys Q3; because she owns Q2 already, the history-aware price
     // only charges the *new* information.
     let p = broker.buy("alice", q3).unwrap();
-    println!("\nalice buys Q3 for ${:.2} (total ${:.2})", p.price, p.total_paid);
+    println!(
+        "\nalice buys Q3 for ${:.2} (total ${:.2})",
+        p.price, p.total_paid
+    );
 
     // Q5 (male count) is fully determined by Q2 — free under history-aware
     // pricing, exactly the last step of Example 1.1.
     let q5 = "SELECT count(*) FROM User WHERE gender = 'm'";
     let p = broker.buy("alice", q5).unwrap();
-    println!("alice buys Q5 for ${:.2} (already determined by Q2)", p.price);
+    println!(
+        "alice buys Q5 for ${:.2} (already determined by Q2)",
+        p.price
+    );
     assert_eq!(p.price, 0.0);
 
     // A fresh buyer pays full freight for the same query.
     let p = broker.buy("mallory", q5).unwrap();
-    println!("\nmallory (no history) pays ${:.2} for the same Q5", p.price);
+    println!(
+        "\nmallory (no history) pays ${:.2} for the same Q5",
+        p.price
+    );
     assert!(p.price > 0.0);
 
     println!(

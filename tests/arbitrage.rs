@@ -153,9 +153,7 @@ fn uniform_entropy_gain_has_bundle_arbitrage_room() {
         ])
         .unwrap();
     assert!((all - 100.0).abs() < 1e-6, "Q_all must price at P: {all}");
-    let tiny = q
-        .quote("SELECT Name FROM Country WHERE ID = 1")
-        .unwrap();
+    let tiny = q.quote("SELECT Name FROM Country WHERE ID = 1").unwrap();
     assert!(tiny < all);
 }
 
@@ -172,10 +170,7 @@ fn constant_queries_are_free() {
             "SELECT 1",
         ] {
             let p = q.quote(sql).unwrap();
-            assert!(
-                p.abs() < 1e-9,
-                "{f:?}: constant query {sql} priced at {p}"
-            );
+            assert!(p.abs() < 1e-9, "{f:?}: constant query {sql} priced at {p}");
         }
     }
 }
@@ -250,10 +245,10 @@ fn uniform_entropy_gain_bundle_arbitrage_witness() {
 
     let q1 = prepare_query(&db, "select v from T where id = 0").unwrap();
     let q2 = prepare_query(&db, "select v from T where id = 1").unwrap();
-    let b1 = bundle_disagreements(&mut db, &[&q1], &support, EngineOptions::default(), None)
-        .unwrap();
-    let b2 = bundle_disagreements(&mut db, &[&q2], &support, EngineOptions::default(), None)
-        .unwrap();
+    let b1 =
+        bundle_disagreements(&mut db, &[&q1], &support, EngineOptions::default(), None).unwrap();
+    let b2 =
+        bundle_disagreements(&mut db, &[&q2], &support, EngineOptions::default(), None).unwrap();
     assert_eq!(b1.iter().filter(|&&b| b).count(), 1, "Q1 hits exactly one");
     assert_eq!(b2.iter().filter(|&&b| b).count(), 1, "Q2 hits exactly one");
     assert!(b1.iter().zip(&b2).all(|(a, b)| !(a & b)), "disjoint hits");

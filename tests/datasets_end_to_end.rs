@@ -35,7 +35,10 @@ fn world_workload_prices_in_range() {
     }
     // Qw10 is all of Country: it must carry a substantial share of P.
     let p_full_country = q.quote(queries::WORLD_QUERIES[9]).unwrap();
-    assert!(p_full_country > 20.0, "full Country priced at {p_full_country}");
+    assert!(
+        p_full_country > 20.0,
+        "full Country priced at {p_full_country}"
+    );
 }
 
 #[test]
@@ -147,7 +150,10 @@ fn support_updates_stay_inside_possible_worlds() {
     for up in &updates {
         let undo = up.apply(&mut db);
         let violations = check_database(&db);
-        assert!(violations.is_empty(), "update {up:?} left I: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "update {up:?} left I: {violations:?}"
+        );
         assert_eq!(db.total_rows(), rows_before, "cardinality must be fixed");
         apply_writes(&mut db, &undo);
     }

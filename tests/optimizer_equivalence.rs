@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use qirana::core::{
-    bundle_disagreements, generate_support, prepare_query, EngineOptions, Prepared,
-    SupportConfig, SupportSet,
+    bundle_disagreements, generate_support, prepare_query, EngineOptions, Prepared, SupportConfig,
+    SupportSet,
 };
 use qirana::sqlengine::{ColumnDef, DataType, Database, TableSchema, Value};
 
@@ -111,22 +111,17 @@ fn check_all_configs(db: &mut Database, support: &SupportSet) {
                 optimize: false,
                 batch: false,
                 reduce: true,
+                ..Default::default()
             },
         ] {
             let got = bundle_disagreements(db, &bundle, support, opts, None).unwrap();
-            assert_eq!(
-                got, naive,
-                "engine mismatch for {:?} under {opts:?}",
-                q.sql
-            );
+            assert_eq!(got, naive, "engine mismatch for {:?} under {opts:?}", q.sql);
         }
     }
     // Whole pool as one bundle, too.
     let bundle: Vec<&Prepared> = prepared.iter().collect();
-    let naive =
-        bundle_disagreements(db, &bundle, support, EngineOptions::naive(), None).unwrap();
-    let opt =
-        bundle_disagreements(db, &bundle, support, EngineOptions::default(), None).unwrap();
+    let naive = bundle_disagreements(db, &bundle, support, EngineOptions::naive(), None).unwrap();
+    let opt = bundle_disagreements(db, &bundle, support, EngineOptions::default(), None).unwrap();
     assert_eq!(opt, naive, "bundle mismatch");
 }
 

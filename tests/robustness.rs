@@ -1,0 +1,330 @@
+//! End-to-end robustness: execution budgets, solver deadlines, and
+//! injected faults must surface as structured errors — never panics, never
+//! unbounded runtime — and the broker must degrade or recover exactly as
+//! documented (README "Robustness & degradation").
+//!
+//! Every test that arms a failpoint holds the [`fault::serialize_tests`]
+//! guard: the fault registry is process-global and `cargo test` runs tests
+//! concurrently.
+
+use qirana::core::fault;
+use qirana::core::WeightError;
+use qirana::solver::AbortCause;
+use qirana::sqlengine::{BudgetResource, ColumnDef, DataType, EngineError, TableSchema};
+use qirana::{
+    BrokerError, Database, EngineOptions, ExecBudget, PricePoint, Qirana, QiranaConfig,
+    RetryPolicy, SupportConfig,
+};
+use std::time::{Duration, Instant};
+
+fn twitter_db() -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "User",
+            vec![
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("gender", DataType::Str),
+                ColumnDef::new("age", DataType::Int),
+            ],
+            &["uid"],
+        ),
+        (1..=8i64)
+            .map(|i| {
+                vec![
+                    i.into(),
+                    if i % 2 == 0 { "f" } else { "m" }.into(),
+                    (10 + i * 3).into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    db.add_table(
+        TableSchema::new(
+            "Tweet",
+            vec![
+                ColumnDef::new("tid", DataType::Int),
+                ColumnDef::new("uid", DataType::Int),
+            ],
+            &["tid"],
+        ),
+        (1..=10i64)
+            .map(|i| vec![i.into(), (i % 8 + 1).into()])
+            .collect::<Vec<_>>(),
+    );
+    db
+}
+
+fn small_support() -> SupportConfig {
+    SupportConfig {
+        size: 60,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure mode 1: execution budget trips mid-join
+// ---------------------------------------------------------------------------
+
+#[test]
+fn row_budget_trips_mid_join_as_structured_error() {
+    let mut broker = Qirana::new(
+        twitter_db(),
+        QiranaConfig {
+            support: small_support(),
+            engine: EngineOptions::default().with_budget(ExecBudget::UNLIMITED.with_max_rows(3)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // The join materializes more than 3 rows, so pricing must stop
+    // cooperatively with the typed budget error — not garbage, not a panic.
+    let err = broker
+        .quote("SELECT gender FROM User, Tweet WHERE User.uid = Tweet.uid")
+        .unwrap_err();
+    match err {
+        BrokerError::Engine(EngineError::BudgetExceeded { resource, limit }) => {
+            assert_eq!(resource, BudgetResource::Rows);
+            assert_eq!(limit, 3);
+        }
+        other => panic!("expected a rows budget trip, got {other}"),
+    }
+    // A trip is per-call, not a poisoned state: the same quote fails the
+    // same way again (budgets reset per context), no panic, no wedging.
+    let again = broker
+        .quote("SELECT gender FROM User, Tweet WHERE User.uid = Tweet.uid")
+        .unwrap_err();
+    assert!(
+        matches!(again, BrokerError::Engine(e) if e.is_budget_exceeded()),
+        "deterministic repeat trip expected"
+    );
+}
+
+#[test]
+fn expired_deadline_trips_immediately_and_is_bounded() {
+    let mut broker = Qirana::new(
+        twitter_db(),
+        QiranaConfig {
+            support: small_support(),
+            engine: EngineOptions::default()
+                .with_budget(ExecBudget::UNLIMITED.with_timeout(Duration::ZERO)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let start = Instant::now();
+    let err = broker.quote("SELECT * FROM User").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BrokerError::Engine(EngineError::BudgetExceeded {
+                resource: BudgetResource::WallClock,
+                ..
+            })
+        ),
+        "got {err}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(5), "must fail fast");
+}
+
+#[test]
+fn failed_purchase_does_not_charge_the_buyer() {
+    let mut broker = Qirana::new(
+        twitter_db(),
+        QiranaConfig {
+            support: small_support(),
+            engine: EngineOptions::default().with_budget(ExecBudget::UNLIMITED.with_max_rows(2)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let err = broker.buy("alice", "SELECT * FROM User").unwrap_err();
+    assert!(
+        matches!(err, BrokerError::Engine(e) if e.is_budget_exceeded()),
+        "budget trip expected"
+    );
+    assert_eq!(broker.buyer_paid("alice"), 0.0, "no charge on failure");
+    assert_eq!(broker.buyer_coverage("alice"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Failure mode 2: solver deadline mid-quote → graceful degradation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn solver_timeout_degrades_to_uniform_weights() {
+    let cfg = QiranaConfig {
+        support: small_support(),
+        price_points: vec![PricePoint::new("SELECT * FROM User", 70.0)],
+        solver: qirana::solver::SolverOptions::default().with_time_limit(Duration::ZERO),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let mut broker = Qirana::new(twitter_db(), cfg).unwrap();
+    assert!(
+        broker.is_degraded(),
+        "every solve attempt hits the zero deadline, so the broker must \
+         fall back to uniform weights"
+    );
+    // Quotes carry the flag and stay arbitrage-free: Q_all still prices at P.
+    let q = broker
+        .quote_bundle_ex(&["SELECT * FROM User", "SELECT * FROM Tweet"])
+        .unwrap();
+    assert!(q.degraded);
+    assert!((q.price - 100.0).abs() < 1e-9, "Q_all = P even degraded");
+    // Purchases carry it too.
+    let p = broker
+        .buy("bob", "SELECT count(*) FROM User WHERE gender = 'f'")
+        .unwrap();
+    assert!(p.degraded);
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "retries are bounded"
+    );
+}
+
+#[test]
+fn solver_timeout_without_fallback_is_a_typed_error() {
+    let cfg = QiranaConfig {
+        support: small_support(),
+        price_points: vec![PricePoint::new("SELECT * FROM User", 70.0)],
+        solver: qirana::solver::SolverOptions::default().with_time_limit(Duration::ZERO),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            fallback_to_uniform: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let err = Qirana::new(twitter_db(), cfg).unwrap_err();
+    match err {
+        BrokerError::Weights(WeightError::SolverAborted { cause, .. }) => {
+            assert_eq!(cause, AbortCause::TimeLimit);
+        }
+        other => panic!("expected SolverAborted, got {other}"),
+    }
+}
+
+#[test]
+fn infeasible_price_points_degrade_with_flag() {
+    // A subset priced above the whole dataset: infeasible on every support
+    // set, so after the retry/backoff ladder the broker must degrade.
+    let cfg = QiranaConfig {
+        support: small_support(),
+        price_points: vec![PricePoint::new("SELECT * FROM User", 170.0)],
+        ..Default::default()
+    };
+    let mut broker = Qirana::new(twitter_db(), cfg).unwrap();
+    assert!(broker.is_degraded());
+    let q = broker.quote_ex("SELECT * FROM User").unwrap();
+    assert!(q.degraded);
+    assert!(q.price > 0.0 && q.price <= 100.0 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Failure mode 3: injected support-generation failure
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_support_failure_exhausts_retries_as_typed_error() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    fault::arm(fault::SUPPORT_GENERATE, fault::Trigger::Always);
+    let start = Instant::now();
+    let err = Qirana::new(
+        twitter_db(),
+        QiranaConfig {
+            support: small_support(),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    fault::reset();
+    assert!(
+        matches!(err, BrokerError::Support(_)),
+        "support failure must surface typed, got {err}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(5), "retries bounded");
+}
+
+#[test]
+fn injected_support_failure_recovers_on_retry() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    // First generation attempt fails; the reseeded retry succeeds — the
+    // §3.3 reaction loop absorbs a transient failure.
+    fault::arm(fault::SUPPORT_GENERATE, fault::Trigger::Once);
+    let mut broker = Qirana::new(
+        twitter_db(),
+        QiranaConfig {
+            support: small_support(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(fault::fired_count(fault::SUPPORT_GENERATE), 1);
+    fault::reset();
+    assert!(!broker.is_degraded(), "a clean retry is not a degradation");
+    let p = broker.quote("SELECT * FROM User").unwrap();
+    assert!(p > 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Failure mode 4: injected engine failure mid-quote
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_engine_failure_fails_one_quote_then_recovers() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    let mut broker = Qirana::new(
+        twitter_db(),
+        QiranaConfig {
+            support: small_support(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    fault::arm(fault::ENGINE_EXECUTE, fault::Trigger::Once);
+    let err = broker.quote("SELECT * FROM User").unwrap_err();
+    assert!(
+        err.to_string().contains("injected fault"),
+        "engine fault must carry its provenance: {err}"
+    );
+    let p = broker.quote("SELECT * FROM User").unwrap();
+    fault::reset();
+    assert!(p > 0.0, "the failpoint disarmed; pricing works again");
+}
+
+// ---------------------------------------------------------------------------
+// Failure mode 5: injected fault during buy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_buy_failure_charges_nothing_then_recovers() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    let mut broker = Qirana::new(
+        twitter_db(),
+        QiranaConfig {
+            support: small_support(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    fault::arm(fault::BROKER_BUY, fault::Trigger::Once);
+    let sql = "SELECT gender, count(*) FROM User GROUP BY gender";
+    let err = broker.buy("carol", sql).unwrap_err();
+    assert!(matches!(err, BrokerError::Injected(_)), "got {err}");
+    assert_eq!(
+        broker.buyer_paid("carol"),
+        0.0,
+        "failed buy charges nothing"
+    );
+    // The retry goes through and history-aware accounting is intact.
+    let first = broker.buy("carol", sql).unwrap();
+    assert!(first.price > 0.0);
+    let second = broker.buy("carol", sql).unwrap();
+    fault::reset();
+    assert_eq!(second.price, 0.0, "repeat purchase still free after fault");
+}

@@ -9,11 +9,7 @@ use qirana::sqlengine::{query, Value};
 fn count_equals_sum_of_ones() {
     let db = world::generate(21);
     let a = query(&db, "select count(*) from City where Population > 500000").unwrap();
-    let b = query(
-        &db,
-        "select sum(1) from City where Population > 500000",
-    )
-    .unwrap();
+    let b = query(&db, "select sum(1) from City where Population > 500000").unwrap();
     assert_eq!(a.rows[0][0], b.rows[0][0]);
 }
 
@@ -28,11 +24,7 @@ fn group_by_totals_match_global_count() {
         "select Continent, count(*) from Country group by Continent",
     )
     .unwrap();
-    let sum: i64 = grouped
-        .rows
-        .iter()
-        .map(|r| r[1].as_i64().unwrap())
-        .sum();
+    let sum: i64 = grouped.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
     assert_eq!(sum, total);
 }
 
@@ -73,13 +65,19 @@ fn exists_equals_in_for_uncorrelated_membership() {
 #[test]
 fn avg_equals_sum_over_count() {
     let db = world::generate(25);
-    let avg = query(&db, "select avg(Population) from Country").unwrap().rows[0][0]
+    let avg = query(&db, "select avg(Population) from Country")
+        .unwrap()
+        .rows[0][0]
         .as_f64()
         .unwrap();
-    let sum = query(&db, "select sum(Population) from Country").unwrap().rows[0][0]
+    let sum = query(&db, "select sum(Population) from Country")
+        .unwrap()
+        .rows[0][0]
         .as_f64()
         .unwrap();
-    let cnt = query(&db, "select count(Population) from Country").unwrap().rows[0][0]
+    let cnt = query(&db, "select count(Population) from Country")
+        .unwrap()
+        .rows[0][0]
         .as_i64()
         .unwrap();
     assert!((avg - sum / cnt as f64).abs() < 1e-9);
@@ -200,8 +198,9 @@ fn derived_table_average_matches_direct() {
     let cities = query(&db, "select count(*) from City").unwrap().rows[0][0]
         .as_i64()
         .unwrap();
-    let countries = query(&db, "select count(distinct CountryCode) from City").unwrap().rows
-        [0][0]
+    let countries = query(&db, "select count(distinct CountryCode) from City")
+        .unwrap()
+        .rows[0][0]
         .as_i64()
         .unwrap();
     let expect = cities as f64 / countries as f64;
@@ -220,16 +219,22 @@ fn nulls_propagate_through_aggregates() {
         .column_index("LifeExpectancy")
         .unwrap();
     for r in 0..10 {
-        db.table_mut("Country").unwrap().set_cell(r, le, Value::Null);
+        db.table_mut("Country")
+            .unwrap()
+            .set_cell(r, le, Value::Null);
     }
     let cnt_all = query(&db, "select count(*) from Country").unwrap().rows[0][0]
         .as_i64()
         .unwrap();
-    let cnt_le = query(&db, "select count(LifeExpectancy) from Country").unwrap().rows[0][0]
+    let cnt_le = query(&db, "select count(LifeExpectancy) from Country")
+        .unwrap()
+        .rows[0][0]
         .as_i64()
         .unwrap();
     assert_eq!(cnt_le, cnt_all - 10);
-    let avg = query(&db, "select avg(LifeExpectancy) from Country").unwrap().rows[0][0]
+    let avg = query(&db, "select avg(LifeExpectancy) from Country")
+        .unwrap()
+        .rows[0][0]
         .as_f64()
         .unwrap();
     assert!((40.0..=85.0).contains(&avg), "avg over non-nulls: {avg}");

@@ -115,15 +115,7 @@ fn entropy_partition(c: &mut Criterion) {
     )
     .unwrap();
     c.bench_function("bundle_partition_S300", |b| {
-        b.iter(|| {
-            bundle_partition(
-                &mut db,
-                &[&q],
-                &support,
-                qirana_sqlengine::ExecBudget::UNLIMITED,
-            )
-            .unwrap()
-        })
+        b.iter(|| bundle_partition(&mut db, &[&q], &support, EngineOptions::default()).unwrap())
     });
 }
 

@@ -2,7 +2,7 @@
 //! per-update optimizer ("no batching"), the batched optimizer, and, for
 //! reference, the plain query execution time.
 //!
-//! `cargo run -p qirana-bench --bin fig5 --release -- <ssb|tpch> [--sf F] [--support N] [--naive 1]`
+//! `cargo run -p qirana-bench --bin fig5 --release -- <ssb|tpch> [--sf F] [--support N] [--naive 1] [--threads N]`
 //!
 //! The paper runs SF = 1 with S = 100 000; defaults here are scaled down
 //! (see EXPERIMENTS.md) — the *ratios* between the three columns are the
@@ -10,7 +10,9 @@
 
 use qirana_bench::{time, Args};
 use qirana_core::generate_support;
-use qirana_core::{bundle_disagreements, prepare_query, EngineOptions, SupportConfig, SupportSet};
+use qirana_core::{
+    bundle_disagreements, prepare_query, EngineOptions, Parallelism, SupportConfig, SupportSet,
+};
 use qirana_datagen::queries::{ssb_queries, tpch_queries};
 use qirana_datagen::{ssb, tpch};
 use qirana_sqlengine::{execute, ExecContext};
@@ -25,6 +27,12 @@ fn main() {
     let sf: f64 = args.get("sf", 0.01);
     let support: usize = args.get("support", 2000);
     let include_naive: usize = args.get("naive", 0);
+    let threads: usize = args.get("threads", 1);
+    let par = if threads > 1 {
+        Parallelism::Threads(threads)
+    } else {
+        Parallelism::Sequential
+    };
 
     let (mut db, queries): (_, Vec<(String, String)>) = match which.as_str() {
         "ssb" => (
@@ -47,7 +55,9 @@ fn main() {
         }
     };
 
-    println!("== Figure 5 ({which}, sf={sf}, S={support}): pricing time in seconds ==");
+    println!(
+        "== Figure 5 ({which}, sf={sf}, S={support}, threads={threads}): pricing time in seconds =="
+    );
     let support_set = SupportSet::Neighborhood(generate_support(
         &db,
         &SupportConfig {
@@ -80,20 +90,32 @@ fn main() {
                 &mut db,
                 &[&q],
                 &support_set,
-                EngineOptions::no_batching(),
+                EngineOptions::no_batching().with_parallelism(par),
                 None,
             )
             .unwrap()
         });
         let (_, t_batch) = time(|| {
-            bundle_disagreements(&mut db, &[&q], &support_set, EngineOptions::default(), None)
-                .unwrap()
+            bundle_disagreements(
+                &mut db,
+                &[&q],
+                &support_set,
+                EngineOptions::default().with_parallelism(par),
+                None,
+            )
+            .unwrap()
         });
         print!("{name:<6} {t_nobatch:>14.4} {t_batch:>14.4} {t_exec:>14.4}");
         if include_naive == 1 {
             let (_, t_naive) = time(|| {
-                bundle_disagreements(&mut db, &[&q], &support_set, EngineOptions::naive(), None)
-                    .unwrap()
+                bundle_disagreements(
+                    &mut db,
+                    &[&q],
+                    &support_set,
+                    EngineOptions::naive().with_parallelism(par),
+                    None,
+                )
+                .unwrap()
             });
             print!(" {t_naive:>14.4}");
         }

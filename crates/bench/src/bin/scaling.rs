@@ -1,0 +1,114 @@
+//! Thread-scaling of the parallel pricing executor: wall-clock time of the
+//! naive disagreement loop and the partition (entropy-family) loop over a
+//! large support set, at increasing worker counts.
+//!
+//! `cargo run -p qirana-bench --bin scaling --release -- [--support N] [--seed N] [--max-threads N]`
+//!
+//! Each row prints the sequential baseline, the parallel time, and the
+//! speedup; the disagreement bits / partition fingerprints are asserted
+//! identical across all worker counts (the executor's determinism
+//! guarantee), so the speedup is free of semantic drift.
+
+use qirana_bench::{time, Args};
+use qirana_core::{
+    bundle_disagreements, bundle_partition, generate_support, prepare_query, EngineOptions,
+    Parallelism, SupportConfig, SupportSet,
+};
+use qirana_datagen::world;
+
+fn main() {
+    let args = Args::parse();
+    let support: usize = args.get("support", 10_000);
+    let seed: u64 = args.get("seed", 1);
+    let max_threads: usize = args.get("max-threads", 8);
+
+    let mut db = world::generate(7);
+    let support_set = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: support,
+            seed,
+            ..Default::default()
+        },
+    ));
+
+    let queries = [
+        (
+            "agg",
+            "SELECT Continent, COUNT(*), SUM(Population) FROM Country GROUP BY Continent",
+        ),
+        (
+            "spj",
+            "SELECT Name FROM Country WHERE Population > 10000000",
+        ),
+    ];
+
+    let mut threads = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+
+    println!("== Thread scaling (world dataset, S={support}) ==");
+    println!(
+        "{:<6} {:<10} {:>8} {:>12} {:>9}",
+        "query", "path", "threads", "seconds", "speedup"
+    );
+
+    for (name, sql) in queries {
+        let q = prepare_query(&db, sql).unwrap();
+
+        // Naive disagreement loop: one re-execution per support instance.
+        let mut baseline = 0.0;
+        let mut reference_bits = Vec::new();
+        for &n in &threads {
+            let opts = EngineOptions::naive().with_parallelism(Parallelism::Threads(n));
+            let (bits, secs) =
+                time(|| bundle_disagreements(&mut db, &[&q], &support_set, opts, None).unwrap());
+            if n == 1 {
+                baseline = secs;
+                reference_bits = bits;
+            } else {
+                assert_eq!(
+                    bits, reference_bits,
+                    "parallel bits diverged at {n} threads"
+                );
+            }
+            println!(
+                "{:<6} {:<10} {:>8} {:>12.4} {:>8.2}x",
+                name,
+                "naive",
+                n,
+                secs,
+                baseline / secs
+            );
+        }
+
+        // Partition loop: one bundle fingerprint per support instance.
+        let mut baseline = 0.0;
+        let mut reference_fps = Vec::new();
+        for &n in &threads {
+            let opts = EngineOptions::default().with_parallelism(Parallelism::Threads(n));
+            let (fps, secs) =
+                time(|| bundle_partition(&mut db, &[&q], &support_set, opts).unwrap());
+            if n == 1 {
+                baseline = secs;
+                reference_fps = fps;
+            } else {
+                assert_eq!(
+                    fps, reference_fps,
+                    "parallel partition diverged at {n} threads"
+                );
+            }
+            println!(
+                "{:<6} {:<10} {:>8} {:>12.4} {:>8.2}x",
+                name,
+                "partition",
+                n,
+                secs,
+                baseline / secs
+            );
+        }
+    }
+}

@@ -395,8 +395,7 @@ impl Qirana {
     ) -> Result<f64, BrokerError> {
         let total = self.cfg.total_price;
         if self.cfg.function.needs_partition() {
-            let partition =
-                bundle_partition(&mut self.db, bundle, &self.support, self.cfg.engine.budget)?;
+            let partition = bundle_partition(&mut self.db, bundle, &self.support, self.cfg.engine)?;
             Ok(
                 partition_price(self.cfg.function, total, &self.weights, &partition)?
                     * self.entropy_factor(),
@@ -442,7 +441,7 @@ impl Qirana {
             let factor = self.entropy_factor();
             let total_now = {
                 let partition =
-                    bundle_partition(&mut self.db, &bundle, &self.support, self.cfg.engine.budget)?;
+                    bundle_partition(&mut self.db, &bundle, &self.support, self.cfg.engine)?;
                 partition_price(
                     self.cfg.function,
                     self.cfg.total_price,

@@ -54,9 +54,9 @@ pub fn determines_prepared(
     q1: &Prepared,
     q2: &Prepared,
 ) -> Result<Determinacy, EngineError> {
-    let budget = EngineOptions::default().budget;
-    let part1 = bundle_partition(db, &[q1], support, budget)?;
-    let part2 = bundle_partition(db, &[q2], support, budget)?;
+    let opts = EngineOptions::default();
+    let part1 = bundle_partition(db, &[q1], support, opts)?;
+    let part2 = bundle_partition(db, &[q2], support, opts)?;
 
     // Include agreement-with-D: an instance agreeing with D on Q1 must
     // agree on Q2 too, which partitions alone don't capture (the D-block

@@ -15,6 +15,7 @@ use crate::fault;
 use crate::naive;
 use crate::normal_form::{Prepared, Shape};
 use crate::optimized;
+use crate::parallel::{self, Parallelism};
 use crate::support::SupportSet;
 use qirana_sqlengine::{Database, EngineError, ExecBudget, Fingerprint, QueryOutput};
 
@@ -37,6 +38,11 @@ pub struct EngineOptions {
     /// Trips surface as [`EngineError::BudgetExceeded`]. Unlimited by
     /// default.
     pub budget: ExecBudget,
+    /// Worker-pool size for the per-support-instance loops (naive
+    /// disagreements, partition fingerprints, and the optimizer's
+    /// per-update dynamic checks). Results are bitwise identical to the
+    /// sequential path for any setting; see [`crate::parallel`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for EngineOptions {
@@ -46,6 +52,7 @@ impl Default for EngineOptions {
             batch: true,
             reduce: false,
             budget: ExecBudget::UNLIMITED,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -73,6 +80,12 @@ impl EngineOptions {
     /// Replaces the execution budget.
     pub fn with_budget(mut self, budget: ExecBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Replaces the worker-pool configuration.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -127,9 +140,15 @@ pub fn bundle_disagreements(
     for q in bundle {
         let bits = match support {
             SupportSet::Uniform(worlds) => {
-                naive::disagreements_uniform(db, q, worlds, &active, opts.budget)?
+                let workers = opts.parallelism.workers(worlds.len());
+                if workers > 1 {
+                    parallel::disagreements_uniform(db, q, worlds, &active, opts.budget, workers)?
+                } else {
+                    naive::disagreements_uniform(db, q, worlds, &active, opts.budget)?
+                }
             }
             SupportSet::Neighborhood(updates) => {
+                let workers = opts.parallelism.workers(updates.len());
                 if opts.optimize {
                     match &q.shape {
                         Shape::Spj(s) => {
@@ -138,12 +157,22 @@ pub fn bundle_disagreements(
                         Shape::Agg(s) => {
                             optimized::agg_disagreements(db, q, s, updates, &active, opts)?
                         }
+                        Shape::Opaque { .. } if workers > 1 => parallel::disagreements_nbrs(
+                            db,
+                            q,
+                            updates,
+                            &active,
+                            opts.budget,
+                            workers,
+                        )?,
                         Shape::Opaque { .. } => {
                             naive::disagreements_nbrs(db, q, updates, &active, opts.budget)?
                         }
                     }
                 } else if opts.reduce && matches!(q.shape, Shape::Spj(_)) {
                     naive::reduced_disagreements(db, q, updates, &active, opts.budget)?
+                } else if workers > 1 {
+                    parallel::disagreements_nbrs(db, q, updates, &active, opts.budget, workers)?
                 } else {
                     naive::disagreements_nbrs(db, q, updates, &active, opts.budget)?
                 }
@@ -163,17 +192,30 @@ pub fn bundle_disagreements(
 /// Computes the bundle output fingerprint on every support instance
 /// (Algorithm 2's dictionary keys). Skipped instances fingerprint as the
 /// base output.
+///
+/// Honors `opts.budget` on every execution and fans the per-instance
+/// executions out across `opts.parallelism` workers (fingerprints are
+/// identical for any worker count; see [`crate::parallel`]).
 pub fn bundle_partition(
     db: &mut Database,
     bundle: &[&Prepared],
     support: &SupportSet,
-    budget: ExecBudget,
+    opts: EngineOptions,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
         .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
+    let workers = opts.parallelism.workers(support.len());
     match support {
-        SupportSet::Neighborhood(updates) => naive::partition_nbrs(db, bundle, updates, budget),
-        SupportSet::Uniform(worlds) => naive::partition_uniform(db, bundle, worlds, budget),
+        SupportSet::Neighborhood(updates) if workers > 1 => {
+            parallel::partition_nbrs(db, bundle, updates, opts.budget, workers)
+        }
+        SupportSet::Neighborhood(updates) => {
+            naive::partition_nbrs(db, bundle, updates, opts.budget)
+        }
+        SupportSet::Uniform(worlds) if workers > 1 => {
+            parallel::partition_uniform(bundle, worlds, opts.budget, workers)
+        }
+        SupportSet::Uniform(worlds) => naive::partition_uniform(db, bundle, worlds, opts.budget),
     }
 }
 
@@ -263,7 +305,7 @@ mod tests {
             None,
         )
         .unwrap();
-        bundle_partition(&mut database, &[&q], &support, ExecBudget::UNLIMITED).unwrap();
+        bundle_partition(&mut database, &[&q], &support, EngineOptions::default()).unwrap();
         assert_eq!(database.table("User").unwrap().rows, before);
     }
 

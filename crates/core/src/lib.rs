@@ -67,6 +67,7 @@ pub mod fault;
 pub mod naive;
 pub mod normal_form;
 pub mod optimized;
+pub mod parallel;
 pub mod pricing;
 pub mod support;
 pub mod update;
@@ -76,6 +77,7 @@ pub use broker::{BrokerError, Purchase, Qirana, QiranaConfig, Quote, RetryPolicy
 pub use determinacy::{determines, Determinacy};
 pub use engine::{bundle_disagreements, bundle_partition, EngineOptions};
 pub use normal_form::{prepare_query, Prepared, Shape};
+pub use parallel::Parallelism;
 pub use pricing::{PricingError, PricingFunction};
 pub use support::{
     generate_support, generate_uniform_worlds, try_generate_support, SupportConfig, SupportError,

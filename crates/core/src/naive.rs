@@ -61,20 +61,44 @@ pub fn disagreements_uniform(
 
 /// Bundle output fingerprints per neighborhood instance (Algorithm 2's
 /// dictionary keys).
+///
+/// An update touching a relation the bundle never references cannot change
+/// any member's output, so its instance fingerprints as the base — computed
+/// once and reused instead of re-executing the bundle (mirroring the
+/// unreferenced-relation short-circuit in [`disagreements_nbrs`]).
 pub fn partition_nbrs(
     db: &mut Database,
     bundle: &[&Prepared],
     updates: &[SupportUpdate],
     budget: ExecBudget,
 ) -> Result<Vec<Fingerprint>, EngineError> {
+    let refs = bundle_refs(bundle);
+    let mut base: Option<Fingerprint> = None;
     let mut out = Vec::with_capacity(updates.len());
     for up in updates {
+        if !refs.contains(&up.table()) {
+            let fp = match base {
+                Some(fp) => fp,
+                None => {
+                    let fp = bundle_fps(db, bundle, budget)?;
+                    base = Some(fp);
+                    fp
+                }
+            };
+            out.push(fp);
+            continue;
+        }
         let undo = up.apply(db);
         let fps = bundle_fps(db, bundle, budget);
         apply_writes(db, &undo);
         out.push(fps?);
     }
     Ok(out)
+}
+
+/// Union of the relations referenced by any bundle member.
+pub(crate) fn bundle_refs(bundle: &[&Prepared]) -> std::collections::HashSet<usize> {
+    bundle.iter().flat_map(|q| q.referenced_tables()).collect()
 }
 
 /// Bundle output fingerprints per uniform instance.
@@ -290,6 +314,49 @@ mod tests {
             frac > 0.9,
             "a uniformly random world almost surely differs: {frac}"
         );
+    }
+
+    #[test]
+    fn partition_skips_unreferenced_tables() {
+        // A bundle over T only; updates touch both T and an unrelated
+        // table U. Unreferenced-table instances must fingerprint exactly
+        // as the brute-force apply-execute-undo loop says (the base).
+        let mut database = db();
+        database.add_table(
+            TableSchema::new(
+                "U",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("w", DataType::Int),
+                ],
+                &["id"],
+            ),
+            (0..10i64)
+                .map(|i| vec![i.into(), (i * 7).into()])
+                .collect::<Vec<_>>(),
+        );
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 120,
+                ..Default::default()
+            },
+        );
+        assert!(
+            updates.iter().any(|u| u.table() == 1),
+            "support must touch U for this test to bite"
+        );
+        let q = prepare_query(&database, "select grp, v from T where v > 9").unwrap();
+        let fast = partition_nbrs(&mut database, &[&q], &updates, ExecBudget::UNLIMITED).unwrap();
+        // Brute force: always apply and re-execute.
+        let mut brute = Vec::with_capacity(updates.len());
+        for up in &updates {
+            let undo = up.apply(&mut database);
+            let fp = bundle_fps(&database, &[&q], ExecBudget::UNLIMITED);
+            apply_writes(&mut database, &undo);
+            brute.push(fp.unwrap());
+        }
+        assert_eq!(fast, brute, "skip path changed partition fingerprints");
     }
 
     #[test]

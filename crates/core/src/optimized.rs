@@ -30,6 +30,7 @@
 
 use crate::engine::{bag_fp, EngineOptions};
 use crate::normal_form::{AggShape, Prepared, RelShape, SpjShape};
+use crate::parallel::run_indexed;
 use crate::update::SupportUpdate;
 use qirana_sqlengine::ast::AggFunc;
 use qirana_sqlengine::exec::eval_row_expr;
@@ -238,20 +239,53 @@ pub fn spj_disagreements(
                 }
             }
         } else {
-            for (i, rows) in news {
-                let rows: Vec<Row> = with_upid(rows, *i).collect();
-                let out = run_probe(db, rel, &rows, opts.budget)?;
-                if !out.rows.is_empty() {
-                    bits[*i] = true;
+            let total = news.len() + cmps.len();
+            let workers = opts.parallelism.workers(total);
+            if workers > 1 {
+                // The unbatched probes are read-only (table overrides, no
+                // writes), so workers share the base database by reference.
+                let shared: &Database = db;
+                let flags = run_indexed(
+                    total,
+                    workers,
+                    || (),
+                    |_, j| {
+                        if j < news.len() {
+                            let (i, rows) = &news[j];
+                            let rows: Vec<Row> = with_upid(rows, *i).collect();
+                            let out = run_probe(shared, rel, &rows, opts.budget)?;
+                            Ok((*i, !out.rows.is_empty()))
+                        } else {
+                            let (i, old, new) = &cmps[j - news.len()];
+                            let old_rows: Vec<Row> = with_upid(old, *i).collect();
+                            let new_rows: Vec<Row> = with_upid(new, *i).collect();
+                            let old_fp = bag_fp(run_probe(shared, rel, &old_rows, opts.budget)?);
+                            let new_fp = bag_fp(run_probe(shared, rel, &new_rows, opts.budget)?);
+                            Ok((*i, old_fp != new_fp))
+                        }
+                    },
+                )?;
+                for (i, disagrees) in flags {
+                    if disagrees {
+                        bits[i] = true;
+                    }
                 }
-            }
-            for (i, old, new) in cmps {
-                let old_rows: Vec<Row> = with_upid(old, *i).collect();
-                let new_rows: Vec<Row> = with_upid(new, *i).collect();
-                let old_fp = bag_fp(run_probe(db, rel, &old_rows, opts.budget)?);
-                let new_fp = bag_fp(run_probe(db, rel, &new_rows, opts.budget)?);
-                if old_fp != new_fp {
-                    bits[*i] = true;
+            } else {
+                for (i, rows) in news {
+                    let rows: Vec<Row> = with_upid(rows, *i).collect();
+                    let out = run_probe(db, rel, &rows, opts.budget)?;
+                    if !out.rows.is_empty() {
+                        bits[*i] = true;
+                    }
+                }
+                for (i, old, new) in cmps {
+                    let old_rows: Vec<Row> = with_upid(old, *i).collect();
+                    let new_rows: Vec<Row> = with_upid(new, *i).collect();
+                    let old_fp = bag_fp(run_probe(db, rel, &old_rows, opts.budget)?);
+                    let new_fp = bag_fp(run_probe(db, rel, &new_rows, opts.budget)?);
+                    if old_fp != new_fp {
+                        bits[*i] = true;
+                    }
                 }
             }
         }
@@ -423,10 +457,28 @@ pub fn agg_disagreements(
             let out = run_probe(db, rel, &rows, opts.budget)?;
             apply_addition_analysis(shape, &group_cache, out, &mut bits);
         } else {
-            for (i, rows) in news {
-                let rows: Vec<Row> = with_upid(rows, *i).collect();
-                let out = run_probe(db, rel, &rows, opts.budget)?;
-                apply_addition_analysis(shape, &group_cache, out, &mut bits);
+            let workers = opts.parallelism.workers(news.len());
+            if workers > 1 {
+                let shared: &Database = db;
+                let outs = run_indexed(
+                    news.len(),
+                    workers,
+                    || (),
+                    |_, j| {
+                        let (i, rows) = &news[j];
+                        let rows: Vec<Row> = with_upid(rows, *i).collect();
+                        run_probe(shared, rel, &rows, opts.budget)
+                    },
+                )?;
+                for out in outs {
+                    apply_addition_analysis(shape, &group_cache, out, &mut bits);
+                }
+            } else {
+                for (i, rows) in news {
+                    let rows: Vec<Row> = with_upid(rows, *i).collect();
+                    let out = run_probe(db, rel, &rows, opts.budget)?;
+                    apply_addition_analysis(shape, &group_cache, out, &mut bits);
+                }
             }
         }
     }
@@ -438,11 +490,35 @@ pub fn agg_disagreements(
             plan,
             &ExecContext::new(db).with_budget(opts.budget),
         )?);
-        for i in check_full {
-            let undo = updates[i].apply(db);
-            let fp = execute(plan, &ExecContext::new(db).with_budget(opts.budget)).map(bag_fp);
-            apply_writes(db, &undo);
-            bits[i] = fp? != base;
+        let workers = opts.parallelism.workers(check_full.len());
+        if workers > 1 {
+            // Apply/rerun/undo mutates the database, so each worker gets
+            // its own replica — the paper's "cannot be batched" check is
+            // still embarrassingly parallel across updates.
+            let shared: &Database = db;
+            let flags = run_indexed(
+                check_full.len(),
+                workers,
+                || shared.clone(),
+                |local: &mut Database, j| {
+                    let i = check_full[j];
+                    let undo = updates[i].apply(local);
+                    let fp = execute(plan, &ExecContext::new(local).with_budget(opts.budget))
+                        .map(bag_fp);
+                    apply_writes(local, &undo);
+                    Ok((i, fp? != base))
+                },
+            )?;
+            for (i, bit) in flags {
+                bits[i] = bit;
+            }
+        } else {
+            for i in check_full {
+                let undo = updates[i].apply(db);
+                let fp = execute(plan, &ExecContext::new(db).with_budget(opts.budget)).map(bag_fp);
+                apply_writes(db, &undo);
+                bits[i] = fp? != base;
+            }
         }
     }
     Ok(bits)

@@ -1,0 +1,478 @@
+//! Parallel pricing executor: fans per-support-instance query executions
+//! out across a scoped worker pool.
+//!
+//! The support loop is the system's single hottest path — O(|support| ×
+//! query cost), and every iteration is independent of the others. This
+//! module converts it into near-linear multicore speedup while preserving
+//! three guarantees the sequential path gives:
+//!
+//! * **Determinism.** Results are collected *index-ordered*: each support
+//!   instance's verdict lands in its own slot regardless of which worker
+//!   computed it or when, so disagreement bits — and therefore prices —
+//!   are bitwise identical to the sequential path for any worker count.
+//! * **Budget enforcement.** Every per-instance execution runs under the
+//!   same [`ExecBudget`] as sequentially (one fresh meter per execution,
+//!   deadline measured from that execution's start). The first
+//!   [`EngineError::BudgetExceeded`] — or any other error — raises a
+//!   cooperative stop flag; workers abandon their queues at the next
+//!   instance boundary and the lowest-index error is returned.
+//! * **Replica isolation.** Neighborhood instances are evaluated by
+//!   applying an update and rolling it back; each worker does this against
+//!   its own deep [`Database`] clone (clone-on-spawn), so the caller's
+//!   database is never touched. Uniform worlds are read-only and shared by
+//!   reference — `Database` is `Sync` (asserted at compile time in
+//!   `qirana-sqlengine`), and all interior-mutable execution state lives
+//!   in per-execution `ExecContext`s.
+//!
+//! Work is distributed by chunked atomic stealing: workers grab
+//! [`CHUNK`]-sized index ranges from a shared counter, which balances load
+//! when per-instance cost is skewed (e.g. a handful of updates hit a large
+//! joining relation) without affecting determinism — only *who* computes a
+//! slot varies, never *what* lands in it.
+
+use crate::engine::bag_fp;
+use crate::naive::bundle_refs;
+use crate::normal_form::Prepared;
+use crate::update::SupportUpdate;
+use qirana_sqlengine::update::apply_writes;
+use qirana_sqlengine::{execute, Database, EngineError, ExecBudget, ExecContext, Fingerprint};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How many support instances a worker claims per steal. Large enough to
+/// amortize the atomic, small enough to load-balance skewed instances.
+const CHUNK: usize = 16;
+
+/// Below this many instances the fan-out overhead (thread spawn + replica
+/// clone) outweighs the win; callers fall back to the sequential path.
+const MIN_ITEMS_PER_WORKER: usize = 32;
+
+/// Degree of parallelism for the pricing executor, threaded through
+/// [`crate::EngineOptions`] and honored by every support-loop primitive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-threaded (the default): identical code path to the
+    /// pre-parallel engine.
+    #[default]
+    Sequential,
+    /// A fixed worker-pool size (values 0 and 1 mean sequential).
+    Threads(usize),
+    /// One worker per available hardware thread.
+    Auto,
+}
+
+impl Parallelism {
+    /// Worker count for a support loop of `items` instances: the
+    /// configured cap, shrunk so each worker has at least
+    /// [`MIN_ITEMS_PER_WORKER`] instances (1 = run sequentially).
+    pub fn workers(&self, items: usize) -> usize {
+        let cap = match self {
+            Parallelism::Sequential => return 1,
+            Parallelism::Threads(n) => (*n).max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        cap.min(items / MIN_ITEMS_PER_WORKER).max(1)
+    }
+}
+
+/// Runs `f(ctx, i)` for every `i in 0..n` across `workers` scoped threads
+/// and returns the results index-ordered.
+///
+/// `make_ctx` builds one per-worker context (a database replica, or `()`
+/// for read-only work) on the worker's own thread. Any error raises the
+/// stop flag — remaining workers abandon their queues at the next chunk
+/// boundary — and the error with the lowest index wins deterministically
+/// among those raised.
+pub(crate) fn run_indexed<C, T, M, F>(
+    n: usize,
+    workers: usize,
+    make_ctx: M,
+    f: F,
+) -> Result<Vec<T>, EngineError>
+where
+    C: Send,
+    T: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> Result<T, EngineError> + Sync,
+{
+    debug_assert!(workers > 1, "sequential callers skip the pool");
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    let per_worker: Vec<WorkerResult<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut ctx = make_ctx();
+                    let mut out: Vec<(usize, T)> = Vec::with_capacity(n / workers + CHUNK);
+                    let mut err: Option<(usize, EngineError)> = None;
+                    'steal: while !stop.load(Ordering::Relaxed) {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + CHUNK).min(n) {
+                            match f(&mut ctx, i) {
+                                Ok(v) => out.push((i, v)),
+                                Err(e) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    err = Some((i, e));
+                                    break 'steal;
+                                }
+                            }
+                        }
+                    }
+                    (out, err)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pricing worker panicked"))
+            .collect()
+    });
+
+    let mut first_err: Option<(usize, EngineError)> = None;
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (out, err) in per_worker {
+        for (i, v) in out {
+            slots[i] = Some(v);
+        }
+        if let Some((i, e)) = err {
+            if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                first_err = Some((i, e));
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("worker pool covered every index"))
+        .collect())
+}
+
+type WorkerResult<T> = (Vec<(usize, T)>, Option<(usize, EngineError)>);
+
+/// Parallel [`crate::naive::disagreements_nbrs`]: per-worker database
+/// replicas, apply/execute/undo per active instance.
+pub fn disagreements_nbrs(
+    db: &Database,
+    q: &Prepared,
+    updates: &[SupportUpdate],
+    active: &[bool],
+    budget: ExecBudget,
+    workers: usize,
+) -> Result<Vec<bool>, EngineError> {
+    let refs = q.referenced_tables();
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
+    run_indexed(
+        updates.len(),
+        workers,
+        || db.clone(),
+        |local: &mut Database, i| {
+            if !active[i] || !refs.contains(&updates[i].table()) {
+                return Ok(false);
+            }
+            let undo = updates[i].apply(local);
+            let fp = execute(&q.plan, &ExecContext::new(local).with_budget(budget)).map(bag_fp);
+            apply_writes(local, &undo);
+            Ok(fp? != base)
+        },
+    )
+}
+
+/// Parallel [`crate::naive::disagreements_uniform`]: the worlds are
+/// read-only, so workers share them by reference — no replicas needed.
+pub fn disagreements_uniform(
+    db: &Database,
+    q: &Prepared,
+    worlds: &[Database],
+    active: &[bool],
+    budget: ExecBudget,
+    workers: usize,
+) -> Result<Vec<bool>, EngineError> {
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
+    run_indexed(
+        worlds.len(),
+        workers,
+        || (),
+        |_, i| {
+            if !active[i] {
+                return Ok(false);
+            }
+            let fp = bag_fp(execute(
+                &q.plan,
+                &ExecContext::new(&worlds[i]).with_budget(budget),
+            )?);
+            Ok(fp != base)
+        },
+    )
+}
+
+/// Parallel [`crate::naive::partition_nbrs`]: per-worker replicas, with the
+/// same unreferenced-table short-circuit (those instances fingerprint as
+/// the base, computed once up front).
+pub fn partition_nbrs(
+    db: &Database,
+    bundle: &[&Prepared],
+    updates: &[SupportUpdate],
+    budget: ExecBudget,
+    workers: usize,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    let refs = bundle_refs(bundle);
+    let base = if updates.iter().any(|u| !refs.contains(&u.table())) {
+        Some(bundle_fps(db, bundle, budget)?)
+    } else {
+        None
+    };
+    run_indexed(
+        updates.len(),
+        workers,
+        || db.clone(),
+        |local: &mut Database, i| {
+            if let Some(fp) = base {
+                if !refs.contains(&updates[i].table()) {
+                    return Ok(fp);
+                }
+            }
+            let undo = updates[i].apply(local);
+            let fps = bundle_fps(local, bundle, budget);
+            apply_writes(local, &undo);
+            fps
+        },
+    )
+}
+
+/// Parallel [`crate::naive::partition_uniform`]: read-only shared worlds.
+pub fn partition_uniform(
+    bundle: &[&Prepared],
+    worlds: &[Database],
+    budget: ExecBudget,
+    workers: usize,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    run_indexed(
+        worlds.len(),
+        workers,
+        || (),
+        |_, i| bundle_fps(&worlds[i], bundle, budget),
+    )
+}
+
+fn bundle_fps(
+    db: &Database,
+    bundle: &[&Prepared],
+    budget: ExecBudget,
+) -> Result<Fingerprint, EngineError> {
+    let mut fps = Vec::with_capacity(bundle.len());
+    for q in bundle {
+        fps.push(bag_fp(execute(
+            &q.plan,
+            &ExecContext::new(db).with_budget(budget),
+        )?));
+    }
+    Ok(crate::engine::combine_bundle(&fps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::normal_form::prepare_query;
+    use crate::support::{generate_support, generate_uniform_worlds, SupportConfig};
+    use qirana_sqlengine::{ColumnDef, DataType, TableSchema};
+    use std::time::Duration;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("grp", DataType::Str),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                &["id"],
+            ),
+            (0..30i64)
+                .map(|i| {
+                    vec![
+                        i.into(),
+                        if i % 3 == 0 { "a" } else { "b" }.into(),
+                        (i * 5).into(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        db
+    }
+
+    #[test]
+    fn workers_respects_caps() {
+        assert_eq!(Parallelism::Sequential.workers(1_000_000), 1);
+        assert_eq!(Parallelism::Threads(0).workers(10_000), 1);
+        assert_eq!(Parallelism::Threads(4).workers(10_000), 4);
+        assert_eq!(Parallelism::Threads(4).workers(40), 1);
+        assert_eq!(Parallelism::Threads(4).workers(64), 2);
+        assert!(Parallelism::Auto.workers(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn parallel_nbrs_matches_sequential() {
+        let mut database = db();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 400,
+                ..Default::default()
+            },
+        );
+        let active = vec![true; updates.len()];
+        for sql in [
+            "select v from T where grp = 'a'",
+            "select grp, sum(v) from T group by grp",
+        ] {
+            let q = prepare_query(&database, sql).unwrap();
+            let seq = naive::disagreements_nbrs(
+                &mut database,
+                &q,
+                &updates,
+                &active,
+                ExecBudget::UNLIMITED,
+            )
+            .unwrap();
+            for workers in [2, 3, 8] {
+                let par = disagreements_nbrs(
+                    &database,
+                    &q,
+                    &updates,
+                    &active,
+                    ExecBudget::UNLIMITED,
+                    workers,
+                )
+                .unwrap();
+                assert_eq!(seq, par, "worker count {workers} changed bits for {sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_uniform_matches_sequential() {
+        let database = db();
+        let worlds = generate_uniform_worlds(&database, 64, 9);
+        let active = vec![true; worlds.len()];
+        let q = prepare_query(&database, "select grp, v from T").unwrap();
+        let seq =
+            naive::disagreements_uniform(&database, &q, &worlds, &active, ExecBudget::UNLIMITED)
+                .unwrap();
+        let par = disagreements_uniform(&database, &q, &worlds, &active, ExecBudget::UNLIMITED, 4)
+            .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_partition_matches_sequential() {
+        let mut database = db();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 300,
+                ..Default::default()
+            },
+        );
+        let q1 = prepare_query(&database, "select count(*) from T where v > 40").unwrap();
+        let q2 = prepare_query(&database, "select grp from T").unwrap();
+        let bundle = [&q1, &q2];
+        let seq =
+            naive::partition_nbrs(&mut database, &bundle, &updates, ExecBudget::UNLIMITED).unwrap();
+        let par = partition_nbrs(&database, &bundle, &updates, ExecBudget::UNLIMITED, 4).unwrap();
+        assert_eq!(seq, par);
+
+        let worlds = generate_uniform_worlds(&database, 64, 5);
+        let seq_u =
+            naive::partition_uniform(&database, &bundle, &worlds, ExecBudget::UNLIMITED).unwrap();
+        let par_u = partition_uniform(&bundle, &worlds, ExecBudget::UNLIMITED, 4).unwrap();
+        assert_eq!(seq_u, par_u);
+    }
+
+    #[test]
+    fn caller_database_is_untouched() {
+        let database = db();
+        let before = database.table("T").unwrap().rows.clone();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 200,
+                ..Default::default()
+            },
+        );
+        let q = prepare_query(&database, "select v from T where v > 10").unwrap();
+        disagreements_nbrs(
+            &database,
+            &q,
+            &updates,
+            &vec![true; updates.len()],
+            ExecBudget::UNLIMITED,
+            4,
+        )
+        .unwrap();
+        assert_eq!(database.table("T").unwrap().rows, before);
+    }
+
+    #[test]
+    fn budget_trip_aborts_fan_out() {
+        let database = db();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 300,
+                ..Default::default()
+            },
+        );
+        let q = prepare_query(&database, "select * from T").unwrap();
+        // An already-expired deadline trips on the first execution of
+        // whichever worker gets there first; the pool must abort promptly
+        // and surface BudgetExceeded rather than hang or panic.
+        let budget = ExecBudget::default().with_timeout(Duration::ZERO);
+        let err = disagreements_nbrs(
+            &database,
+            &q,
+            &updates,
+            &vec![true; updates.len()],
+            budget,
+            4,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::BudgetExceeded { .. }),
+            "expected BudgetExceeded, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn run_indexed_returns_lowest_index_error() {
+        // Deterministic error selection: index 7 and 200 both fail; the
+        // lowest must win no matter which worker hits which first.
+        for _ in 0..8 {
+            let err = run_indexed(
+                256,
+                4,
+                || (),
+                |_, i| {
+                    if i == 7 || i == 200 {
+                        Err(EngineError::Eval(format!("boom {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+            .unwrap_err();
+            // Index 7 is in the very first chunk, claimed before any
+            // worker can reach 200 and stop the pool.
+            assert!(err.to_string().ends_with("boom 7"), "{err}");
+        }
+    }
+}

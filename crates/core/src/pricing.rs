@@ -94,17 +94,27 @@ pub fn uniform_entropy_gain(total_price: f64, disagree: &[bool]) -> f64 {
 
 /// Normalizes weights into a probability distribution and sums them per
 /// partition block.
+///
+/// Blocks are accumulated in first-appearance order, not `HashMap`
+/// iteration order: float addition is not associative, and the per-call
+/// randomized hash order made two prices of the *same* partition differ in
+/// the last ulp — breaking the engine's bitwise price determinism.
 fn block_probabilities(weights: &[f64], partition: &[Fingerprint]) -> Vec<f64> {
     assert_eq!(weights.len(), partition.len());
     let total: f64 = weights.iter().sum();
     if total <= 0.0 {
         return Vec::new();
     }
-    let mut blocks: HashMap<Fingerprint, f64> = HashMap::new();
+    let mut index: HashMap<Fingerprint, usize> = HashMap::new();
+    let mut blocks: Vec<f64> = Vec::new();
     for (w, fp) in weights.iter().zip(partition) {
-        *blocks.entry(*fp).or_insert(0.0) += w / total;
+        let i = *index.entry(*fp).or_insert_with(|| {
+            blocks.push(0.0);
+            blocks.len() - 1
+        });
+        blocks[i] += w / total;
     }
-    blocks.into_values().collect()
+    blocks
 }
 
 /// Shannon entropy price (Eq. 3), scaled so that the partition into

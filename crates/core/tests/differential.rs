@@ -1,0 +1,257 @@
+//! Differential tests of the disagreement engine's evaluation strategies.
+//!
+//! The engine has four ways to compute the same semantics: the naive
+//! re-execution loop, the static/dynamic optimized checks (batched and
+//! unbatched), and the parallel executor layered over each. On randomized
+//! databases, support sets, and SPJ/aggregate queries, every strategy must
+//! produce *identical* disagreement bits and partition fingerprints — and
+//! therefore bitwise-identical prices.
+
+use proptest::prelude::*;
+use qirana_core::{
+    bundle_disagreements, bundle_partition, generate_support, generate_uniform_worlds,
+    prepare_query,
+    pricing::{shannon_entropy, weighted_coverage},
+    uniform_weights, EngineOptions, Parallelism, SupportConfig, SupportSet, SupportUpdate,
+};
+use qirana_sqlengine::{
+    ColumnDef, DataType, Database, EngineError, ExecBudget, TableSchema, Value,
+};
+use std::time::Duration;
+
+const GROUPS: [&str; 3] = ["a", "b", "c"];
+
+/// Builds the two-table database under test: `T(id, grp, v)` and a child
+/// relation `U(uid, t_id, w)` for join-shaped queries.
+fn build_db(t_rows: &[(u8, i16)], u_rows: &[(u8, i16)]) -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("grp", DataType::Str),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            &["id"],
+        ),
+        t_rows
+            .iter()
+            .enumerate()
+            .map(|(i, (g, v))| {
+                vec![
+                    (i as i64).into(),
+                    GROUPS[*g as usize % GROUPS.len()].into(),
+                    (*v as i64).into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    db.add_table(
+        TableSchema::new(
+            "U",
+            vec![
+                ColumnDef::new("uid", DataType::Int),
+                ColumnDef::new("t_id", DataType::Int),
+                ColumnDef::new("w", DataType::Int),
+            ],
+            &["uid"],
+        ),
+        u_rows
+            .iter()
+            .enumerate()
+            .map(|(i, (t, w))| {
+                vec![
+                    (i as i64).into(),
+                    (*t as i64 % t_rows.len().max(1) as i64).into(),
+                    (*w as i64).into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    db
+}
+
+/// The query pool: SPJ, join, and aggregate shapes, parameterized by a
+/// random constant so predicates land on both sides of the data.
+fn query_pool(c: i16) -> Vec<String> {
+    vec![
+        format!("SELECT v FROM T WHERE v > {c}"),
+        "SELECT grp FROM T".to_string(),
+        format!("SELECT count(*) FROM T WHERE v <= {c}"),
+        "SELECT grp, count(*), sum(v) FROM T GROUP BY grp".to_string(),
+        "SELECT min(v), max(v), avg(v) FROM T".to_string(),
+        format!("SELECT T.grp, U.w FROM T, U WHERE T.id = U.t_id AND U.w > {c}"),
+        "SELECT T.grp, sum(U.w) FROM T, U WHERE T.id = U.t_id GROUP BY T.grp".to_string(),
+    ]
+}
+
+const PAR: Parallelism = Parallelism::Threads(4);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Naive, unbatched-optimized, batched-optimized, and parallel
+    /// evaluation all yield identical disagreement bits — and identical
+    /// coverage prices, to the last bit of the f64.
+    #[test]
+    fn all_strategies_agree_on_disagreement_bits(
+        t_rows in prop::collection::vec((0u8..3, -40i16..40), 8..20),
+        u_rows in prop::collection::vec((any::<u8>(), -40i16..40), 4..12),
+        c in -40i16..40,
+        seed in any::<u64>(),
+        query_idx in 0usize..7,
+    ) {
+        let mut db = build_db(&t_rows, &u_rows);
+        let sql = &query_pool(c)[query_idx];
+        let q = prepare_query(&db, sql).unwrap();
+        let support = SupportSet::Neighborhood(generate_support(
+            &db,
+            &SupportConfig { size: 96, seed, ..Default::default() },
+        ));
+
+        let configs = [
+            EngineOptions::naive(),
+            EngineOptions::no_batching(),
+            EngineOptions::default(),
+            EngineOptions::naive().with_parallelism(PAR),
+            EngineOptions::no_batching().with_parallelism(PAR),
+            EngineOptions::default().with_parallelism(PAR),
+        ];
+        let reference =
+            bundle_disagreements(&mut db, &[&q], &support, configs[0], None).unwrap();
+        let weights = uniform_weights(support.len(), 100.0);
+        let ref_price = weighted_coverage(&weights, &reference);
+        for opts in &configs[1..] {
+            let bits = bundle_disagreements(&mut db, &[&q], &support, *opts, None).unwrap();
+            prop_assert_eq!(&bits, &reference, "bits diverge for {} under {:?}", sql, opts);
+            prop_assert_eq!(
+                weighted_coverage(&weights, &bits).to_bits(),
+                ref_price.to_bits(),
+                "price diverges for {}", sql
+            );
+        }
+    }
+
+    /// Sequential and parallel partition refinement produce identical
+    /// fingerprint vectors, hence bitwise-identical entropy prices.
+    #[test]
+    fn parallel_partition_is_bitwise_identical(
+        t_rows in prop::collection::vec((0u8..3, -40i16..40), 8..20),
+        u_rows in prop::collection::vec((any::<u8>(), -40i16..40), 4..12),
+        c in -40i16..40,
+        seed in any::<u64>(),
+        query_idx in 0usize..7,
+    ) {
+        let mut db = build_db(&t_rows, &u_rows);
+        let sql = &query_pool(c)[query_idx];
+        let q = prepare_query(&db, sql).unwrap();
+        let support = SupportSet::Neighborhood(generate_support(
+            &db,
+            &SupportConfig { size: 96, seed, ..Default::default() },
+        ));
+
+        let seq = bundle_partition(&mut db, &[&q], &support, EngineOptions::default()).unwrap();
+        let par = bundle_partition(
+            &mut db,
+            &[&q],
+            &support,
+            EngineOptions::default().with_parallelism(PAR),
+        )
+        .unwrap();
+        prop_assert_eq!(&seq, &par, "partition diverges for {}", sql);
+
+        let weights = uniform_weights(support.len(), 100.0);
+        prop_assert_eq!(
+            shannon_entropy(100.0, &weights, &seq).to_bits(),
+            shannon_entropy(100.0, &weights, &par).to_bits()
+        );
+    }
+
+    /// Uniform-world supports: the read-only shared-reference parallel path
+    /// agrees with the sequential loop.
+    #[test]
+    fn parallel_uniform_worlds_agree(
+        t_rows in prop::collection::vec((0u8..3, -40i16..40), 8..16),
+        seed in any::<u64>(),
+        query_idx in 0usize..5,
+    ) {
+        let mut db = build_db(&t_rows, &[]);
+        let sql = &query_pool(0)[query_idx];
+        let q = prepare_query(&db, sql).unwrap();
+        let support = SupportSet::Uniform(generate_uniform_worlds(&db, 80, seed));
+
+        let seq = bundle_disagreements(
+            &mut db, &[&q], &support, EngineOptions::default(), None,
+        ).unwrap();
+        let par = bundle_disagreements(
+            &mut db, &[&q], &support, EngineOptions::default().with_parallelism(PAR), None,
+        ).unwrap();
+        prop_assert_eq!(seq, par, "uniform bits diverge for {}", sql);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regressions
+// ---------------------------------------------------------------------------
+
+/// Regression: integers beyond 2^53 used to be fingerprinted through a
+/// lossy f64 cast, so a support update swapping `2^53` for `2^53 + 1`
+/// produced an identical result fingerprint — the engine saw no
+/// disagreement and the buyer got that bit of information for free.
+#[test]
+fn pricing_detects_update_between_adjacent_large_ints() {
+    const BIG: i64 = 1 << 53;
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            &["id"],
+        ),
+        (0..4i64)
+            .map(|i| vec![i.into(), BIG.into()])
+            .collect::<Vec<_>>(),
+    );
+    let q = prepare_query(&db, "SELECT v FROM T").unwrap();
+    let support = SupportSet::Neighborhood(vec![SupportUpdate::Row {
+        table: 0,
+        row: 1,
+        changes: vec![(1, Value::Int(BIG + 1))],
+    }]);
+    for opts in [EngineOptions::naive(), EngineOptions::default()] {
+        let bits = bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap();
+        assert_eq!(
+            bits,
+            vec![true],
+            "2^53 -> 2^53+1 must be a visible disagreement ({opts:?})"
+        );
+    }
+}
+
+/// An expired execution budget must surface as `BudgetExceeded` through the
+/// parallel fan-out, not hang, panic, or report partial bits.
+#[test]
+fn budget_trip_propagates_through_parallel_path() {
+    let t_rows: Vec<(u8, i16)> = (0..16).map(|i| (i as u8, i as i16)).collect();
+    let mut db = build_db(&t_rows, &[]);
+    let q = prepare_query(&db, "SELECT grp, sum(v) FROM T GROUP BY grp").unwrap();
+    let support = SupportSet::Neighborhood(generate_support(
+        &db,
+        &SupportConfig {
+            size: 200,
+            ..Default::default()
+        },
+    ));
+    let opts = EngineOptions::naive()
+        .with_parallelism(PAR)
+        .with_budget(ExecBudget::default().with_timeout(Duration::ZERO));
+    let err = bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap_err();
+    assert!(
+        matches!(err, EngineError::BudgetExceeded { .. }),
+        "expected BudgetExceeded, got {err:?}"
+    );
+}

@@ -12,12 +12,25 @@
 //! * an `ORDER BY` result chains row hashes sequentially instead, making the
 //!   fingerprint order-sensitive.
 //!
-//! With 128 bits, the collision probability across the ~`S` comparisons of a
-//! pricing call (`S ≤ 10⁶`) is below 10⁻²⁴ — far below any measurable effect
-//! on prices.
+//! Collisions are a *pricing* correctness concern, not just a hashing one: a
+//! colliding pair of distinct outputs zeroes a disagreement bit and
+//! underprices the query. Two sources must be distinguished:
+//!
+//! * **Random 128-bit collisions.** Across the `S ≤ 10⁶` agreement tests of
+//!   a pricing call the birthday bound gives probability below
+//!   `S² / 2¹²⁹ < 10⁻²⁶` — far below any measurable effect on prices.
+//! * **Structural collisions** from value canonicalization. Equal values
+//!   must fingerprint equally (`1` and `1.0` collide *by design* because
+//!   `sql_eq` groups them together), but the canonical form must be
+//!   lossless: an earlier revision canonicalized every integer through an
+//!   `i64 → f64` cast, which is deterministic — probability 1, not 10⁻²⁶ —
+//!   in collapsing distinct integers beyond 2^53 (`2^53` and `2^53 + 1`
+//!   fingerprinted identically). Integers with no exact `f64` now hash
+//!   their own bits under a distinct tag (see [`write_value`]), so only
+//!   genuinely equal numerics share a fingerprint.
 
 use crate::exec::QueryOutput;
-use crate::value::Value;
+use crate::value::{lossless_f64, Value};
 
 /// A 128-bit fingerprint of a query result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -68,11 +81,19 @@ fn write_value(h: &mut H2, v: &Value) {
             h.write(*b as u64);
         }
         // Ints and floats that compare equal must fingerprint equally
-        // (mirrors Value's Hash impl).
-        Value::Int(i) => {
-            h.write(0x30);
-            h.write((*i as f64).to_bits());
-        }
+        // (mirrors Value's Hash impl). An integer with no exact f64 equals
+        // no float; it hashes its own bits under a distinct tag so 2^53
+        // and 2^53 + 1 stay distinguishable.
+        Value::Int(i) => match lossless_f64(*i) {
+            Some(f) => {
+                h.write(0x30);
+                h.write(f.to_bits());
+            }
+            None => {
+                h.write(0x31);
+                h.write(*i as u64);
+            }
+        },
         Value::Float(f) => {
             h.write(0x30);
             let f = if *f == 0.0 { 0.0 } else { *f };
@@ -182,6 +203,34 @@ mod tests {
         let a = out(vec![vec![Value::Int(5)]], false);
         let b = out(vec![vec![Value::Float(5.0)]], false);
         assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn large_ints_do_not_collide() {
+        // Regression: the lossy i64 → f64 canonicalization fingerprinted
+        // 2^53 and 2^53 + 1 identically, silently zeroing disagreement
+        // bits (an underpricing bug, not just a hash quality issue).
+        let p53 = 1i64 << 53;
+        let a = out(vec![vec![Value::Int(p53)]], false);
+        let b = out(vec![vec![Value::Int(p53 + 1)]], false);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        // Equal Int/Float pairs still collide by design at the boundary.
+        let c = out(vec![vec![Value::Float(p53 as f64)]], false);
+        assert_eq!(fingerprint(&a), fingerprint(&c));
+        // i64::MAX has no exact f64; it must not collide with the float
+        // its cast rounds to, nor with its neighbors.
+        let m = out(vec![vec![Value::Int(i64::MAX)]], false);
+        let mf = out(vec![vec![Value::Float(i64::MAX as f64)]], false);
+        let m1 = out(vec![vec![Value::Int(i64::MAX - 1)]], false);
+        assert_ne!(fingerprint(&m), fingerprint(&mf));
+        assert_ne!(fingerprint(&m), fingerprint(&m1));
+        // A raw-bits integer must not alias the float sharing its bit
+        // pattern: k below is odd and > 2^53 (no exact f64, raw-bits
+        // path), while k reinterpreted as f64 is nextafter(1.0, inf).
+        let k = (1.0f64.to_bits() + 1) as i64;
+        let raw = out(vec![vec![Value::Int(k)]], false);
+        let aliased = out(vec![vec![Value::Float(f64::from_bits(k as u64))]], false);
+        assert_ne!(fingerprint(&raw), fingerprint(&aliased));
     }
 
     #[test]

@@ -72,6 +72,24 @@ pub use update::{apply_update_sql, apply_writes, CellWrite};
 pub use validate::{check_database, Violation};
 pub use value::Value;
 
+// The pricing layer's parallel executor shares `&Database` and `&ResolvedSelect`
+// across a scoped worker pool and moves errors/outputs between threads. These
+// compile-time assertions pin the thread-safety contract: every interior-mutable
+// piece of execution state (budget meters, subquery caches) must stay inside the
+// per-execution `ExecContext`, never inside the shared plan or database types.
+const _: () = {
+    const fn shareable<T: Send + Sync>() {}
+    const fn sendable<T: Send>() {}
+    shareable::<Database>();
+    shareable::<ResolvedSelect>();
+    shareable::<Table>();
+    shareable::<Value>();
+    shareable::<ExecBudget>();
+    sendable::<EngineError>();
+    sendable::<QueryOutput>();
+    sendable::<Fingerprint>();
+};
+
 /// Parses, plans, and executes a SELECT statement in one call.
 pub fn query(db: &Database, sql: &str) -> Result<QueryOutput> {
     let stmt = parse_select(sql)?;

@@ -111,8 +111,8 @@ impl Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => a.total_cmp(b),
-            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
-            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Int(a), Float(b)) => cmp_int_float(*a, *b),
+            (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
             (Date(a), Date(b)) => a.cmp(b),
             (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
             (a, b) => type_rank(a).cmp(&type_rank(b)),
@@ -120,8 +120,74 @@ impl Value {
     }
 }
 
-fn cmp_f64(a: f64, b: f64) -> Ordering {
-    a.total_cmp(&b)
+/// `2^63` as an `f64` — the first float at or above which every `i64`
+/// compares less.
+const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+
+/// The `f64` equal to `i`, when one exists. An `i64` whose magnitude
+/// exceeds 2^53 is generally not representable; casting would round to a
+/// *different* number, so callers must not treat the cast as the value.
+/// (`i64::MAX as f64` additionally rounds up to 2^63, which saturates back
+/// to `i64::MAX` under `as`, so the naive round-trip test alone is wrong.)
+pub(crate) fn lossless_f64(i: i64) -> Option<f64> {
+    let f = i as f64;
+    if f < TWO_POW_63 && f as i64 == i {
+        Some(f)
+    } else {
+        None
+    }
+}
+
+/// Exact comparison of an `i64` against an `f64`.
+///
+/// Casting the integer to `f64` (the old implementation) collapses
+/// distinct integers beyond 2^53 onto one float — `i64::MAX` compared
+/// equal to `2^63 as f64` — which silently zeroed disagreement bits in the
+/// pricing layer. Instead the float is decomposed: its truncation fits an
+/// `i64` whenever it is in range, and the comparison reduces to integer
+/// comparison plus the sign of the fractional part.
+fn cmp_int_float(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        // Mirror f64::total_cmp: -NaN sorts below every number, +NaN above.
+        return if b.is_sign_negative() {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        };
+    }
+    if b == 0.0 && b.is_sign_negative() {
+        // f64::total_cmp has -0.0 < 0.0; keep Int(0) aligned with
+        // Float(0.0) (strictly above -0.0) so the order stays transitive.
+        return if a >= 0 {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        };
+    }
+    if b >= TWO_POW_63 {
+        return Ordering::Less; // every i64 is below 2^63 (and below +inf)
+    }
+    if b < -TWO_POW_63 {
+        return Ordering::Greater; // below i64::MIN (and above -inf)
+    }
+    // b ∈ [-2^63, 2^63): truncation toward zero is exact in this range.
+    let t = b as i64;
+    match a.cmp(&t) {
+        // a and trunc(b) agree; the fractional part decides. (|t| ≥ 2^52
+        // implies b was already integral, so `t as f64` is exact here.)
+        Ordering::Equal => {
+            if b > t as f64 {
+                Ordering::Less
+            } else if b < t as f64 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        // a ≠ trunc(b): since b is within 1 of its truncation, integer
+        // comparison against the truncation is already exact.
+        ord => ord,
+    }
 }
 
 fn type_rank(v: &Value) -> u8 {
@@ -165,10 +231,19 @@ impl Hash for Value {
             }
             // Int and Float must hash identically when numerically equal,
             // because `sql_eq` treats 1 and 1.0 as the same grouping key.
-            Value::Int(i) => {
-                state.write_u8(2);
-                hash_f64(*i as f64, state);
-            }
+            // An integer with no exact f64 (|i| > 2^53, roughly) equals no
+            // float, so it hashes its own bits under a distinct tag —
+            // casting it would collide distinct huge integers.
+            Value::Int(i) => match lossless_f64(*i) {
+                Some(f) => {
+                    state.write_u8(2);
+                    hash_f64(f, state);
+                }
+                None => {
+                    state.write_u8(5);
+                    state.write_u64(*i as u64);
+                }
+            },
             Value::Float(f) => {
                 state.write_u8(2);
                 hash_f64(*f, state);
@@ -324,6 +399,48 @@ mod tests {
     #[test]
     fn numeric_cross_type_hash_agrees() {
         assert_eq!(h(&Value::Int(42)), h(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn large_int_float_comparison_is_exact() {
+        // Regression: 2^53 and 2^53 + 1 both cast to the same f64, so the
+        // old cast-based comparison called them equal to Float(2^53).
+        let p53 = 1i64 << 53;
+        assert_eq!(Value::Int(p53), Value::Float(p53 as f64));
+        assert!(Value::Int(p53 + 1) > Value::Float(p53 as f64));
+        assert!(Value::Float(p53 as f64) < Value::Int(p53 + 1));
+        // Regression: i64::MAX as f64 rounds up to 2^63; the old code
+        // compared Int(i64::MAX) equal to that float.
+        assert!(Value::Int(i64::MAX) < Value::Float(9_223_372_036_854_775_808.0));
+        assert_eq!(
+            Value::Int(i64::MIN),
+            Value::Float(-9_223_372_036_854_775_808.0)
+        );
+        assert!(Value::Int(i64::MIN + 1) > Value::Float(-9_223_372_036_854_775_808.0));
+        // Fractional floats between huge integers order correctly.
+        assert!(Value::Int(p53 + 1) < Value::Float(1e17));
+        assert!(Value::Int(100) > Value::Float(99.5));
+        assert!(Value::Int(-100) < Value::Float(-99.5));
+        assert!(Value::Int(0) > Value::Float(-0.5));
+    }
+
+    #[test]
+    fn large_int_hash_distinguishes() {
+        let p53 = 1i64 << 53;
+        // Equal values still hash equal…
+        assert_eq!(h(&Value::Int(p53)), h(&Value::Float(p53 as f64)));
+        // …but 2^53 + 1 no longer collides with 2^53 (old lossy cast).
+        assert_ne!(h(&Value::Int(p53 + 1)), h(&Value::Int(p53)));
+        assert_ne!(h(&Value::Int(i64::MAX)), h(&Value::Int(i64::MAX - 1)));
+    }
+
+    #[test]
+    fn lossless_f64_boundaries() {
+        assert_eq!(lossless_f64(5), Some(5.0));
+        assert_eq!(lossless_f64(1 << 53), Some((1i64 << 53) as f64));
+        assert_eq!(lossless_f64((1 << 53) + 1), None);
+        assert_eq!(lossless_f64(i64::MAX), None); // saturating-cast trap
+        assert_eq!(lossless_f64(i64::MIN), Some(-9_223_372_036_854_775_808.0));
     }
 
     #[test]

@@ -48,9 +48,15 @@ proptest! {
             v.hash(&mut s);
             s.finish()
         };
-        // Int/Float numeric equality must be hash-compatible.
+        // Int/Float numeric equality must be hash-compatible — but only
+        // when the cast is lossless: an integer beyond 2^53 generally has
+        // no equal float, and must NOT share a hash with the float its
+        // cast rounds to (that lossy collision was an underpricing bug).
         if let Value::Int(i) = a {
-            prop_assert_eq!(h(&Value::Int(i)), h(&Value::Float(i as f64)));
+            let f = Value::Float(i as f64);
+            if Value::Int(i) == f {
+                prop_assert_eq!(h(&Value::Int(i)), h(&f));
+            }
         }
         prop_assert_eq!(h(&a), h(&a.clone()));
     }

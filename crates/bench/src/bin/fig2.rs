@@ -8,6 +8,11 @@
 //! part of the paper's argument against it), so its default size is
 //! smaller; raise `--uniform-support` to match the paper exactly.
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana_bench::{combos, subset_db, Args};
 use qirana_core::{Qirana, QiranaConfig, SupportConfig, SupportType};
 use qirana_datagen::queries::{q_gamma, q_join, q_pi, q_sigma};

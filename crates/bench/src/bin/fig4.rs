@@ -10,6 +10,11 @@
 //! * `f` — history-aware vs. oblivious *runtimes*, 13 SSB queries
 //! * `g` — 25 parameterized SSB Q1.1 instances, cumulative price
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana_bench::{broker, subset_db, time, Args};
 use qirana_core::{PricingFunction, Qirana, QiranaConfig, SupportConfig, SupportType};
 use qirana_datagen::queries::{
@@ -101,6 +106,7 @@ fn fig4a(args: &Args) {
     let full = b.quote(&q_sigma(240)).unwrap();
     print!("{:<10}", "ideal");
     for u in us {
+        // qirana-lint::allow(QL002): u is a small buyer count
         print!("{:>9.2}", full * (u as f64 - 1.0) / country_rows);
     }
     println!("\n");
@@ -131,6 +137,7 @@ fn fig4b(args: &Args) {
     }
     print!("{:<10}", "ideal");
     for &u in &us {
+        // qirana-lint::allow(QL002): u is a small buyer count
         print!("{:>8.2}", full13 * u as f64 / 13.0);
     }
     println!("\n");

@@ -8,6 +8,11 @@
 //! (see EXPERIMENTS.md) — the *ratios* between the three columns are the
 //! result.
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana_bench::{time, Args};
 use qirana_core::generate_support;
 use qirana_core::{

@@ -9,6 +9,11 @@
 //! identical across all worker counts (the executor's determinism
 //! guarantee), so the speedup is free of semantic drift.
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana_bench::{time, Args};
 use qirana_core::{
     bundle_disagreements, bundle_partition, generate_support, prepare_query, EngineOptions,

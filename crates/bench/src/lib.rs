@@ -57,6 +57,7 @@ impl Args {
 }
 
 /// Builds a broker with the common experiment defaults ($100 dataset).
+#[allow(clippy::expect_used)] // bench harness: setup failure is fatal
 pub fn broker(
     db: Database,
     function: PricingFunction,
@@ -87,6 +88,7 @@ pub fn broker(
 pub fn subset_db(db: &Database, names: &[&str]) -> Database {
     let mut out = Database::new();
     for name in names {
+        #[allow(clippy::expect_used)] // harness passes known table names
         let t = db.table(name).expect("table exists");
         out.add_table(t.schema.clone(), t.rows.iter().cloned());
     }
@@ -95,7 +97,9 @@ pub fn subset_db(db: &Database, names: &[&str]) -> Database {
 
 /// Times a closure in seconds.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
+    // qirana-lint::allow(QL004): measuring wall-clock time is this bench
+    let t0 = Instant::now(); // helper's entire purpose
+
     let out = f();
     (out, t0.elapsed().as_secs_f64())
 }

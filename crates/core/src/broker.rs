@@ -509,6 +509,7 @@ impl Qirana {
     pub fn buyer_coverage(&self, buyer: &str) -> f64 {
         match self.buyers.get(buyer) {
             Some(b) if !b.charged.is_empty() => {
+                // qirana-lint::allow(QL002): support-set counts, far below 2^53
                 b.charged.iter().filter(|&&c| c).count() as f64 / b.charged.len() as f64
             }
             _ => 0.0,

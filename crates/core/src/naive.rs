@@ -7,7 +7,7 @@ use crate::normal_form::{Prepared, Shape};
 use crate::update::SupportUpdate;
 use qirana_sqlengine::update::apply_writes;
 use qirana_sqlengine::{execute, Database, EngineError, ExecBudget, ExecContext, Fingerprint, Row};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Per-update naive disagreement bits over a neighborhood support set.
 ///
@@ -151,14 +151,20 @@ pub fn reduced_disagreements(
     active: &[bool],
     budget: ExecBudget,
 ) -> Result<Vec<bool>, EngineError> {
-    let Shape::Spj(shape) = &q.shape else {
+    // Callers route non-SPJ shapes through the full-execution path;
+    // reaching here with one is a caller bug, not a data error.
+    #[allow(clippy::panic)]
+    let Shape::Spj(shape) = &q.shape
+    else {
         panic!("instance reduction requires an SPJ shape");
     };
     let mut bits = vec![false; updates.len()];
 
     // Group updates by touched relation (ignoring relations not in the
     // query, which trivially agree).
-    let mut by_rel: HashMap<usize, Vec<usize>> = HashMap::new();
+    // BTreeMap: iterated below; process relations in table order so
+    // the probe sequence (and any budget cutoff) is deterministic.
+    let mut by_rel: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (i, up) in updates.iter().enumerate() {
         if !active[i] {
             continue;

@@ -301,6 +301,8 @@ fn local_conditions(plan: &ResolvedSelect) -> Vec<Vec<PExpr>> {
         if slots.is_empty() {
             continue;
         }
+        // `offsets` always contains 0, so every slot has a home relation.
+        #[allow(clippy::unwrap_used)]
         let rel_of = |s: usize| plan.offsets.iter().rposition(|&o| o <= s).unwrap();
         let first = rel_of(slots[0]);
         if slots.iter().all(|&s| rel_of(s) == first) {
@@ -335,6 +337,8 @@ fn rel_shapes(
     // Global slots appearing in conjuncts that span multiple relations.
     let mut multi_rel_slots: Vec<usize> = Vec::new();
     if let Some(f) = plan.filter.clone() {
+        // `offsets` always contains 0, so every slot has a home relation.
+        #[allow(clippy::unwrap_used)]
         let rel_of = |s: usize| plan.offsets.iter().rposition(|&o| o <= s).unwrap();
         for c in f.conjuncts() {
             if c.has_subquery() {

@@ -40,7 +40,7 @@ use qirana_sqlengine::{
     execute, Database, EngineError, ExecBudget, ExecContext, Fingerprint, PExpr, QueryOutput,
     ResolvedSelect, Row, Value,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 type Result<T> = std::result::Result<T, EngineError>;
 
@@ -107,10 +107,14 @@ fn run_probe(
 
 /// Groups probe output rows by their trailing `upid` column and bag-
 /// fingerprints each group.
-fn per_upid_fps(out: QueryOutput) -> HashMap<i64, Fingerprint> {
+fn per_upid_fps(out: QueryOutput) -> BTreeMap<i64, Fingerprint> {
     let ncols = out.columns.len();
-    let mut groups: HashMap<i64, Vec<Row>> = HashMap::new();
+    // BTreeMap: the map is iterated below, and per-update fingerprints
+    // must be produced in upid order for the pass to be deterministic.
+    let mut groups: BTreeMap<i64, Vec<Row>> = BTreeMap::new();
     for row in out.rows {
+        // The probe plan appends upid as an integer literal column.
+        #[allow(clippy::expect_used)]
         let upid = row[ncols - 1]
             .as_i64()
             .expect("upid column must be an integer");
@@ -216,6 +220,8 @@ pub fn spj_disagreements(
                 let out = run_probe(db, rel, &rows, opts.budget)?;
                 let ncols = out.columns.len();
                 for row in &out.rows {
+                    // The probe plan appends upid as an integer column.
+                    #[allow(clippy::expect_used)]
                     let upid = row[ncols - 1].as_i64().expect("integer upid") as usize;
                     bits[upid] = true;
                 }
@@ -631,6 +637,9 @@ fn single_relation_delta(
     new_rows: &[Row],
     group_cache: &HashMap<Vec<Value>, Vec<Value>>,
 ) -> Result<Delta> {
+    // `single_relation_delta` is only entered for relations whose local
+    // group keys were precomputed by `analyze_spja`.
+    #[allow(clippy::expect_used)]
     let gexprs = shape.local_group_exprs[rel.rel_idx]
         .as_ref()
         .expect("caller checked local group keys");
@@ -660,7 +669,9 @@ fn single_relation_delta(
         added: Vec<Vec<Value>>,
     }
     let ctx = ExecContext::new(db);
-    let mut groups: HashMap<Vec<Value>, GroupDelta> = HashMap::new();
+    // BTreeMap: iterated below to reach the verdict; `Value`'s total
+    // order keeps the walk deterministic across runs.
+    let mut groups: BTreeMap<Vec<Value>, GroupDelta> = BTreeMap::new();
     for (rows, add) in [(old_rows, false), (new_rows, true)] {
         for r in rows {
             if !local_sat(db, rel, r)? {
@@ -813,6 +824,7 @@ fn one_group_value_delta(
                     return Delta::Unknown;
                 };
                 // (S + Δs) / (n + Δn) == S/n  ⇔  Δs == avg · Δn.
+                // qirana-lint::allow(QL002): dn is a per-group row-count delta
                 if (a - r) != avg * dn as f64 {
                     Delta::Change
                 } else {
@@ -867,9 +879,13 @@ fn apply_addition_analysis(
 ) {
     let g = shape.num_group_keys;
     let ncols = out.columns.len();
-    // upid -> (group key -> arg rows)
-    let mut per_update: HashMap<i64, HashMap<Vec<Value>, Vec<Vec<Value>>>> = HashMap::new();
+    // upid -> (group key -> arg rows). BTreeMaps: both levels are
+    // iterated below and the inner walk can short-circuit per group, so
+    // ordered iteration keeps the analysis deterministic.
+    let mut per_update: BTreeMap<i64, BTreeMap<Vec<Value>, Vec<Vec<Value>>>> = BTreeMap::new();
     for row in out.rows {
+        // The probe plan appends upid as an integer literal column.
+        #[allow(clippy::expect_used)]
         let upid = row[ncols - 1].as_i64().expect("integer upid");
         let key = row[..g].to_vec();
         let args = row[g..ncols - 1].to_vec();
@@ -915,6 +931,7 @@ fn apply_addition_analysis(
                         } else {
                             let k = nonnull.len();
                             let avg = cached_val.as_f64().unwrap_or(0.0);
+                            // qirana-lint::allow(QL002): k counts rows in one group
                             k > 0 && (nonnull.iter().sum::<f64>() - avg * k as f64).abs() > 0.0
                         }
                     }

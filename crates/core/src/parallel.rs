@@ -129,7 +129,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("pricing worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise the worker's own panic payload on the caller
+                // thread instead of replacing it with a generic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -148,10 +153,15 @@ where
     if let Some((_, e)) = first_err {
         return Err(e);
     }
-    Ok(slots
+    // Every index in 0..n is claimed exactly once by the chunked atomic
+    // counter (the loom model in crates/core/tests/loom.rs exercises this
+    // invariant under perturbed schedules), so every slot is filled.
+    #[allow(clippy::expect_used)]
+    let vals: Vec<T> = slots
         .into_iter()
         .map(|s| s.expect("worker pool covered every index"))
-        .collect())
+        .collect();
+    Ok(vals)
 }
 
 type WorkerResult<T> = (Vec<(usize, T)>, Option<(usize, EngineError)>);

@@ -89,6 +89,7 @@ pub fn uniform_entropy_gain(total_price: f64, disagree: &[bool]) -> f64 {
     if c == 0 || s <= 1 {
         return 0.0;
     }
+    // qirana-lint::allow(QL002): c and s are support-set counts, < 2^53
     total_price * (c as f64).ln() / (s as f64).ln()
 }
 
@@ -129,6 +130,7 @@ pub fn shannon_entropy(total_price: f64, weights: &[f64], partition: &[Fingerpri
         .filter(|&&p| p > 0.0)
         .map(|&p| -p * p.ln())
         .sum();
+    // qirana-lint::allow(QL002): s is the support-set size, < 2^53
     total_price * h / (s as f64).ln() + 0.0
 }
 
@@ -143,6 +145,7 @@ pub fn q_entropy(total_price: f64, weights: &[f64], partition: &[Fingerprint]) -
         .iter()
         .map(|&p| p * (1.0 - p))
         .sum();
+    // qirana-lint::allow(QL002): s is the support-set size, < 2^53
     total_price * t / (1.0 - 1.0 / s as f64) + 0.0
 }
 

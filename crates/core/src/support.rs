@@ -174,6 +174,7 @@ impl ColumnSampler {
 /// Panics if the database has no updatable relation (every relation empty
 /// or key-only), or if generation stalls (pathologically constant data).
 /// Use [`try_generate_support`] to handle those conditions as errors.
+#[allow(clippy::panic)] // documented panicking wrapper over try_generate_support
 pub fn generate_support(db: &Database, cfg: &SupportConfig) -> Vec<SupportUpdate> {
     try_generate_support(db, cfg).unwrap_or_else(|e| panic!("{e}"))
 }

@@ -80,6 +80,7 @@ impl std::error::Error for WeightError {}
 /// Uniform weights `P/S` — every part of the data equally valuable.
 pub fn uniform_weights(support_size: usize, total_price: f64) -> Vec<f64> {
     assert!(support_size > 0, "support set must be non-empty");
+    // qirana-lint::allow(QL002): support-set size, far below 2^53
     vec![total_price / support_size as f64; support_size]
 }
 

@@ -33,6 +33,7 @@ pub const PAPER_NODES: usize = 317_080;
 pub fn generate(nodes: usize, seed: u64) -> Database {
     assert!(nodes >= 10, "graph needs at least 10 nodes");
     let mut rng = StdRng::seed_from_u64(seed);
+    // qirana-lint::allow(QL002): graph sizes are far below 2^53
     let num_hubs = (nodes as f64 * 0.4).ceil() as usize;
     let num_leaves = nodes - num_hubs;
 
@@ -50,13 +51,16 @@ pub fn generate(nodes: usize, seed: u64) -> Database {
     // Leaf attachment is skewed quadratically toward low-id hubs.
     for leaf in num_hubs..nodes {
         let r: f64 = rng.gen();
+        // qirana-lint::allow(QL002): graph sizes are far below 2^53
         let hub = ((r * r) * num_hubs as f64) as usize;
         add(&mut edges, leaf, hub.min(num_hubs - 1));
     }
     // Hub core: ~1.05 edges per graph node among hubs.
+    // qirana-lint::allow(QL002): graph sizes are far below 2^53
     let hub_edges = (nodes as f64 * 1.05) as usize;
     for _ in 0..hub_edges {
         let r1: f64 = rng.gen();
+        // qirana-lint::allow(QL002): graph sizes are far below 2^53
         let a = ((r1 * r1) * num_hubs as f64) as usize;
         let b = rng.gen_range(0..num_hubs);
         add(&mut edges, a.min(num_hubs - 1), b);

@@ -253,6 +253,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         (&["lo_partkey"][..], "part"),
         (&["lo_orderdate"][..], "dwdate"),
     ] {
+        #[allow(clippy::unwrap_used)] // parent table added above
         let parent_schema = db.table(parent).unwrap().schema.clone();
         let parent_pk: Vec<&str> = parent_schema
             .primary_key

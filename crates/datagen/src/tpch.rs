@@ -120,6 +120,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         ],
         &["n_nationkey"],
     );
+    #[allow(clippy::unwrap_used)] // parent table added above
     nation_schema.add_foreign_key(
         &["n_regionkey"],
         "region",
@@ -154,6 +155,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         ],
         &["s_suppkey"],
     );
+    #[allow(clippy::unwrap_used)] // parent table added above
     supplier_schema.add_foreign_key(
         &["s_nationkey"],
         "nation",
@@ -190,6 +192,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         ],
         &["c_custkey"],
     );
+    #[allow(clippy::unwrap_used)] // parent table added above
     customer_schema.add_foreign_key(
         &["c_nationkey"],
         "nation",
@@ -268,12 +271,14 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         ],
         &["ps_partkey", "ps_suppkey"],
     );
+    #[allow(clippy::unwrap_used)] // parent table added above
     ps_schema.add_foreign_key(
         &["ps_partkey"],
         "part",
         &db.table("part").unwrap().schema,
         &["p_partkey"],
     );
+    #[allow(clippy::unwrap_used)] // parent table added above
     ps_schema.add_foreign_key(
         &["ps_suppkey"],
         "supplier",
@@ -316,6 +321,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         ],
         &["o_orderkey"],
     );
+    #[allow(clippy::unwrap_used)] // parent table added above
     orders_schema.add_foreign_key(
         &["o_custkey"],
         "customer",
@@ -360,8 +366,11 @@ pub fn generate(sf: f64, seed: u64) -> Database {
             let partkey = rng.gen_range(1..=n_part as i64);
             let suppkey = rng.gen_range(1..=n_supplier as i64);
             let qty = rng.gen_range(1..=50i64);
+            // qirana-lint::allow(QL002): qty is drawn from 1..=50
             let price = money(&mut rng, 900.0, 2000.0) * qty as f64 / 100.0 * 100.0;
+            // qirana-lint::allow(QL002): draw is bounded by 10
             let discount = rng.gen_range(0..=10) as f64 / 100.0;
+            // qirana-lint::allow(QL002): draw is bounded by 8
             let tax = rng.gen_range(0..=8) as f64 / 100.0;
             let shipdate = odate + rng.gen_range(1..=121);
             let commitdate = odate + rng.gen_range(30..=90);

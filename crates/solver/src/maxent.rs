@@ -198,7 +198,8 @@ pub fn solve_with(problem: &MaxEntProblem, opts: &SolverOptions) -> SolveResult 
     let mut lambda = vec![0.0; k];
     let mut w = vec![0.0; n];
     let mut residual = f64::INFINITY;
-    let start = Instant::now();
+    // qirana-lint::allow(QL004): this is the solver's own time-limit
+    let start = Instant::now(); // meter, checked against opts below
 
     for iter in 0..opts.max_iterations {
         // Deadline check up front: the loop body is the expensive part

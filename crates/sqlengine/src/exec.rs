@@ -24,7 +24,7 @@ use crate::plan::{AggSpec, PExpr, PRelation, ResolvedSelect};
 use crate::table::Row;
 use crate::value::Value;
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Resource limits for one execution context.
@@ -101,7 +101,9 @@ impl BudgetMeter {
     fn new(budget: ExecBudget) -> Self {
         BudgetMeter {
             budget,
-            start: Instant::now(),
+            // qirana-lint::allow(QL004): BudgetMeter IS the sanctioned
+            start: Instant::now(), // deadline source for execution budgets
+
             rows: Cell::new(0),
             bytes: Cell::new(0),
             tick: Cell::new(0),
@@ -508,7 +510,10 @@ enum Accum {
     },
     Distinct {
         func: AggFunc,
-        set: HashSet<Value>,
+        // A `BTreeSet`, not a `HashSet`: `finalize` folds the set with
+        // float addition, which is non-associative, so iteration order is
+        // part of the result. `Value`'s total order keeps it stable.
+        vals: BTreeSet<Value>,
     },
     Sum {
         i: i64,
@@ -539,7 +544,7 @@ impl Accum {
             },
             (f, true) => Accum::Distinct {
                 func: f,
-                set: HashSet::new(),
+                vals: BTreeSet::new(),
             },
             (AggFunc::Count, false) => Accum::Count { n: 0 },
             (AggFunc::Sum, false) => Accum::Sum {
@@ -557,7 +562,8 @@ impl Accum {
         if let Accum::Count { n } = self {
             *n += 1;
         } else {
-            unreachable!("only COUNT may have no argument");
+            // qirana-lint::allow(QL003): the planner rejects other arg-less
+            unreachable!("only COUNT may have no argument"); // aggregates
         }
     }
 
@@ -568,8 +574,8 @@ impl Accum {
         }
         match self {
             Accum::Count { n } => *n += 1,
-            Accum::Distinct { set, .. } => {
-                set.insert(v);
+            Accum::Distinct { vals, .. } => {
+                vals.insert(v);
             }
             Accum::Sum {
                 i,
@@ -581,7 +587,8 @@ impl Accum {
                 match v {
                     Value::Int(x) => {
                         *i = i.wrapping_add(x);
-                        *f += x as f64;
+                        // qirana-lint::allow(QL002): float shadow-sum, only
+                        *f += x as f64; // consulted under SQL double semantics
                     }
                     other => {
                         *any_float = true;
@@ -614,25 +621,27 @@ impl Accum {
     fn finalize(&self) -> Value {
         match self {
             Accum::Count { n } => Value::Int(*n),
-            Accum::Distinct { func, set } => match func {
-                AggFunc::Count => Value::Int(set.len() as i64),
+            Accum::Distinct { func, vals } => match func {
+                AggFunc::Count => Value::Int(vals.len() as i64),
                 AggFunc::Sum => {
-                    if set.is_empty() {
+                    if vals.is_empty() {
                         Value::Null
-                    } else if set.iter().all(|v| matches!(v, Value::Int(_))) {
-                        Value::Int(set.iter().filter_map(Value::as_i64).sum())
+                    } else if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                        Value::Int(vals.iter().filter_map(Value::as_i64).sum())
                     } else {
-                        Value::Float(set.iter().filter_map(Value::as_f64).sum())
+                        Value::Float(vals.iter().filter_map(Value::as_f64).sum())
                     }
                 }
                 AggFunc::Avg => {
-                    if set.is_empty() {
+                    if vals.is_empty() {
                         Value::Null
                     } else {
-                        let s: f64 = set.iter().filter_map(Value::as_f64).sum();
-                        Value::Float(s / set.len() as f64)
+                        let s: f64 = vals.iter().filter_map(Value::as_f64).sum();
+                        // qirana-lint::allow(QL002): distinct-value count
+                        Value::Float(s / vals.len() as f64)
                     }
                 }
+                // qirana-lint::allow(QL003): Accum::new maps MIN/MAX to MinMax
                 AggFunc::Min | AggFunc::Max => unreachable!("MIN/MAX use MinMax"),
             },
             Accum::Sum {
@@ -653,6 +662,7 @@ impl Accum {
                 if *n == 0 {
                     Value::Null
                 } else {
+                    // qirana-lint::allow(QL002): n is a row count, < 2^53
                     Value::Float(*sum / *n as f64)
                 }
             }
@@ -701,6 +711,8 @@ fn rels_of(e: &PExpr, plan: &ResolvedSelect) -> u64 {
     e.collect_slots(&mut slots);
     let mut mask = 0u64;
     for s in slots {
+        // `offsets` always contains 0, so every slot has a home relation.
+        #[allow(clippy::expect_used)]
         let rel = plan
             .offsets
             .iter()
@@ -844,6 +856,8 @@ fn run_from(
 
     // Greedy join: start from the smallest relation, repeatedly hash-join a
     // connected relation (falling back to cartesian product).
+    // The planner rejects SELECTs with an empty FROM list, so n >= 1.
+    #[allow(clippy::expect_used)]
     let start = (0..n)
         .min_by_key(|&i| sources[i].as_slice().len())
         .expect("n >= 1");
@@ -956,6 +970,8 @@ fn run_from(
             }
             None => {
                 // Cartesian product with the smallest unbound relation.
+                // The loop runs only while some relation is unbound.
+                #[allow(clippy::expect_used)]
                 let r = (0..n)
                     .filter(|&i| bound & (1 << i) == 0)
                     .min_by_key(|&i| sources[i].as_slice().len())

@@ -35,6 +35,7 @@ pub fn binary_op(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                 LtEq => ord.is_le(),
                 Gt => ord.is_gt(),
                 GtEq => ord.is_ge(),
+                // qirana-lint::allow(QL003): outer match covers the rest
                 _ => unreachable!(),
             };
             Ok(Value::Bool(b))
@@ -83,7 +84,8 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                 } else if a % b == 0 {
                     Value::Int(a / b)
                 } else {
-                    Value::Float(*a as f64 / *b as f64)
+                    // qirana-lint::allow(QL002): SQL promotes inexact int
+                    Value::Float(*a as f64 / *b as f64) // division to double
                 }
             }
             Mod => {
@@ -93,6 +95,7 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                     Value::Int(a % b)
                 }
             }
+            // qirana-lint::allow(QL003): outer match covers the rest
             _ => unreachable!(),
         }),
         _ => {
@@ -122,6 +125,7 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                         Value::Float(a % b)
                     }
                 }
+                // qirana-lint::allow(QL003): outer match covers the rest
                 _ => unreachable!(),
             })
         }

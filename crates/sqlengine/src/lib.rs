@@ -70,7 +70,7 @@ pub use schema::{ColumnDef, DataType, Domain, ForeignKey, TableSchema};
 pub use table::{Row, Table};
 pub use update::{apply_update_sql, apply_writes, CellWrite};
 pub use validate::{check_database, Violation};
-pub use value::Value;
+pub use value::{lossless_f64, Value};
 
 // The pricing layer's parallel executor shares `&Database` and `&ResolvedSelect`
 // across a scoped worker pool and moves errors/outputs between threads. These

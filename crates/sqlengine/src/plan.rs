@@ -266,6 +266,7 @@ impl PExpr {
     /// Panics if the expression contains a subquery (the optimizer only
     /// rewrites subquery-free plans; a subquery's `OuterSlot`s would need
     /// coordinated shifting).
+    #[allow(clippy::panic)] // documented: callers rewrite subquery-free plans
     pub fn map_slots(&mut self, f: &mut impl FnMut(usize) -> usize) {
         match self {
             PExpr::Slot(s) => *s = f(*s),

@@ -120,6 +120,7 @@ impl TableSchema {
     /// Panics if a primary-key name does not match any column. Callers
     /// handling untrusted schema definitions should use
     /// [`TableSchema::try_new`] instead.
+    #[allow(clippy::panic)] // documented panicking wrapper over try_new
     pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: &[&str]) -> Self {
         Self::try_new(name, columns, primary_key).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -163,10 +164,14 @@ impl TableSchema {
         parent: &TableSchema,
         parent_columns: &[&str],
     ) {
+        // Schema-construction helper: like [`TableSchema::new`], bad
+        // column names are a programming error in the fixture, not data.
+        #[allow(clippy::expect_used)]
         let cols = columns
             .iter()
             .map(|c| self.column_index(c).expect("fk column not found"))
             .collect();
+        #[allow(clippy::expect_used)]
         let pcols = parent_columns
             .iter()
             .map(|c| parent.column_index(c).expect("fk parent column not found"))

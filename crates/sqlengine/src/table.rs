@@ -84,7 +84,10 @@ impl Table {
             }
             self.key_index = Some(idx);
         }
-        self.key_index.as_ref().unwrap().get(key).copied()
+        self.key_index
+            .as_ref()
+            .and_then(|idx| idx.get(key))
+            .copied()
     }
 
     /// Overwrites `row[col] = v` and returns the previous value.

@@ -49,7 +49,8 @@ impl Value {
     /// Numeric view of the value, if it has one (`Int`, `Float`, `Bool`).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
-            Value::Int(i) => Some(*i as f64),
+            // qirana-lint::allow(QL002): documented lossy float *view* —
+            Value::Int(i) => Some(*i as f64), // exact callers use lossless_f64
             Value::Float(f) => Some(*f),
             Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
             _ => None,
@@ -129,7 +130,8 @@ const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
 /// *different* number, so callers must not treat the cast as the value.
 /// (`i64::MAX as f64` additionally rounds up to 2^63, which saturates back
 /// to `i64::MAX` under `as`, so the naive round-trip test alone is wrong.)
-pub(crate) fn lossless_f64(i: i64) -> Option<f64> {
+pub fn lossless_f64(i: i64) -> Option<f64> {
+    // qirana-lint::allow(QL002): canonical exact-cast site, round-trip-checked below
     let f = i as f64;
     if f < TWO_POW_63 && f as i64 == i {
         Some(f)
@@ -176,8 +178,10 @@ fn cmp_int_float(a: i64, b: f64) -> Ordering {
         // a and trunc(b) agree; the fractional part decides. (|t| ≥ 2^52
         // implies b was already integral, so `t as f64` is exact here.)
         Ordering::Equal => {
+            // qirana-lint::allow(QL002): exact by the range analysis above
             if b > t as f64 {
                 Ordering::Less
+            // qirana-lint::allow(QL002): exact by the range analysis above
             } else if b < t as f64 {
                 Ordering::Greater
             } else {
@@ -367,6 +371,7 @@ fn days_in_month(y: i32, m: u32) -> u32 {
                 28
             }
         }
+        // qirana-lint::allow(QL003): caller clamps m to 1..=12
         _ => unreachable!("month out of range: {m}"),
     }
 }

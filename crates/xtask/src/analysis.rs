@@ -1,0 +1,333 @@
+//! Per-file analysis context shared by every lint pass.
+//!
+//! Builds, from the raw token stream:
+//!
+//! * the **code view** — non-comment tokens, what the passes pattern-match;
+//! * **test regions** — brace spans of items under `#[cfg(test)]` /
+//!   `#[test]`-family attributes, where QL003 does not apply;
+//! * **allow annotations** — `qirana-lint::allow(QL00x): reason` comments
+//!   (line-scoped) and `qirana-lint::allow-file(QL00x): reason` (whole
+//!   file), plus `#[allow(clippy::unwrap_used)]`-style attributes, which
+//!   suppress QL003 over the annotated item so one annotation serves both
+//!   clippy and qirana-lint.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use crate::lints::Lint;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Everything a lint pass needs to know about one source file.
+pub struct FileContext {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// Non-comment tokens, in order.
+    pub code: Vec<Tok>,
+    /// Index ranges (into `code`) lying inside test items.
+    test_spans: Vec<Range<usize>>,
+    /// Index ranges (into `code`) where QL003 is attribute-suppressed.
+    ql003_spans: Vec<Range<usize>>,
+    /// (line, lint) pairs waived by inline comments. An annotation on line
+    /// `L` waives its lint on lines `L` and `L + 1`, so it can trail the
+    /// offending expression or sit on its own line directly above.
+    line_allows: BTreeSet<(u32, Lint)>,
+    /// Lints waived for the entire file.
+    file_allows: BTreeSet<Lint>,
+}
+
+impl FileContext {
+    /// Lexes and analyzes one file.
+    pub fn new(path: &str, src: &str) -> Self {
+        let toks = tokenize(src);
+        let mut line_allows = BTreeSet::new();
+        let mut file_allows = BTreeSet::new();
+        for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+            collect_annotations(t, &mut line_allows, &mut file_allows);
+        }
+        let code: Vec<Tok> = toks
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        let test_spans = attribute_item_spans(&code, is_test_attr);
+        let mut ql003_spans = attribute_item_spans(&code, is_ql003_allow_attr);
+        if has_inner_ql003_allow(&code) {
+            ql003_spans.push(0..code.len());
+        }
+        FileContext {
+            path: path.to_string(),
+            code,
+            test_spans,
+            ql003_spans,
+            line_allows,
+            file_allows,
+        }
+    }
+
+    /// True if the token at code index `i` lies inside a test item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|r| r.contains(&i))
+    }
+
+    /// True if a diagnostic for `lint` at code index `i` is waived, either
+    /// by an inline/file annotation or (QL003) an allow/expect attribute.
+    pub fn allowed(&self, lint: Lint, i: usize) -> bool {
+        if self.file_allows.contains(&lint) {
+            return true;
+        }
+        let line = self.code[i].line;
+        if self.line_allows.contains(&(line, lint))
+            || line > 1 && self.line_allows.contains(&(line - 1, lint))
+        {
+            return true;
+        }
+        lint == Lint::Ql003 && self.ql003_spans.iter().any(|r| r.contains(&i))
+    }
+
+    /// True for binary targets (`src/bin/*`, `main.rs`): QL003 is relaxed
+    /// there — a CLI tool aborting on bad input is acceptable; a library
+    /// panicking inside the broker is not.
+    pub fn is_bin(&self) -> bool {
+        self.path.contains("/bin/") || self.path.ends_with("main.rs")
+    }
+
+    /// True for the deterministic fault-injection module, which is the one
+    /// sanctioned home for failpoint randomness (QL004 does not apply).
+    pub fn is_fault_module(&self) -> bool {
+        self.path.ends_with("/fault.rs")
+    }
+}
+
+/// Parses `qirana-lint::allow(QL00x[, QL00y…]): reason` and
+/// `qirana-lint::allow-file(…): reason` out of one comment token. The
+/// reason is mandatory: an annotation without one is ignored, so a bare
+/// waiver never silences a diagnostic.
+fn collect_annotations(
+    t: &Tok,
+    line_allows: &mut BTreeSet<(u32, Lint)>,
+    file_allows: &mut BTreeSet<Lint>,
+) {
+    for (marker, file_scope) in [
+        ("qirana-lint::allow-file(", true),
+        ("qirana-lint::allow(", false),
+    ] {
+        let Some(start) = t.text.find(marker) else {
+            continue;
+        };
+        let rest = &t.text[start + marker.len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let has_reason = rest[close + 1..]
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if !has_reason {
+            continue;
+        }
+        for name in rest[..close].split(',') {
+            if let Some(lint) = Lint::parse(name.trim()) {
+                if file_scope {
+                    file_allows.insert(lint);
+                } else {
+                    line_allows.insert((t.line, lint));
+                }
+            }
+        }
+        return; // allow-file matched would also substring-match allow
+    }
+}
+
+/// Finds the `code`-index spans of items carrying an attribute selected by
+/// `pred`. The span runs from the attribute to the close of the item's
+/// brace block, or — for brace-less statements such as
+/// `#[allow(…)] let x = f().unwrap();` — to the terminating `;`.
+fn attribute_item_spans(code: &[Tok], pred: fn(&[Tok]) -> bool) -> Vec<Range<usize>> {
+    let mut spans: Vec<Range<usize>> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].is_punct("#") && code.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = matching_close(code, i + 1, "[", "]") else {
+            break;
+        };
+        if pred(&code[attr_start + 2..attr_end]) {
+            // Walk forward to the item's opening brace, skipping any
+            // further attributes; a `;` first means a brace-less item or
+            // statement, which the attribute covers up to that `;`.
+            let mut j = attr_end + 1;
+            let mut depth_paren = 0i32;
+            while j < code.len() {
+                match code[j].text.as_str() {
+                    "(" | "[" => depth_paren += 1,
+                    ")" | "]" => depth_paren -= 1,
+                    "{" if depth_paren == 0 => {
+                        if let Some(end) = matching_close(code, j, "{", "}") {
+                            spans.push(attr_start..end + 1);
+                            break;
+                        }
+                        break;
+                    }
+                    ";" if depth_paren == 0 => {
+                        spans.push(attr_start..j + 1);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        i = attr_end + 1;
+    }
+    spans
+}
+
+/// Index of the punctuation closing the bracket opened at `open_idx`.
+fn matching_close(code: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in code.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[test]`, `#[tokio::test]`, …
+fn is_test_attr(attr: &[Tok]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("cfg") || t.is_ident("cfg_attr") => {
+            attr.iter().any(|t| t.is_ident("test"))
+        }
+        Some(t) if t.is_ident("test") => true,
+        // Path attrs ending in `test` (`tokio::test`, `proptest`-style
+        // macros keep their own names and are not matched here).
+        Some(_) => {
+            attr.iter().any(|t| t.is_ident("test"))
+                && attr
+                    .iter()
+                    .all(|t| t.kind == TokKind::Ident || t.is_punct(":"))
+        }
+        None => false,
+    }
+}
+
+/// `#[allow(...)]`/`#[expect(...)]` attributes naming a panicking-call
+/// clippy lint: honored as QL003 suppressions for the annotated item.
+fn is_ql003_allow_attr(attr: &[Tok]) -> bool {
+    attr.first()
+        .is_some_and(|t| t.is_ident("allow") || t.is_ident("expect"))
+        && attr
+            .iter()
+            .any(|t| t.is_ident("unwrap_used") || t.is_ident("expect_used") || t.is_ident("panic"))
+}
+
+/// Crate-level `#![allow(clippy::unwrap_used)]` (bins use this).
+fn has_inner_ql003_allow(code: &[Tok]) -> bool {
+    let mut i = 0;
+    while i + 2 < code.len() {
+        if code[i].is_punct("#") && code[i + 1].is_punct("!") && code[i + 2].is_punct("[") {
+            if let Some(end) = matching_close(code, i + 2, "[", "]") {
+                if is_ql003_allow_attr(&code[i + 3..end]) {
+                    return true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileContext {
+        FileContext::new("crates/demo/src/lib.rs", src)
+    }
+
+    fn idx_of(ctx: &FileContext, ident: &str) -> usize {
+        ctx.code
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .expect("ident present")
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let c =
+            ctx("fn lib_fn() { body(); }\n#[cfg(test)]\nmod tests {\n  fn t() { inner(); }\n}\n");
+        assert!(!c.in_test(idx_of(&c, "body")));
+        assert!(c.in_test(idx_of(&c, "inner")));
+    }
+
+    #[test]
+    fn test_fn_attr_is_a_test_region() {
+        let c = ctx("#[test]\nfn t() { checked(); }\nfn real() { prod(); }\n");
+        assert!(c.in_test(idx_of(&c, "checked")));
+        assert!(!c.in_test(idx_of(&c, "prod")));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let c = ctx("#[cfg(all(test, feature = \"slow\"))]\nmod t { fn f() { x(); } }\n");
+        assert!(c.in_test(idx_of(&c, "x")));
+    }
+
+    #[test]
+    fn inline_allow_covers_same_and_next_line() {
+        let c = ctx(
+            "// qirana-lint::allow(QL003): startup invariant\nfn f() { g(); }\nfn h() { k(); }\n",
+        );
+        assert!(c.allowed(Lint::Ql003, idx_of(&c, "g")));
+        assert!(!c.allowed(Lint::Ql003, idx_of(&c, "k")));
+    }
+
+    #[test]
+    fn annotation_without_reason_is_ignored() {
+        let c = ctx("// qirana-lint::allow(QL003)\nfn f() { g(); }\n");
+        assert!(!c.allowed(Lint::Ql003, idx_of(&c, "g")));
+    }
+
+    #[test]
+    fn file_allow_covers_everything() {
+        let c = ctx("// qirana-lint::allow-file(QL002): canonical cast site\nfn f() { g(); }\n");
+        assert!(c.allowed(Lint::Ql002, idx_of(&c, "g")));
+        assert!(!c.allowed(Lint::Ql003, idx_of(&c, "g")));
+    }
+
+    #[test]
+    fn clippy_allow_attr_suppresses_ql003_on_item() {
+        let c = ctx("#[allow(clippy::unwrap_used)]\nfn f() { g(); }\nfn h() { k(); }\n");
+        assert!(c.allowed(Lint::Ql003, idx_of(&c, "g")));
+        assert!(!c.allowed(Lint::Ql003, idx_of(&c, "k")));
+    }
+
+    #[test]
+    fn clippy_allow_attr_on_statement_covers_to_semicolon() {
+        let c =
+            ctx("fn f() {\n  #[allow(clippy::expect_used)]\n  let v = g();\n  let w = k();\n}\n");
+        assert!(c.allowed(Lint::Ql003, idx_of(&c, "g")));
+        assert!(!c.allowed(Lint::Ql003, idx_of(&c, "k")));
+    }
+
+    #[test]
+    fn crate_level_inner_allow_suppresses_whole_file() {
+        let c = ctx("#![allow(clippy::unwrap_used)]\nfn f() { g(); }\n");
+        assert!(c.allowed(Lint::Ql003, idx_of(&c, "g")));
+    }
+
+    #[test]
+    fn bin_detection() {
+        assert!(FileContext::new("crates/bench/src/bin/fig2.rs", "").is_bin());
+        assert!(FileContext::new("crates/xtask/src/main.rs", "").is_bin());
+        assert!(!FileContext::new("crates/core/src/lib.rs", "").is_bin());
+    }
+}

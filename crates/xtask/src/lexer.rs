@@ -1,0 +1,386 @@
+//! A minimal, lossless Rust tokenizer.
+//!
+//! The lint passes in this crate are *token-level*: they never need a full
+//! AST, but they must never be fooled by the contents of string literals,
+//! comments, or char literals (a doc example containing `.unwrap()` is not
+//! a violation). This lexer therefore implements exactly the lexical
+//! structure of Rust — nested block comments, raw strings with arbitrary
+//! `#` fences, byte/raw prefixes, char-vs-lifetime disambiguation, numeric
+//! literals with exponents — and nothing more. It is deliberately
+//! dependency-free: the build environment vendors no `proc-macro2`/`syn`,
+//! and the lints only need token kinds, token text, and line numbers.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, prefix stripped).
+    Ident,
+    /// Lifetime such as `'a` (without the quote).
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// A single punctuation character (`.` `:` `(` …). Multi-character
+    /// operators are emitted one character at a time; the lint passes
+    /// match sequences.
+    Punct,
+    /// Line or block comment, text included (annotations live here).
+    Comment,
+}
+
+/// One token, carrying its text and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Tokenizes Rust source. Unterminated literals and comments are tolerated
+/// (the remainder of the file becomes one token) so the linter degrades
+/// gracefully on malformed input instead of failing the whole run.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, String::new()),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                _ => {
+                    let c = self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump());
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push(self.bump());
+                text.push(self.bump());
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push(self.bump());
+                text.push(self.bump());
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(self.bump());
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// A `"`-delimited string; `text` may already hold a consumed prefix
+    /// (`b`, `r#…` fences are handled by the callers).
+    fn string(&mut self, line: u32, mut text: String) {
+        text.push(self.bump()); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump());
+                if self.peek(0).is_some() {
+                    text.push(self.bump());
+                }
+            } else if c == '"' {
+                text.push(self.bump());
+                break;
+            } else {
+                text.push(self.bump());
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// A raw string starting at `r`'s fence: `#…#"…"#…#`. The prefix chars
+    /// (`r` / `br`) have already been consumed into `text`.
+    fn raw_string(&mut self, line: u32, mut text: String) {
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            text.push(self.bump());
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, not a raw string: emit what we have
+            // as punctuation-ish fallback; the ident path continues.
+            self.push(TokKind::Punct, text, line);
+            return;
+        }
+        text.push(self.bump()); // opening quote
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A candidate closer: needs `fence` following hashes.
+                for k in 0..fence {
+                    if self.peek(1 + k) != Some('#') {
+                        text.push(self.bump());
+                        continue 'outer;
+                    }
+                }
+                text.push(self.bump());
+                for _ in 0..fence {
+                    text.push(self.bump());
+                }
+                break;
+            }
+            text.push(self.bump());
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump()); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then up to closer.
+                text.push(self.bump());
+                while let Some(c) = self.peek(0) {
+                    text.push(self.bump());
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // Could be 'x' (char) or 'x (lifetime): read the ident run,
+                // then look for the closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(self.bump());
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    text.push(self.bump());
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(_) => {
+                // Single-char literal like '(' or '\u{…}' already handled.
+                text.push(self.bump());
+                if self.peek(0) == Some('\'') {
+                    text.push(self.bump());
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            None => self.push(TokKind::Punct, text, line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(self.bump());
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` but not the range `1..5` (second char is a digit).
+                seen_dot = true;
+                text.push(self.bump());
+            } else if (c == '+' || c == '-')
+                && text.chars().last().is_some_and(|l| l == 'e' || l == 'E')
+                && text.starts_with(|f: char| f.is_ascii_digit())
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+            {
+                // Exponent sign: `1e-5`.
+                text.push(self.bump());
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(self.bump());
+            } else {
+                break;
+            }
+        }
+        // String/char prefixes: b"…", r"…", br#"…"#, r#raw_ident.
+        match (text.as_str(), self.peek(0)) {
+            ("b", Some('"')) => self.string(line, text),
+            ("r" | "br" | "rb", Some('"')) => self.raw_string(line, text),
+            ("r" | "br", Some('#')) => {
+                // Either a raw string fence or a raw identifier r#foo.
+                if self.peek(1) == Some('"') || self.peek(1) == Some('#') {
+                    self.raw_string(line, text);
+                } else {
+                    self.bump(); // the '#'
+                    let mut ident = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            ident.push(self.bump());
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, ident, line);
+                }
+            }
+            ("b", Some('\'')) => {
+                self.char_or_lifetime(line);
+                // Re-tag: the quote path pushed a Char/Lifetime token for
+                // the quoted part; the `b` prefix itself is dropped, which
+                // is fine for lint purposes.
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = m.iter();");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokKind::Ident, "m".into()));
+        assert_eq!(t[4], (TokKind::Punct, ".".into()));
+        assert_eq!(t[5], (TokKind::Ident, "iter".into()));
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let t = kinds(r#"let s = "x.unwrap() // not code";"#);
+        assert!(t.iter().all(|(k, x)| *k != TokKind::Ident || x != "unwrap"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let t = kinds(r###"let s = r#"contains "quotes" and .unwrap()"#;"###);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(t.iter().all(|(k, x)| *k != TokKind::Ident || x != "unwrap"));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let t = tokenize("// qirana-lint::allow(QL001): reason\nlet x = 1;");
+        assert_eq!(t[0].kind, TokKind::Comment);
+        assert!(t[0].text.contains("qirana-lint::allow(QL001)"));
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* a /* b */ c */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds("fn f<'a>(c: char) { let x = 'y'; let z = '\\n'; }");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Lifetime && x == "'a"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Char && x == "'y'"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let t = kinds("for i in 0..10 { let f = 1.5e-3 + x as f64; }");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Number && x == "0"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Number && x == "10"));
+        assert!(t
+            .iter()
+            .any(|(k, x)| *k == TokKind::Number && x == "1.5e-3"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Ident && x == "f64"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let t = tokenize("a\nb\n\nc");
+        assert_eq!(t.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+}

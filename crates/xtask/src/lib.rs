@@ -1,0 +1,37 @@
+//! `qirana-lint`: the workspace's determinism/correctness static-analysis
+//! engine, invoked as `cargo xtask lint`.
+//!
+//! QIRANA's arbitrage-freeness guarantee holds only if the same bundle
+//! always produces the same price — bitwise, on every run, at every worker
+//! count. Two shipped bugs (hash-order entropy accumulation; lossy
+//! `i64 as f64` fingerprints) violated exactly that, postmortem. This
+//! crate turns those bug classes into machine-checked, allow-listable
+//! lints with `file:line` diagnostics; see [`lints`] for the rules and
+//! DESIGN.md §6 for the motivating history.
+
+pub mod analysis;
+pub mod lexer;
+pub mod lints;
+pub mod walk;
+
+use analysis::FileContext;
+use lints::Diagnostic;
+use std::io;
+use std::path::Path;
+
+/// Lints one file's source text (entry point for tests and tools).
+pub fn lint_source(display_path: &str, src: &str) -> Vec<Diagnostic> {
+    lints::lint_file(&FileContext::new(display_path, src))
+}
+
+/// Lints the whole workspace rooted at `root`; diagnostics come back
+/// sorted by (path, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in walk::workspace_sources(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        out.extend(lint_source(&walk::display_path(root, &file), &src));
+    }
+    out.sort();
+    Ok(out)
+}

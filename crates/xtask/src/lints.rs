@@ -1,0 +1,469 @@
+//! The qirana-lint rules: four repo-specific invariants, each born from a
+//! real bug class in this codebase (see DESIGN.md §6).
+//!
+//! * **QL001** — nondeterministic iteration over `HashMap`/`HashSet`.
+//!   Float accumulation is not associative, so hash-order iteration made
+//!   two prices of the *same* partition differ in the last ulp (the PR 3
+//!   entropy-pricing bug). Iterate a `BTreeMap`, a sorted vector, or
+//!   first-appearance order instead.
+//! * **QL002** — lossy `as f64` casts of (potentially) 64-bit integers.
+//!   `i64 as f64` silently collapses distinct integers beyond 2^53; the
+//!   PR 3 fingerprint bug priced `2^53` and `2^53 + 1` identically. Route
+//!   exact conversions through `qirana_sqlengine::value::lossless_f64`.
+//! * **QL003** — `unwrap()`/`expect()`/`panic!`-family calls in library
+//!   code. The workspace has typed error channels (`EngineError`,
+//!   `PricingError`, `SupportError`, `WeightError`); a malformed input
+//!   must surface as one of those, not abort the broker. Tests and bins
+//!   are exempt.
+//! * **QL004** — unseeded randomness or wall-clock reads outside the
+//!   budget/fault modules. Support generation, weights, and fault
+//!   injection are all seed-driven so every price is replayable; an
+//!   unseeded RNG or ambient clock read reintroduces nondeterminism.
+//!
+//! All rules are waivable with an inline justification:
+//! `// qirana-lint::allow(QL00x): <why this site is sound>`.
+
+use crate::analysis::FileContext;
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The lint rules, in diagnostic-code order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    Ql001,
+    Ql002,
+    Ql003,
+    Ql004,
+}
+
+impl Lint {
+    /// Diagnostic code, e.g. `QL001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::Ql001 => "QL001",
+            Lint::Ql002 => "QL002",
+            Lint::Ql003 => "QL003",
+            Lint::Ql004 => "QL004",
+        }
+    }
+
+    /// Parses a diagnostic code (as written in allow annotations).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "QL001" => Some(Lint::Ql001),
+            "QL002" => Some(Lint::Ql002),
+            "QL003" => Some(Lint::Ql003),
+            "QL004" => Some(Lint::Ql004),
+            _ => None,
+        }
+    }
+
+    pub const ALL: [Lint; 4] = [Lint::Ql001, Lint::Ql002, Lint::Ql003, Lint::Ql004];
+}
+
+/// One finding: file, line, rule, and a human explanation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub lint: Lint,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.lint.code(),
+            self.message
+        )
+    }
+}
+
+/// Runs every pass over one analyzed file.
+pub fn lint_file(ctx: &FileContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    ql001_nondeterministic_iteration(ctx, &mut out);
+    ql002_lossy_casts(ctx, &mut out);
+    ql003_panicking_calls(ctx, &mut out);
+    ql004_ambient_nondeterminism(ctx, &mut out);
+    out.sort();
+    out
+}
+
+fn diag(ctx: &FileContext, i: usize, lint: Lint, message: String, out: &mut Vec<Diagnostic>) {
+    if !ctx.allowed(lint, i) {
+        out.push(Diagnostic {
+            path: ctx.path.clone(),
+            line: ctx.code[i].line,
+            lint,
+            message,
+        });
+    }
+}
+
+/// Methods whose results depend on a hash map's iteration order.
+const ORDER_DEPENDENT_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// QL001: iteration over bindings/fields whose type this file declares as
+/// `HashMap`/`HashSet`. Intra-file and conservative by design: a name is
+/// hash-typed if the file contains `name: HashMap<…>` (binding or field
+/// annotation) or `let [mut] name = HashMap::new()/with_capacity/from…`.
+fn ql001_nondeterministic_iteration(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let code = &ctx.code;
+    let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..code.len() {
+        if !(code[i].is_ident("HashMap") || code[i].is_ident("HashSet")) {
+            continue;
+        }
+        // `name : HashMap` (type ascription on a binding or struct field).
+        if i >= 2 && code[i - 1].is_punct(":") && code[i - 2].kind == TokKind::Ident {
+            hash_names.insert(&code[i - 2].text);
+        }
+        // `let [mut] name = HashMap::…` / `name = HashMap::…`.
+        if i >= 2 && code[i - 1].is_punct("=") && code[i - 2].kind == TokKind::Ident {
+            hash_names.insert(&code[i - 2].text);
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+
+    for i in 0..code.len() {
+        // `name.method(` where name is hash-typed and method is
+        // order-dependent. Covers field access too: in `self.buyers.iter()`
+        // the token before `.iter` is `buyers`.
+        if ctx.in_test(i) {
+            continue;
+        }
+        if code[i].kind == TokKind::Ident
+            && ORDER_DEPENDENT_METHODS.contains(&code[i].text.as_str())
+            && i >= 2
+            && code[i - 1].is_punct(".")
+            && code[i - 2].kind == TokKind::Ident
+            && hash_names.contains(code[i - 2].text.as_str())
+            && code.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql001,
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet: per-process hash order can leak \
+                     into prices/fingerprints; use BTreeMap, a sorted Vec, or \
+                     first-appearance indexing",
+                    code[i - 2].text,
+                    code[i].text
+                ),
+                out,
+            );
+        }
+        // `for pat in [&[mut]] name` where name is hash-typed.
+        if code[i].is_ident("for") {
+            if let Some((j, name)) = for_loop_target(code, i) {
+                if hash_names.contains(name) {
+                    diag(
+                        ctx,
+                        j,
+                        Lint::Ql001,
+                        format!(
+                            "`for … in {name}` iterates a HashMap/HashSet in hash order; \
+                             use BTreeMap, a sorted Vec, or first-appearance indexing"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// For a `for` keyword at `i`, returns the index and text of the iterated
+/// identifier when the loop has the shape `for pat in [&[mut]] name {`.
+fn for_loop_target(code: &[Tok], i: usize) -> Option<(usize, &str)> {
+    let mut j = i + 1;
+    // Scan the (possibly destructuring) pattern for the `in` keyword.
+    let mut guard = 0;
+    while j < code.len() && !code[j].is_ident("in") {
+        j += 1;
+        guard += 1;
+        if guard > 24 {
+            return None; // not a plain loop header
+        }
+    }
+    let mut k = j + 1;
+    while k < code.len() && (code[k].is_punct("&") || code[k].is_ident("mut")) {
+        k += 1;
+    }
+    if code.get(k).map(|t| t.kind) == Some(TokKind::Ident)
+        && code.get(k + 1).is_some_and(|t| t.is_punct("{"))
+    {
+        return Some((k, &code[k].text));
+    }
+    None
+}
+
+/// Integer types provably ≤ 32 bits, whose `as f64` is always exact.
+const EXACT_IN_F64: [&str; 7] = ["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
+
+/// QL002: `<expr> as f64` where the source cannot be proven ≤ 32 bits at
+/// the token level. `x as u32 as f64` passes, as does `x as f64` when this
+/// file declares `x` with a ≤ 32-bit type; `i64`/`u64`/`usize` sources,
+/// `.len()` results, and unproven identifiers flag — the 2^53 collapse is
+/// silent, so the burden of proof is on the cast site.
+fn ql002_lossy_casts(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let code = &ctx.code;
+    // Names this file ascribes a provably-exact type: `n: u32` in a
+    // binding, field, or signature.
+    let mut small_names: BTreeSet<&str> = BTreeSet::new();
+    for i in 2..code.len() {
+        if code[i].kind == TokKind::Ident
+            && EXACT_IN_F64.contains(&code[i].text.as_str())
+            && code[i - 1].is_punct(":")
+            && code[i - 2].kind == TokKind::Ident
+        {
+            small_names.insert(&code[i - 2].text);
+        }
+    }
+    for i in 0..code.len() {
+        if ctx.in_test(i)
+            || !(code[i].is_ident("as") && code.get(i + 1).is_some_and(|t| t.is_ident("f64")))
+        {
+            continue;
+        }
+        // The token immediately before `as` is the tail of the source
+        // expression: a chained narrow cast (`… as u32 as f64`), a
+        // declared-small identifier, or a small integer literal is
+        // provably exact.
+        let exact = match code.get(i.wrapping_sub(1)) {
+            Some(prev) if prev.kind == TokKind::Ident => {
+                EXACT_IN_F64.contains(&prev.text.as_str())
+                    || small_names.contains(prev.text.as_str())
+            }
+            Some(prev) if prev.kind == TokKind::Number => prev
+                .text
+                .parse::<i64>()
+                .is_ok_and(|v| v.unsigned_abs() <= (1 << 53)),
+            _ => false,
+        };
+        if !exact {
+            diag(
+                ctx,
+                i,
+                Lint::Ql002,
+                "`as f64` on a possibly-64-bit integer silently rounds beyond 2^53 \
+                 (the fingerprint-collapse bug class); use \
+                 `qirana_sqlengine::value::lossless_f64` or cast through u32/i32"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Macros that abort instead of returning a typed error.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// QL003: panicking calls in library code. Skipped wholesale in bins and
+/// test regions; waivable per-site with a justification or a
+/// `#[allow(clippy::unwrap_used)]`-family attribute on the item.
+fn ql003_panicking_calls(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.is_bin() {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let t = &code[i];
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && code[i - 1].is_punct(".")
+            && code.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql003,
+                format!(
+                    "`.{}()` in library code panics on the error path; return the typed \
+                     error (`EngineError`/`PricingError`/`SupportError`) instead",
+                    t.text
+                ),
+                out,
+            );
+        } else if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && (i == 0 || !code[i - 1].is_punct("."))
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql003,
+                format!(
+                    "`{}!` in library code aborts the broker; return a typed error or \
+                     document the invariant with an allow annotation",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// QL004: ambient nondeterminism. The fault module is exempt (it is the
+/// sanctioned failpoint home and is itself seed-driven); the execution
+/// budget's deadline meter carries an inline annotation at its one site.
+fn ql004_ambient_nondeterminism(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.is_fault_module() {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let t = &code[i];
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+            diag(
+                ctx,
+                i,
+                Lint::Ql004,
+                format!(
+                    "`{}` seeds from the environment: support sets, weights, and prices \
+                     must be replayable from an explicit seed (use `SeedableRng::seed_from_u64`)",
+                    t.text
+                ),
+                out,
+            );
+        } else if t.is_ident("random")
+            && i >= 2
+            && code[i - 1].is_punct(":")
+            && code[i - 2].is_punct(":")
+            && i >= 3
+            && code[i - 3].is_ident("rand")
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql004,
+                "`rand::random` draws from the global entropy RNG; use an explicitly \
+                 seeded generator"
+                    .to_string(),
+                out,
+            );
+        } else if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && code.get(i + 1).is_some_and(|t| t.is_punct(":"))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(":"))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql004,
+                format!(
+                    "`{}::now()` reads the ambient clock outside the budget/fault \
+                     modules; thread a deadline or budget through instead",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        lint_file(&FileContext::new("crates/demo/src/lib.rs", src))
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        run(src).iter().map(|d| d.lint.code()).collect()
+    }
+
+    #[test]
+    fn ql001_flags_iteration_not_lookup() {
+        let src = "use std::collections::HashMap;\nfn f() {\n  let mut m: HashMap<u32, f64> = HashMap::new();\n  m.insert(1, 2.0);\n  let _ = m.get(&1);\n  for (k, v) in m.iter() { sink(k, v); }\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, Lint::Ql001);
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn ql001_flags_for_loop_over_map() {
+        let src = "fn f(m2: HashMap<u32, u32>) {\n  for x in &m2 { sink(x); }\n}\n";
+        // `m2 : HashMap` in the signature marks the name.
+        assert_eq!(codes(src), vec!["QL001"]);
+    }
+
+    #[test]
+    fn ql001_ignores_vec_iteration() {
+        let src = "fn f(v: Vec<u32>) { for x in v.iter() { sink(x); } }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn ql002_flags_unproven_casts_only() {
+        let src = "fn f(n: i64, s: u32) -> f64 {\n  let a = n as f64;\n  let b = s as f64;\n  let c = n as u32 as f64;\n  let d = 100 as f64;\n  a + b + c + d\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn ql003_flags_library_unwrap_not_test() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { assert_eq!(super::f(Some(1)).to_string().parse::<u32>().unwrap(), 1); }\n}\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn ql003_skips_unwrap_or_family() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn ql003_flags_panic_macros() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { unreachable!(); }\n";
+        assert_eq!(codes(src), vec!["QL003", "QL003"]);
+    }
+
+    #[test]
+    fn ql004_flags_clock_and_entropy() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
+        assert_eq!(codes(src), vec!["QL004", "QL004"]);
+    }
+
+    #[test]
+    fn allow_annotation_waives_with_reason() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n  // qirana-lint::allow(QL003): x is Some by construction of f's caller\n  x.unwrap()\n}\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_fire() {
+        let src = "/// ```\n/// let x = m.iter().next().unwrap();\n/// ```\nfn f() {}\n";
+        assert!(codes(src).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! `cargo xtask` — workspace automation CLI.
+//!
+//! Subcommands:
+//! * `lint [FILE…]` — run the qirana-lint pass (QL001–QL004) over the
+//!   whole workspace, or over the given files only. Exits nonzero when
+//!   any diagnostic is emitted.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`\n");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask lint [FILE…]\n\n\
+         Runs the qirana-lint determinism/correctness pass (QL001–QL004)\n\
+         over every library source file in the workspace (default) or over\n\
+         the listed files. Diagnostics are `path:line: [QLxxx] message`;\n\
+         waive a site with `// qirana-lint::allow(QLxxx): <reason>`.\n\
+         See DESIGN.md §6."
+    );
+}
+
+fn lint(files: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let diags = if files.is_empty() {
+        match xtask::lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("xtask lint: cannot walk workspace: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for f in files {
+            let path = PathBuf::from(f);
+            match std::fs::read_to_string(&path) {
+                Ok(src) => out.extend(xtask::lint_source(
+                    &xtask::walk::display_path(&root, &path),
+                    &src,
+                )),
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out.sort();
+        out
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("qirana-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("qirana-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

@@ -1,0 +1,53 @@
+//! Workspace file discovery for the lint pass.
+//!
+//! The pass covers every `src/**/*.rs` of every workspace crate (including
+//! this one — the linter must keep itself clean) plus the root facade's
+//! `src/`. Integration tests, benches, examples, fixtures, and the
+//! `vendor/` stand-ins are out of scope: QL001–QL004 guard *library code
+//! paths*, and vendored third-party stand-ins follow upstream's API, not
+//! our invariants.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All lintable source files under `root` (a workspace root), sorted so
+/// diagnostics are stable across runs and platforms.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative, `/`-separated display path for diagnostics.
+pub fn display_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

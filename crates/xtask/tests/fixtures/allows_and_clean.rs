@@ -1,0 +1,34 @@
+//! Waiver-mechanics fixture: every lint demonstrated *waived*, plus the
+//! cases where a malformed waiver must NOT silence the diagnostic.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+// qirana-lint::allow-file(QL001): this fixture exercises file-scoped waivers
+
+use std::collections::HashMap;
+
+fn file_allow_covers_ql001(weights: HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_name, w) in &weights {
+        total += w;
+    }
+    total
+}
+
+fn trailing_allow(key: i64) -> f64 {
+    key as f64 // qirana-lint::allow(QL002): demo of a trailing waiver
+}
+
+fn multi_lint_allow(v: Option<i64>) -> f64 {
+    // qirana-lint::allow(QL002, QL003): one comment, two waived lints
+    v.unwrap() as f64
+}
+
+fn reasonless_allow_is_ignored(v: Option<u32>) -> u32 {
+    // qirana-lint::allow(QL003)
+    v.unwrap()
+}
+
+fn stale_allow_does_not_reach(v: Option<u32>) -> u32 {
+    // qirana-lint::allow(QL003): two lines up, out of range
+    let _ = v.is_some();
+    v.unwrap()
+}

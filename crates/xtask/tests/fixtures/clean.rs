@@ -1,0 +1,32 @@
+//! Clean fixture: idiomatic library code that must produce no diagnostics.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+pub enum FixtureError {
+    Missing(String),
+}
+
+pub fn lookup(table: &BTreeMap<String, i64>, key: &str) -> Result<i64, FixtureError> {
+    table
+        .get(key)
+        .copied()
+        .ok_or_else(|| FixtureError::Missing(key.to_string()))
+}
+
+pub fn ordered_total(table: &BTreeMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in table {
+        total += v;
+    }
+    total
+}
+
+pub fn exact_ratio(num: u32, den: u32) -> Option<f64> {
+    if den == 0 {
+        None
+    } else {
+        Some(num as f64 / den as f64)
+    }
+}

@@ -1,0 +1,51 @@
+//! QL001 fixture: HashMap/HashSet iteration orders leaking into results.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn hash_map_for_loop(weights: HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    // Float addition is not associative: hash order changes the sum's ulps.
+    for (_name, w) in &weights {
+        total += w;
+    }
+    total
+}
+
+fn hash_set_fold(seen: HashSet<i64>) -> i64 {
+    seen.iter().fold(0, |a, b| a ^ (a << 1) ^ b)
+}
+
+fn keys_and_values(index: HashMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut out: Vec<u32> = index.keys().copied().collect();
+    out.extend(index.values().map(|v| v.len() as u32));
+    out
+}
+
+// Named differently from the HashMap above on purpose: the type tracking
+// is per-name within a file, so a name bound to a HashMap anywhere in the
+// file stays suspect everywhere in it.
+fn btree_is_fine(ordered: BTreeMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_name, w) in &ordered {
+        total += w;
+    }
+    total
+}
+
+fn membership_only_is_fine(seen: &HashSet<i64>, x: i64) -> bool {
+    seen.contains(&x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in &m {
+            assert!(k <= v);
+        }
+    }
+}

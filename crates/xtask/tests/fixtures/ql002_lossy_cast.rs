@@ -1,0 +1,24 @@
+//! QL002 fixture: lossy `as f64` casts on 64-bit integers.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+
+fn lossy_fingerprint(key: i64) -> f64 {
+    // Collapses every key beyond 2^53 — the PR 3 fingerprint bug class.
+    key as f64
+}
+
+fn lossy_len(rows: &[i64]) -> f64 {
+    rows.iter().sum::<i64>() as f64
+}
+
+fn small_type_is_fine(count: u32, ratio: f32) -> f64 {
+    count as f64 + ratio as f64
+}
+
+fn small_literal_is_fine() -> f64 {
+    1024 as f64
+}
+
+fn annotated_count(n: usize) -> f64 {
+    // qirana-lint::allow(QL002): n is a row count, far below 2^53
+    n as f64
+}

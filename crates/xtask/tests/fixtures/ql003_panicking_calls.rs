@@ -1,0 +1,56 @@
+//! QL003 fixture: panicking calls in library code.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+
+fn unwrap_in_lib(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn expect_in_lib(v: Result<u32, String>) -> u32 {
+    v.expect("must parse")
+}
+
+fn panic_in_lib(x: u32) -> u32 {
+    if x > 10 {
+        panic!("x too large: {x}");
+    }
+    x
+}
+
+fn unreachable_in_lib(x: u32) -> u32 {
+    match x % 2 {
+        0 => 0,
+        1 => 1,
+        _ => unreachable!(),
+    }
+}
+
+fn todo_in_lib() {
+    todo!("finish this")
+}
+
+fn method_named_unwrap_is_fine(wrapper: Wrapper) -> u32 {
+    // `unwrap` here is a field access, not the panicking call.
+    wrapper.unwrap
+}
+
+struct Wrapper {
+    unwrap: u32,
+}
+
+#[allow(clippy::unwrap_used)] // attribute waiver covers the item
+fn attributed_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn annotated_expect(v: Option<u32>) -> u32 {
+    // qirana-lint::allow(QL003): invariant established by the caller
+    v.expect("caller checked")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_exempt() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! QL004 fixture: unseeded randomness and ambient clock reads.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+
+use rand::{Rng, SeedableRng};
+use std::time::{Instant, SystemTime};
+
+fn unseeded_sampling() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn entropy_seeded() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}
+
+fn bare_random() -> u64 {
+    rand::random()
+}
+
+fn wall_clock_deadline() -> Instant {
+    Instant::now()
+}
+
+fn wall_clock_stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn seeded_is_fine(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn annotated_meter() -> Instant {
+    // qirana-lint::allow(QL004): this helper is itself the budget meter
+    Instant::now()
+}

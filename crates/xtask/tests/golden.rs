@@ -1,0 +1,97 @@
+//! Golden tests: every fixture under `tests/fixtures/` is linted and its
+//! diagnostics compared line-for-line against the committed `.expected`
+//! file. Each of QL001–QL004 is demonstrated firing, each waiver mechanism
+//! is demonstrated suppressing, and `clean.rs` pins the zero-diagnostic
+//! case. Regenerate an expectation after an intentional lint change with
+//! `cargo xtask lint crates/xtask/tests/fixtures/<f>.rs > …/<f>.expected`.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(name: &str) -> Vec<String> {
+    let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture exists");
+    xtask::lint_source(name, &src)
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+fn expected(name: &str) -> Vec<String> {
+    let path = fixtures_dir().join(name).with_extension("expected");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn check(name: &str) {
+    assert_eq!(lint_fixture(name), expected(name), "diagnostics for {name}");
+}
+
+#[test]
+fn ql001_hash_iteration_golden() {
+    let got = lint_fixture("ql001_hash_iteration.rs");
+    assert!(!got.is_empty(), "QL001 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL001]")));
+    check("ql001_hash_iteration.rs");
+}
+
+#[test]
+fn ql002_lossy_cast_golden() {
+    let got = lint_fixture("ql002_lossy_cast.rs");
+    assert!(!got.is_empty(), "QL002 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL002]")));
+    check("ql002_lossy_cast.rs");
+}
+
+#[test]
+fn ql003_panicking_calls_golden() {
+    let got = lint_fixture("ql003_panicking_calls.rs");
+    assert!(!got.is_empty(), "QL003 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL003]")));
+    check("ql003_panicking_calls.rs");
+}
+
+#[test]
+fn ql004_ambient_entropy_golden() {
+    let got = lint_fixture("ql004_ambient_entropy.rs");
+    assert!(!got.is_empty(), "QL004 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL004]")));
+    check("ql004_ambient_entropy.rs");
+}
+
+#[test]
+fn waiver_mechanics_golden() {
+    // The file demonstrates file-scope, trailing, and multi-lint waivers
+    // (suppressed) alongside reasonless/stale ones (still reported).
+    check("allows_and_clean.rs");
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    assert_eq!(lint_fixture("clean.rs"), Vec::<String>::new());
+    check("clean.rs");
+}
+
+#[test]
+fn every_fixture_has_a_golden_file_and_vice_versa() {
+    let dir = fixtures_dir();
+    let mut rs = Vec::new();
+    let mut exp = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let p = entry.expect("dir entry").path();
+        match p.extension().and_then(|e| e.to_str()) {
+            Some("rs") => rs.push(p.file_stem().unwrap().to_owned()),
+            Some("expected") => exp.push(p.file_stem().unwrap().to_owned()),
+            _ => {}
+        }
+    }
+    rs.sort();
+    exp.sort();
+    assert_eq!(rs, exp, "fixture .rs and .expected files must pair up");
+}

@@ -1,0 +1,24 @@
+//! The shipped workspace must be qirana-lint-clean: the same invariant CI
+//! enforces with `cargo xtask lint`, kept in `cargo test` so a violation
+//! cannot land through a path that skips the lint step.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the workspace root");
+    let diags = xtask::lint_workspace(root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "qirana-lint violations in the workspace:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -16,6 +16,11 @@
 //!
 //! Pipe a script: `echo 'buy SELECT * FROM Country' | cargo run --release --example market_repl -- world`
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana::datagen::{carcrash, dblp, ssb, tpch, world};
 use qirana::{Qirana, QiranaConfig, SupportConfig};
 use std::io::{self, BufRead, Write};

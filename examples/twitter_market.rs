@@ -4,6 +4,11 @@
 //!
 //! Run with: `cargo run --example twitter_market`
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana::sqlengine::{ColumnDef, DataType, Database, TableSchema};
 use qirana::{Qirana, QiranaConfig, SupportConfig};
 

@@ -11,6 +11,11 @@
 //!   entropy gain exhibits bundle arbitrage, so it is excluded);
 //! * **monotonicity**: extending a bundle never lowers its price.
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana::datagen::world;
 use qirana::{PricingFunction, Qirana, QiranaConfig, SupportConfig};
 

@@ -6,6 +6,11 @@
 //! SPJ shape (static checks, probes, batching), the aggregate shape (delta
 //! analysis, group movement, fallbacks), and opaque queries.
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use proptest::prelude::*;
 use qirana::core::{
     bundle_disagreements, generate_support, prepare_query, EngineOptions, Prepared, SupportConfig,

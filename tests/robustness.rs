@@ -7,6 +7,11 @@
 //! guard: the fault registry is process-global and `cargo test` runs tests
 //! concurrently.
 
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use qirana::core::fault;
 use qirana::core::WeightError;
 use qirana::solver::AbortCause;

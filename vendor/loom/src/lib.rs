@@ -1,0 +1,191 @@
+//! Offline stand-in for the `loom` crate, vendored so the concurrency
+//! models build without network access.
+//!
+//! **What this is and is not.** Real loom is an exhaustive permutation
+//! tester: it runs a model under a cooperative scheduler and explores
+//! every distinguishable interleaving (DPOR). This stand-in is *not* that.
+//! [`model`] runs the closure a few hundred times on real OS threads,
+//! injecting deterministic, seeded yields and spin-delays before and after
+//! every atomic operation. Each iteration uses a different perturbation
+//! seed, so the runs sample a far wider range of interleavings than a
+//! plain stress test — including the "worker stalls mid-chunk" and
+//! "spawn completes before first steal" schedules that a free-running
+//! loop almost never hits — but coverage is probabilistic, not exhaustive.
+//!
+//! The API mirrors the subset of loom the models use (`loom::model`,
+//! `loom::thread::spawn`, `loom::sync::Arc`,
+//! `loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering}`), so swapping
+//! in the real crate later requires only a Cargo.toml change.
+//!
+//! Determinism: every delay decision derives from a per-iteration seed and
+//! a per-thread spawn index via SplitMix64/xorshift — no wall clock, no
+//! OS entropy — so a failing iteration number reproduces its schedule
+//! pressure (subject to the OS scheduler, which real loom replaces).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as O};
+
+/// Seed of the iteration currently executing inside [`model`].
+static ITER_SEED: AtomicU64 = AtomicU64::new(0);
+/// Spawn counter: gives each model thread a distinct perturbation stream.
+static SPAWN_IDX: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread xorshift state; 0 means "not yet derived".
+    static SCHED: Cell<u64> = const { Cell::new(0) };
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic preemption point: sometimes yields the OS slice,
+/// sometimes spins, mostly does nothing — the mix varies per seed.
+fn perturb() {
+    SCHED.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            x = splitmix(ITER_SEED.load(O::Relaxed) ^ SPAWN_IDX.fetch_add(1, O::Relaxed)) | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        match x % 13 {
+            0 | 1 => std::thread::yield_now(),
+            2 => {
+                for _ in 0..(x >> 32) % 256 {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+/// Runs `f` repeatedly under varied schedule perturbation. The iteration
+/// count defaults to 200 and can be overridden with `LOOM_ITERS` (the CI
+/// loom lane raises it; local quick runs can lower it).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for it in 0..iters {
+        ITER_SEED.store(splitmix(it.wrapping_add(1)), O::Relaxed);
+        SPAWN_IDX.store(0, O::Relaxed);
+        SCHED.with(|s| s.set(0));
+        f();
+    }
+}
+
+pub mod thread {
+    use super::{perturb, SCHED};
+
+    /// A join handle mirroring `loom::thread::JoinHandle`.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawns a model thread with its own perturbation stream.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle(std::thread::spawn(move || {
+            // Fresh stream: derived lazily from ITER_SEED + spawn index on
+            // the first perturbation point this thread hits.
+            SCHED.with(|s| s.set(0));
+            perturb();
+            f()
+        }))
+    }
+
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    pub use std::sync::Arc;
+    pub use std::sync::Mutex;
+
+    pub mod atomic {
+        use super::super::perturb;
+        pub use std::sync::atomic::Ordering;
+
+        /// `AtomicUsize` with perturbation points around every access.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            pub fn new(v: usize) -> Self {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+            }
+
+            pub fn load(&self, order: Ordering) -> usize {
+                perturb();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, v: usize, order: Ordering) {
+                perturb();
+                self.0.store(v, order);
+                perturb();
+            }
+
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                perturb();
+                let out = self.0.fetch_add(v, order);
+                perturb();
+                out
+            }
+
+            #[allow(clippy::result_unit_err)] // mirrors std's CAS signature shape
+            pub fn compare_exchange(
+                &self,
+                current: usize,
+                new: usize,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<usize, usize> {
+                perturb();
+                let out = self.0.compare_exchange(current, new, success, failure);
+                perturb();
+                out
+            }
+        }
+
+        /// `AtomicBool` with perturbation points around every access.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            pub fn load(&self, order: Ordering) -> bool {
+                perturb();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, v: bool, order: Ordering) {
+                perturb();
+                self.0.store(v, order);
+                perturb();
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Session scaling of history-aware purchases: per-purchase latency as a
+//! buyer's history grows from 1 to H queries, with the pricing cache on
+//! versus off.
+//!
+//! `cargo run -p qirana-bench --bin session --release -- [--support N] [--purchases N] [--seed N]`
+//!
+//! The entropy family reprices the buyer's *accumulated bundle* on every
+//! buy, so without memoization the h-th purchase costs O(h·S) query
+//! evaluations. With the cache, every previously priced plan is a lookup
+//! and only the new query touches the engine — O(S) per purchase,
+//! regardless of history length. Both paths are asserted bitwise-identical
+//! at every step, so the flat-vs-linear curve this prints is free of
+//! semantic drift.
+
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use qirana_bench::{time, Args};
+use qirana_core::{
+    CacheConfig, EngineOptions, PricingFunction, Qirana, QiranaConfig, SupportConfig,
+};
+use qirana_datagen::world;
+
+fn broker(cache: CacheConfig, support: usize, seed: u64) -> Qirana {
+    Qirana::new(
+        world::generate(7),
+        QiranaConfig {
+            total_price: 100.0,
+            function: PricingFunction::ShannonEntropy,
+            support: SupportConfig {
+                size: support,
+                seed,
+                ..Default::default()
+            },
+            engine: EngineOptions::default().with_cache(cache),
+            ..Default::default()
+        },
+    )
+    .expect("broker construction")
+}
+
+fn main() {
+    let args = Args::parse();
+    let support: usize = args.get("support", 500);
+    let purchases: usize = args.get("purchases", 64);
+    let seed: u64 = args.get("seed", 1);
+
+    let mut cached = broker(CacheConfig::default(), support, seed);
+    let mut uncached = broker(CacheConfig::disabled(), support, seed);
+
+    println!("== Session scaling (world dataset, S={support}, H={purchases}) ==");
+    println!(
+        "{:>4} {:>12} {:>12} {:>9}",
+        "h", "cached(s)", "uncached(s)", "speedup"
+    );
+
+    let mut total_cached = 0.0;
+    let mut total_uncached = 0.0;
+    for h in 1..=purchases {
+        // A distinct query per purchase: each buy grows the history bundle.
+        let sql = format!(
+            "SELECT Name FROM Country WHERE Population > {}",
+            h * 1_000_000
+        );
+        let (pc, tc) = time(|| cached.buy("scaling", &sql).unwrap());
+        let (pu, tu) = time(|| uncached.buy("scaling", &sql).unwrap());
+        assert_eq!(
+            pc.price.to_bits(),
+            pu.price.to_bits(),
+            "cached and uncached prices diverged at h={h}"
+        );
+        assert_eq!(
+            pc.total_paid.to_bits(),
+            pu.total_paid.to_bits(),
+            "cached and uncached accounts diverged at h={h}"
+        );
+        total_cached += tc;
+        total_uncached += tu;
+        println!("{:>4} {:>12.4} {:>12.4} {:>8.2}x", h, tc, tu, tu / tc);
+    }
+
+    let stats = cached.cache_stats();
+    println!(
+        "totals: cached {:.3}s, uncached {:.3}s, overall speedup {:.2}x",
+        total_cached,
+        total_uncached,
+        total_uncached / total_cached
+    );
+    println!(
+        "cache: {} hits, {} misses, {} evictions over {} entries",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        cached.cache_len()
+    );
+}

@@ -10,7 +10,11 @@
 //! repeated information is never charged twice and a buyer who has paid for
 //! everything gets all further queries free.
 
-use crate::engine::{bundle_disagreements, bundle_partition, EngineOptions};
+use crate::cache::{CacheStats, PricingCache};
+use crate::engine::{
+    bundle_disagreements, bundle_disagreements_cached, bundle_partition, bundle_partition_cached,
+    query_disagreements_cached, EngineOptions,
+};
 use crate::fault;
 use crate::normal_form::{prepare_query, Prepared};
 use crate::pricing::{coverage_price, partition_price, PricingError, PricingFunction};
@@ -19,9 +23,11 @@ use crate::support::{
 };
 use crate::weights::{assign_weights_with, uniform_weights, PricePoint, WeightError};
 use qirana_solver::SolverOptions;
+use qirana_sqlengine::update::{apply_update_sql, apply_writes, CellWrite};
 use qirana_sqlengine::{execute, Database, EngineError, ExecContext, QueryOutput};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which support-set construction the broker uses (§2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +121,16 @@ pub enum BrokerError {
     /// The configured pricing function was dispatched against the wrong
     /// evaluation primitive (a broker misconfiguration).
     Pricing(PricingError),
+    /// A buyer's charged bitmap and a freshly priced disagreement bitmap
+    /// disagree on length, so the account cannot be charged safely:
+    /// silently zip-truncating the two would drop trailing bits and
+    /// under-charge every later purchase.
+    BitmapLength {
+        /// Support-set size the broker prices against.
+        expected: usize,
+        /// Length of the offending bitmap.
+        actual: usize,
+    },
     /// A fault-injection failpoint fired (tests only; never in production).
     Injected(fault::InjectedFault),
 }
@@ -126,6 +142,11 @@ impl fmt::Display for BrokerError {
             BrokerError::Weights(e) => write!(f, "{e}"),
             BrokerError::Support(e) => write!(f, "{e}"),
             BrokerError::Pricing(e) => write!(f, "{e}"),
+            BrokerError::BitmapLength { expected, actual } => write!(
+                f,
+                "disagreement bitmap length {actual} does not match the \
+                 support-set size {expected}; refusing to charge"
+            ),
             BrokerError::Injected(e) => write!(f, "{e}"),
         }
     }
@@ -180,6 +201,10 @@ pub struct Purchase {
     /// True when priced under degraded uniform weights (see
     /// [`Quote::degraded`]).
     pub degraded: bool,
+    /// Cumulative pricing-cache counters as of this purchase (all zeros
+    /// when the cache is disabled). The per-purchase deltas between
+    /// consecutive purchases show how much engine work the memo absorbed.
+    pub cache: CacheStats,
 }
 
 /// Per-buyer history state.
@@ -188,8 +213,9 @@ struct BuyerState {
     /// Coverage family: support instances already paid for (Algorithm 3's
     /// bitmap `b`).
     charged: Vec<bool>,
-    /// Entropy family: the accumulated bundle of past purchases.
-    history: Vec<Prepared>,
+    /// Entropy family: the accumulated bundle of past purchases. Plans are
+    /// `Arc`-shared so re-pricing the bundle never deep-copies them.
+    history: Vec<Arc<Prepared>>,
     /// Cumulative spend.
     paid: f64,
 }
@@ -212,6 +238,12 @@ pub struct Qirana {
     /// True when the broker fell back to uniform weights because the
     /// seller's price points could not be honored after every retry.
     degraded: bool,
+    /// Shared memo of per-query pricing artifacts (disagreement bitmaps
+    /// and partition blocks), keyed by plan fingerprint and invalidated by
+    /// the database generation counter on every committed update. Shared
+    /// across buyers: the artifacts depend only on the query and the
+    /// support set, never on the account.
+    cache: PricingCache,
 }
 
 impl fmt::Debug for Qirana {
@@ -310,6 +342,11 @@ impl Qirana {
     ) -> Self {
         let (shannon_factor, tsallis_factor) =
             entropy_factors(&db, &support, &weights, cfg.total_price);
+        let cache = PricingCache::new(if cfg.engine.cache.enabled {
+            cfg.engine.cache.capacity
+        } else {
+            0
+        });
         Qirana {
             db,
             cfg,
@@ -319,6 +356,7 @@ impl Qirana {
             shannon_factor,
             tsallis_factor,
             degraded,
+            cache,
         }
     }
 
@@ -394,15 +432,38 @@ impl Qirana {
         skip: Option<&[bool]>,
     ) -> Result<f64, BrokerError> {
         let total = self.cfg.total_price;
+        let use_cache = self.cfg.engine.cache.enabled;
         if self.cfg.function.needs_partition() {
-            let partition = bundle_partition(&mut self.db, bundle, &self.support, self.cfg.engine)?;
+            let partition = if use_cache {
+                bundle_partition_cached(
+                    &mut self.db,
+                    bundle,
+                    &self.support,
+                    self.cfg.engine,
+                    &mut self.cache,
+                )?
+            } else {
+                bundle_partition(&mut self.db, bundle, &self.support, self.cfg.engine)?
+            };
             Ok(
                 partition_price(self.cfg.function, total, &self.weights, &partition)?
                     * self.entropy_factor(),
             )
         } else {
-            let bits =
-                bundle_disagreements(&mut self.db, bundle, &self.support, self.cfg.engine, skip)?;
+            // The cached path memoizes *full* bitmaps, so it only applies
+            // when no instances are skipped (quotes; `buy` masks the full
+            // bitmaps itself).
+            let bits = if use_cache && skip.is_none() {
+                bundle_disagreements_cached(
+                    &mut self.db,
+                    bundle,
+                    &self.support,
+                    self.cfg.engine,
+                    &mut self.cache,
+                )?
+            } else {
+                bundle_disagreements(&mut self.db, bundle, &self.support, self.cfg.engine, skip)?
+            };
             Ok(coverage_price(
                 self.cfg.function,
                 total,
@@ -414,16 +475,26 @@ impl Qirana {
 
     /// History-aware purchase: prices the query against the buyer's
     /// account, charges only for new information, and returns the answer.
+    ///
+    /// With the pricing cache enabled (the default), only the one new query
+    /// is evaluated against the support set — O(S) — while every history
+    /// entry's disagreement bitmap or partition blocks come from the shared
+    /// memo; with it disabled the whole accumulated bundle is re-evaluated
+    /// (O(H·S)). The two paths produce bitwise-identical prices.
     pub fn buy(&mut self, buyer: &str, sql: &str) -> Result<Purchase, BrokerError> {
         fault::check(fault::BROKER_BUY).map_err(BrokerError::Injected)?;
-        let prepared = prepare_query(&self.db, sql)?;
+        let prepared = Arc::new(prepare_query(&self.db, sql)?);
         let s = self.support.len();
+        let use_cache = self.cfg.engine.cache.enabled;
 
         // Answer and price first, mutate the buyer's account only when both
         // succeed: a failed purchase (budget trip, injected fault, solver
         // misconfiguration) must not charge the buyer or corrupt their
         // history. Pricing leaves the database unchanged, so answering
-        // before pricing is equivalent.
+        // before pricing is equivalent. The pricing cache may retain
+        // artifacts computed before a later failure — that is safe: they
+        // are buyer-independent facts about query × support set, not
+        // account state.
         let output = {
             let ctx = ExecContext::new(&self.db).with_budget(self.cfg.engine.budget);
             execute(&prepared.plan, &ctx)?
@@ -431,45 +502,92 @@ impl Qirana {
         let price = if self.cfg.function.needs_partition() {
             // Entropy family: price the accumulated bundle and charge the
             // increment (bundle formulation of §2.2's history-aware mode).
-            let mut history: Vec<Prepared> = self
+            let mut history: Vec<Arc<Prepared>> = self
                 .buyers
                 .get(buyer)
                 .map(|st| st.history.clone())
                 .unwrap_or_default();
-            history.push(prepared.clone());
-            let bundle: Vec<&Prepared> = history.iter().collect();
+            history.push(Arc::clone(&prepared));
+            let bundle: Vec<&Prepared> = history.iter().map(Arc::as_ref).collect();
             let factor = self.entropy_factor();
-            let total_now = {
-                let partition =
-                    bundle_partition(&mut self.db, &bundle, &self.support, self.cfg.engine)?;
-                partition_price(
-                    self.cfg.function,
-                    self.cfg.total_price,
-                    &self.weights,
-                    &partition,
-                )? * factor
+            let partition = if use_cache {
+                bundle_partition_cached(
+                    &mut self.db,
+                    &bundle,
+                    &self.support,
+                    self.cfg.engine,
+                    &mut self.cache,
+                )?
+            } else {
+                bundle_partition(&mut self.db, &bundle, &self.support, self.cfg.engine)?
             };
+            let total_now = partition_price(
+                self.cfg.function,
+                self.cfg.total_price,
+                &self.weights,
+                &partition,
+            )? * factor;
             let state = self.buyers.entry(buyer.to_string()).or_default();
             let mut delta = total_now - state.paid;
             if delta <= 0.0 {
                 delta = 0.0; // also normalizes -0.0 from float cancellation
+            } else {
+                // Anchor the stored total at the freshly priced bundle
+                // instead of accumulating `paid += delta`: the two are
+                // equal in exact arithmetic, but the accumulation drifts
+                // by one rounding error per purchase over a long session.
+                state.paid = total_now;
             }
-            state.history.push(prepared.clone());
-            state.paid += delta;
+            state.history.push(prepared);
             delta
         } else {
             // Coverage family: Algorithm 3's bitmap.
             let charged = match self.buyers.get(buyer) {
-                Some(st) if !st.charged.is_empty() => st.charged.clone(),
+                Some(st) if !st.charged.is_empty() => {
+                    if st.charged.len() != s {
+                        return Err(BrokerError::BitmapLength {
+                            expected: s,
+                            actual: st.charged.len(),
+                        });
+                    }
+                    st.charged.clone()
+                }
                 _ => vec![false; s],
             };
-            let bits = bundle_disagreements(
-                &mut self.db,
-                &[&prepared],
-                &self.support,
-                self.cfg.engine,
-                Some(&charged),
-            )?;
+            let bits: Vec<bool> = if use_cache {
+                // The memo holds the query's *full* bitmap (shared across
+                // buyers); masking it with the charged bits afterwards is
+                // bitwise identical to skip-evaluating, since per-instance
+                // verdicts are independent.
+                let full = query_disagreements_cached(
+                    &mut self.db,
+                    &prepared,
+                    &self.support,
+                    self.cfg.engine,
+                    &mut self.cache,
+                )?;
+                if full.len() != s {
+                    return Err(BrokerError::BitmapLength {
+                        expected: s,
+                        actual: full.len(),
+                    });
+                }
+                full.iter().zip(&charged).map(|(&b, &c)| b && !c).collect()
+            } else {
+                bundle_disagreements(
+                    &mut self.db,
+                    &[&prepared],
+                    &self.support,
+                    self.cfg.engine,
+                    Some(&charged),
+                )?
+            };
+            if bits.len() != s {
+                return Err(BrokerError::BitmapLength {
+                    expected: s,
+                    actual: bits.len(),
+                });
+            }
             let mut delta = coverage_price(
                 self.cfg.function,
                 self.cfg.total_price,
@@ -482,6 +600,14 @@ impl Qirana {
             let state = self.buyers.entry(buyer.to_string()).or_default();
             if state.charged.is_empty() {
                 state.charged = charged;
+            }
+            if state.charged.len() != bits.len() {
+                // Never zip-truncate: dropping trailing bits would silently
+                // under-charge every later purchase.
+                return Err(BrokerError::BitmapLength {
+                    expected: state.charged.len(),
+                    actual: bits.len(),
+                });
             }
             for (c, b) in state.charged.iter_mut().zip(&bits) {
                 *c |= b;
@@ -496,6 +622,7 @@ impl Qirana {
             total_paid,
             output,
             degraded: self.degraded,
+            cache: self.cache.stats(),
         })
     }
 
@@ -514,6 +641,61 @@ impl Qirana {
             }
             _ => 0.0,
         }
+    }
+
+    /// Commits a SQL `UPDATE` statement to the stored database and returns
+    /// the number of cells changed.
+    ///
+    /// Committing bumps the database generation, which invalidates every
+    /// memoized pricing artifact at once (a cached bitmap describes the old
+    /// `Q(D)`, so serving it would misprice), and re-anchors the
+    /// entropy-family normalization factors against the updated database.
+    /// Support set, weights, and buyer accounts are kept: the support
+    /// updates are cell-level edits that remain valid neighbors of the new
+    /// database, and history-aware accounting still never re-charges an
+    /// instance a buyer has paid for.
+    pub fn commit_update(&mut self, sql: &str) -> Result<usize, BrokerError> {
+        let undo = apply_update_sql(&mut self.db, sql)?;
+        let changed = undo.len();
+        if changed > 0 {
+            self.after_commit();
+        }
+        Ok(changed)
+    }
+
+    /// Commits a batch of cell writes to the stored database (the
+    /// programmatic counterpart of [`Qirana::commit_update`], same
+    /// invalidation semantics).
+    pub fn commit_writes(&mut self, writes: &[CellWrite]) {
+        if writes.is_empty() {
+            return;
+        }
+        apply_writes(&mut self.db, writes);
+        self.after_commit();
+    }
+
+    fn after_commit(&mut self) {
+        self.cache.bump_generation();
+        let (shannon, tsallis) =
+            entropy_factors(&self.db, &self.support, &self.weights, self.cfg.total_price);
+        self.shannon_factor = shannon;
+        self.tsallis_factor = tsallis;
+    }
+
+    /// Cumulative pricing-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of memoized pricing artifacts currently held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The database generation the cache keys against (bumped by every
+    /// committed update).
+    pub fn cache_generation(&self) -> u64 {
+        self.cache.generation()
     }
 }
 
@@ -774,6 +956,120 @@ mod tests {
             assert!(a.price >= 0.0);
             assert!(b.price.abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn repeat_buys_hit_the_cache() {
+        let mut q = broker();
+        let sql = "SELECT gender, count(*) FROM User GROUP BY gender";
+        let first = q.buy("alice", sql).unwrap();
+        assert_eq!(first.cache.hits, 0);
+        assert!(first.cache.misses >= 1, "cold buy must miss");
+        let second = q.buy("alice", sql).unwrap();
+        assert!(second.cache.hits > first.cache.hits, "repeat must hit");
+        assert_eq!(
+            second.cache.misses, first.cache.misses,
+            "repeat does no new engine work"
+        );
+    }
+
+    #[test]
+    fn cache_is_shared_across_buyers() {
+        let mut q = broker();
+        let sql = "SELECT gender FROM User WHERE age > 18";
+        q.buy("alice", sql).unwrap();
+        let before = q.cache_stats();
+        let bob = q.buy("bob", sql).unwrap();
+        assert_eq!(
+            bob.cache.misses, before.misses,
+            "bob reuses alice's artifact"
+        );
+        assert_eq!(bob.cache.hits, before.hits + 1);
+        assert!(
+            bob.price > 0.0,
+            "shared artifact, separate account: bob still pays"
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_sessions_price_identically() {
+        for function in [
+            PricingFunction::WeightedCoverage,
+            PricingFunction::UniformEntropyGain,
+            PricingFunction::ShannonEntropy,
+            PricingFunction::QEntropy,
+        ] {
+            let cfg = |enabled: bool| QiranaConfig {
+                function,
+                support: SupportConfig {
+                    size: 300,
+                    ..Default::default()
+                },
+                engine: if enabled {
+                    EngineOptions::default()
+                } else {
+                    EngineOptions::default().with_cache(crate::cache::CacheConfig::disabled())
+                },
+                ..Default::default()
+            };
+            let mut on = Qirana::new(twitter_db(), cfg(true)).unwrap();
+            let mut off = Qirana::new(twitter_db(), cfg(false)).unwrap();
+            let session = [
+                "SELECT count(*) FROM User WHERE gender = 'f'",
+                "SELECT gender, count(*) FROM User GROUP BY gender",
+                "SELECT count(*) FROM User WHERE gender = 'f'",
+                "SELECT AVG(age) FROM User",
+                "SELECT * FROM Tweet",
+            ];
+            for sql in session {
+                let a = on.buy("dana", sql).unwrap();
+                let b = off.buy("dana", sql).unwrap();
+                assert_eq!(
+                    a.price.to_bits(),
+                    b.price.to_bits(),
+                    "{function:?}: {sql} priced differently with cache on"
+                );
+                assert_eq!(a.total_paid.to_bits(), b.total_paid.to_bits());
+            }
+            assert!(on.cache_stats().hits > 0, "{function:?}: session must hit");
+            assert_eq!(off.cache_stats(), crate::cache::CacheStats::default());
+        }
+    }
+
+    #[test]
+    fn committed_update_invalidates_cache_and_reprices() {
+        let mut q = broker();
+        let sql = "SELECT age FROM User WHERE uid = 1";
+        let p0 = q.quote(sql).unwrap();
+        assert!(p0 > 0.0);
+        assert!(q.cache_len() > 0, "quote populates the memo");
+        let gen0 = q.cache_generation();
+
+        // A write matching nothing commits nothing and invalidates nothing.
+        let noop = q
+            .commit_update("UPDATE User SET age = 99 WHERE uid = 999")
+            .unwrap();
+        assert_eq!(noop, 0);
+        assert_eq!(q.cache_generation(), gen0);
+
+        let changed = q
+            .commit_update("UPDATE User SET age = 26 WHERE uid = 1")
+            .unwrap();
+        assert_eq!(changed, 1);
+        assert_eq!(q.cache_generation(), gen0 + 1);
+        assert_eq!(q.cache_len(), 0, "commit purges every artifact");
+        assert!(q.cache_stats().invalidations >= 1);
+        // The answer reflects the committed write…
+        let out = q.answer(sql).unwrap();
+        assert_eq!(out.rows[0][0], 26i64.into());
+        // …and the next quote is recomputed against the new database, not
+        // served from a stale artifact.
+        let misses0 = q.cache_stats().misses;
+        q.quote(sql).unwrap();
+        assert!(
+            q.cache_stats().misses > misses0,
+            "post-commit quote must re-evaluate"
+        );
     }
 
     #[test]

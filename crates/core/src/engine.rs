@@ -11,6 +11,7 @@
 //!   naive path — the paper's reason weighted coverage is the recommended
 //!   default.
 
+use crate::cache::{CacheConfig, PricingCache};
 use crate::fault;
 use crate::naive;
 use crate::normal_form::{Prepared, Shape};
@@ -18,6 +19,7 @@ use crate::optimized;
 use crate::parallel::{self, Parallelism};
 use crate::support::SupportSet;
 use qirana_sqlengine::{Database, EngineError, ExecBudget, Fingerprint, QueryOutput};
+use std::sync::Arc;
 
 /// Engine knobs mirroring the paper's evaluated configurations, plus the
 /// execution budget every pricing query runs under.
@@ -43,6 +45,12 @@ pub struct EngineOptions {
     /// per-update dynamic checks). Results are bitwise identical to the
     /// sequential path for any setting; see [`crate::parallel`].
     pub parallelism: Parallelism,
+    /// Incremental history-aware pricing: memoize per-query disagreement
+    /// bitmaps and partition blocks in the broker's [`PricingCache`], so a
+    /// purchase evaluates only the new query (O(S)) instead of the whole
+    /// accumulated bundle (O(H·S)). Prices are bitwise identical with the
+    /// cache on or off; see [`crate::cache`].
+    pub cache: CacheConfig,
 }
 
 impl Default for EngineOptions {
@@ -53,6 +61,7 @@ impl Default for EngineOptions {
             reduce: false,
             budget: ExecBudget::UNLIMITED,
             parallelism: Parallelism::Sequential,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -86,6 +95,12 @@ impl EngineOptions {
     /// Replaces the worker-pool configuration.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Replaces the pricing-cache configuration.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
         self
     }
 }
@@ -217,6 +232,129 @@ pub fn bundle_partition(
         }
         SupportSet::Uniform(worlds) => naive::partition_uniform(db, bundle, worlds, opts.budget),
     }
+}
+
+/// A single query's full (unmasked) disagreement bitmap, memoized in
+/// `cache` under the query's plan fingerprint.
+///
+/// This is the coverage-family cache primitive: history-aware `buy` masks
+/// the shared full bitmap with the buyer's charged bits *after* lookup,
+/// which is bitwise identical to passing the charged bits as `skip` to
+/// [`bundle_disagreements`] — per-instance verdicts are independent, so
+/// skipping an instance only suppresses its evaluation, never changes
+/// another's bit.
+pub fn query_disagreements_cached(
+    db: &mut Database,
+    q: &Prepared,
+    support: &SupportSet,
+    opts: EngineOptions,
+    cache: &mut PricingCache,
+) -> Result<Arc<Vec<bool>>, EngineError> {
+    if let Some(bits) = cache.get_bits(q.plan_fp) {
+        return Ok(bits);
+    }
+    let bits = Arc::new(bundle_disagreements(db, &[q], support, opts, None)?);
+    cache.insert_bits(q.plan_fp, Arc::clone(&bits));
+    Ok(bits)
+}
+
+/// Cache-aware [`bundle_disagreements`]: the OR of the members' memoized
+/// full bitmaps.
+///
+/// Bitwise identical to the uncached path: the uncached active-set
+/// short-circuit only skips instances already known to disagree, and a
+/// skipped instance's bit is already `true` in the OR.
+pub fn bundle_disagreements_cached(
+    db: &mut Database,
+    bundle: &[&Prepared],
+    support: &SupportSet,
+    opts: EngineOptions,
+    cache: &mut PricingCache,
+) -> Result<Vec<bool>, EngineError> {
+    fault::check(fault::ENGINE_EXECUTE)
+        .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
+    let n = support.len();
+    let mut disagree = vec![false; n];
+    for q in bundle {
+        let bits = query_disagreements_cached(db, q, support, opts, cache)?;
+        for (d, &b) in disagree.iter_mut().zip(bits.iter()) {
+            *d |= b;
+        }
+    }
+    Ok(disagree)
+}
+
+/// A single query's per-instance output fingerprints (the entropy-family
+/// cache primitive), computed without memoization.
+pub fn query_partition(
+    db: &mut Database,
+    q: &Prepared,
+    support: &SupportSet,
+    opts: EngineOptions,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    fault::check(fault::ENGINE_EXECUTE)
+        .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
+    let workers = opts.parallelism.workers(support.len());
+    match support {
+        SupportSet::Neighborhood(updates) if workers > 1 => {
+            parallel::query_fps_nbrs(db, q, updates, opts.budget, workers)
+        }
+        SupportSet::Neighborhood(updates) => naive::query_fps_nbrs(db, q, updates, opts.budget),
+        SupportSet::Uniform(worlds) if workers > 1 => {
+            parallel::query_fps_uniform(q, worlds, opts.budget, workers)
+        }
+        SupportSet::Uniform(worlds) => naive::query_fps_uniform(q, worlds, opts.budget),
+    }
+}
+
+/// [`query_partition`], memoized in `cache` under the query's plan
+/// fingerprint.
+pub fn query_fingerprints_cached(
+    db: &mut Database,
+    q: &Prepared,
+    support: &SupportSet,
+    opts: EngineOptions,
+    cache: &mut PricingCache,
+) -> Result<Arc<Vec<Fingerprint>>, EngineError> {
+    if let Some(fps) = cache.get_blocks(q.plan_fp) {
+        return Ok(fps);
+    }
+    let fps = Arc::new(query_partition(db, q, support, opts)?);
+    cache.insert_blocks(q.plan_fp, Arc::clone(&fps));
+    Ok(fps)
+}
+
+/// Cache-aware [`bundle_partition`]: folds the members' memoized per-query
+/// fingerprint vectors instance-by-instance with [`combine_bundle`].
+///
+/// Bitwise identical to the uncached path: on every instance each member's
+/// fingerprint is its own output fingerprint there (an update leaving a
+/// member's referenced tables untouched cannot change its output, so base
+/// reuse and execution agree), and the fold applies the same
+/// order-sensitive combiner to the same member order.
+pub fn bundle_partition_cached(
+    db: &mut Database,
+    bundle: &[&Prepared],
+    support: &SupportSet,
+    opts: EngineOptions,
+    cache: &mut PricingCache,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    fault::check(fault::ENGINE_EXECUTE)
+        .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
+    let mut per_query = Vec::with_capacity(bundle.len());
+    for q in bundle {
+        per_query.push(query_fingerprints_cached(db, q, support, opts, cache)?);
+    }
+    let n = support.len();
+    let mut row = vec![Fingerprint(0); bundle.len()];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        for (slot, fps) in row.iter_mut().zip(&per_query) {
+            *slot = fps[i];
+        }
+        out.push(combine_bundle(&row));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -397,6 +535,49 @@ mod tests {
                 assert!(!bits[i], "User update cannot change a query on Other");
             }
         }
+    }
+
+    #[test]
+    fn cached_paths_match_uncached_bitwise() {
+        let mut database = db();
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 250,
+                ..Default::default()
+            },
+        ));
+        let queries = [
+            "select count(*) from User where gender = 'f'",
+            "select gender from User where age > 18",
+            "select gender, avg(age) from User group by gender",
+        ];
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| prepare_query(&database, q).unwrap())
+            .collect();
+        let bundle: Vec<&Prepared> = prepared.iter().collect();
+        let opts = EngineOptions::default();
+        let mut cache = PricingCache::new(64);
+
+        let bits = bundle_disagreements(&mut database, &bundle, &support, opts, None).unwrap();
+        // Cold (all misses) and warm (all hits) must both agree bitwise.
+        for round in 0..2 {
+            let cached =
+                bundle_disagreements_cached(&mut database, &bundle, &support, opts, &mut cache)
+                    .unwrap();
+            assert_eq!(cached, bits, "round {round}");
+        }
+        let part = bundle_partition(&mut database, &bundle, &support, opts).unwrap();
+        for round in 0..2 {
+            let cached =
+                bundle_partition_cached(&mut database, &bundle, &support, opts, &mut cache)
+                    .unwrap();
+            assert_eq!(cached, part, "round {round}");
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 6, "3 bitmap + 3 blocks cold misses");
+        assert_eq!(s.hits, 6, "warm rounds are pure hits");
     }
 
     #[test]

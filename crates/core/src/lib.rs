@@ -61,6 +61,7 @@
 //! ```
 
 pub mod broker;
+pub mod cache;
 pub mod determinacy;
 pub mod engine;
 pub mod fault;
@@ -74,8 +75,12 @@ pub mod update;
 pub mod weights;
 
 pub use broker::{BrokerError, Purchase, Qirana, QiranaConfig, Quote, RetryPolicy, SupportType};
+pub use cache::{CacheConfig, CacheStats, PricingCache};
 pub use determinacy::{determines, Determinacy};
-pub use engine::{bundle_disagreements, bundle_partition, EngineOptions};
+pub use engine::{
+    bundle_disagreements, bundle_disagreements_cached, bundle_partition, bundle_partition_cached,
+    EngineOptions,
+};
 pub use normal_form::{prepare_query, Prepared, Shape};
 pub use parallel::Parallelism;
 pub use pricing::{PricingError, PricingFunction};

@@ -101,6 +101,53 @@ pub(crate) fn bundle_refs(bundle: &[&Prepared]) -> std::collections::HashSet<usi
     bundle.iter().flat_map(|q| q.referenced_tables()).collect()
 }
 
+/// A single query's output fingerprint per neighborhood instance — the
+/// memoizable building block of [`partition_nbrs`]: folding the per-query
+/// vectors of a bundle's members instance-by-instance with
+/// [`combine_bundle`] reproduces the bundle fingerprints bitwise, because
+/// an update that leaves a member's referenced tables untouched cannot
+/// change that member's output (its fingerprint *is* the base, whether
+/// short-circuited or executed).
+pub fn query_fps_nbrs(
+    db: &mut Database,
+    q: &Prepared,
+    updates: &[SupportUpdate],
+    budget: ExecBudget,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    let refs = q.referenced_tables();
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
+    let mut out = Vec::with_capacity(updates.len());
+    for up in updates {
+        if !refs.contains(&up.table()) {
+            out.push(base);
+            continue;
+        }
+        let undo = up.apply(db);
+        let fp = execute(&q.plan, &ExecContext::new(db).with_budget(budget)).map(bag_fp);
+        apply_writes(db, &undo);
+        out.push(fp?);
+    }
+    Ok(out)
+}
+
+/// A single query's output fingerprint per uniform world (the per-query
+/// counterpart of [`partition_uniform`]).
+pub fn query_fps_uniform(
+    q: &Prepared,
+    worlds: &[Database],
+    budget: ExecBudget,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    worlds
+        .iter()
+        .map(|w| {
+            Ok(bag_fp(execute(
+                &q.plan,
+                &ExecContext::new(w).with_budget(budget),
+            )?))
+        })
+        .collect()
+}
+
 /// Bundle output fingerprints per uniform instance.
 pub fn partition_uniform(
     _db: &Database,
@@ -363,6 +410,46 @@ mod tests {
             brute.push(fp.unwrap());
         }
         assert_eq!(fast, brute, "skip path changed partition fingerprints");
+    }
+
+    #[test]
+    fn per_query_fps_fold_to_bundle_partition() {
+        // The cache's reconstruction identity: folding per-query fingerprint
+        // vectors instance-by-instance must equal the monolithic bundle
+        // partition bitwise — including instances whose update touches a
+        // table only one member (or no member) references.
+        let mut database = db();
+        database.add_table(
+            TableSchema::new(
+                "U",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("w", DataType::Int),
+                ],
+                &["id"],
+            ),
+            (0..10i64)
+                .map(|i| vec![i.into(), (i * 7).into()])
+                .collect::<Vec<_>>(),
+        );
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 150,
+                ..Default::default()
+            },
+        );
+        let q1 = prepare_query(&database, "select count(*) from T where v > 30").unwrap();
+        let q2 = prepare_query(&database, "select w from U where w > 14").unwrap();
+        let bundle = [&q1, &q2];
+        let whole =
+            partition_nbrs(&mut database, &bundle, &updates, ExecBudget::UNLIMITED).unwrap();
+        let f1 = query_fps_nbrs(&mut database, &q1, &updates, ExecBudget::UNLIMITED).unwrap();
+        let f2 = query_fps_nbrs(&mut database, &q2, &updates, ExecBudget::UNLIMITED).unwrap();
+        let folded: Vec<Fingerprint> = (0..updates.len())
+            .map(|i| combine_bundle(&[f1[i], f2[i]]))
+            .collect();
+        assert_eq!(whole, folded, "per-query fold diverged from bundle path");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! without changing the bag), matching the paper's `h(Q(D))` treatment.
 
 use qirana_sqlengine::plan::Projection;
-use qirana_sqlengine::{Database, EngineError, PExpr, PRelation, ResolvedSelect};
+use qirana_sqlengine::{Database, EngineError, Fingerprint, PExpr, PRelation, ResolvedSelect};
 use std::collections::HashSet;
 
 /// A query prepared for pricing.
@@ -40,6 +40,10 @@ pub struct Prepared {
     pub plan: ResolvedSelect,
     /// The optimizer shape.
     pub shape: Shape,
+    /// Structural fingerprint of `plan` — the key under which
+    /// [`crate::cache::PricingCache`] memoizes this query's pricing
+    /// artifacts. Two SQL strings resolving to the same plan share it.
+    pub plan_fp: Fingerprint,
 }
 
 /// Optimizer classification of a query.
@@ -155,11 +159,74 @@ impl Prepared {
 pub fn prepare_query(db: &Database, sql: &str) -> Result<Prepared, EngineError> {
     let plan = qirana_sqlengine::prepare(db, sql)?;
     let shape = classify(db, &plan);
+    let plan_fp = plan_fingerprint(&plan);
     Ok(Prepared {
         sql: sql.to_string(),
         plan,
         shape,
+        plan_fp,
     })
+}
+
+/// Structural fingerprint of a resolved plan, used as the pricing-cache
+/// key. The plan's `Debug` rendering is a deterministic structural
+/// serialization (plan nodes hold no hash-ordered containers), streamed
+/// through two independently seeded splitmix64 lanes — no intermediate
+/// string is materialized. A collision would price one query as another,
+/// but at 128 bits the birthday bound across any realistic number of
+/// distinct plans is negligible (same argument as the output fingerprints
+/// in `qirana-sqlengine`).
+pub fn plan_fingerprint(plan: &ResolvedSelect) -> Fingerprint {
+    use std::fmt::Write;
+
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    struct Lanes {
+        lo: u64,
+        hi: u64,
+        pending: u64,
+        filled: u32,
+    }
+
+    impl Lanes {
+        fn word(&mut self, w: u64) {
+            self.lo = mix(self.lo ^ w);
+            self.hi = mix(self.hi.rotate_left(29) ^ w.wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        }
+    }
+
+    impl Write for Lanes {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for &b in s.as_bytes() {
+                self.pending |= u64::from(b) << (8 * self.filled);
+                self.filled += 1;
+                if self.filled == 8 {
+                    let w = self.pending;
+                    self.pending = 0;
+                    self.filled = 0;
+                    self.word(w);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    let mut lanes = Lanes {
+        lo: 0x9e37_79b9_7f4a_7c15,
+        hi: 0x85eb_ca6b_c2b2_ae35,
+        pending: 0,
+        filled: 0,
+    };
+    // Infallible: Lanes::write_str never errors.
+    let _ = write!(&mut lanes, "{plan:?}");
+    // Length-tagged tail word so "ab" + empty tail and "a" + "b" differ.
+    let tail = lanes.pending | (u64::from(lanes.filled) + 1) << 56;
+    lanes.word(tail);
+    Fingerprint((u128::from(lanes.hi) << 64) | u128::from(lanes.lo))
 }
 
 /// Collects every base table referenced by a plan, descending into derived
@@ -706,6 +773,18 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(p.shape, Shape::Agg(_)));
+    }
+
+    #[test]
+    fn plan_fingerprint_is_structural() {
+        let db = db();
+        let a = prepare_query(&db, "select gender from User where age > 18").unwrap();
+        let b = prepare_query(&db, "SELECT   gender FROM User WHERE age > 18").unwrap();
+        let c = prepare_query(&db, "select gender from User where age > 19").unwrap();
+        let d = prepare_query(&db, "select age from User where age > 18").unwrap();
+        assert_eq!(a.plan_fp, b.plan_fp, "same plan, same key");
+        assert_ne!(a.plan_fp, c.plan_fp, "different constant, different key");
+        assert_ne!(a.plan_fp, d.plan_fp, "different projection, different key");
     }
 
     #[test]

@@ -27,6 +27,16 @@
 //! unchanged — the paper's own `SELECT age FROM User` discussion in §3.2
 //! relies on this). We use the dynamic comparison instead, which Lemma A.2
 //! makes exact.
+//!
+//! **Exactness is also what makes the per-query verdicts memoizable.** The
+//! bitmap this module produces for a query is a pure function of the query
+//! plan and the (stored database, support set) pair — never of the buyer,
+//! the active set (which only suppresses work, each verdict being decided
+//! per update), or the batching/parallelism configuration. Those bitmaps
+//! are exactly the artifacts [`crate::cache::PricingCache`] memoizes for
+//! incremental history-aware pricing: a cached entry computed through this
+//! optimizer can be replayed for any buyer and masked with any charged
+//! bitmap, bit-for-bit as if recomputed.
 
 use crate::engine::{bag_fp, EngineOptions};
 use crate::normal_form::{AggShape, Prepared, RelShape, SpjShape};

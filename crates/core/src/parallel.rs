@@ -256,6 +256,54 @@ pub fn partition_nbrs(
     )
 }
 
+/// Parallel [`crate::naive::query_fps_nbrs`]: per-worker replicas, base
+/// fingerprint reused for every instance whose update leaves the query's
+/// referenced tables untouched.
+pub fn query_fps_nbrs(
+    db: &Database,
+    q: &Prepared,
+    updates: &[SupportUpdate],
+    budget: ExecBudget,
+    workers: usize,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    let refs = q.referenced_tables();
+    let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
+    run_indexed(
+        updates.len(),
+        workers,
+        || db.clone(),
+        |local: &mut Database, i| {
+            if !refs.contains(&updates[i].table()) {
+                return Ok(base);
+            }
+            let undo = updates[i].apply(local);
+            let fp = execute(&q.plan, &ExecContext::new(local).with_budget(budget)).map(bag_fp);
+            apply_writes(local, &undo);
+            fp
+        },
+    )
+}
+
+/// Parallel [`crate::naive::query_fps_uniform`]: read-only shared worlds.
+pub fn query_fps_uniform(
+    q: &Prepared,
+    worlds: &[Database],
+    budget: ExecBudget,
+    workers: usize,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    run_indexed(
+        worlds.len(),
+        workers,
+        || (),
+        |_, i| {
+            Ok(bag_fp(execute(
+                &q.plan,
+                &ExecContext::new(&worlds[i]).with_budget(budget),
+            )?))
+        },
+    )
+}
+
 /// Parallel [`crate::naive::partition_uniform`]: read-only shared worlds.
 pub fn partition_uniform(
     bundle: &[&Prepared],
@@ -405,6 +453,31 @@ mod tests {
         let seq_u =
             naive::partition_uniform(&database, &bundle, &worlds, ExecBudget::UNLIMITED).unwrap();
         let par_u = partition_uniform(&bundle, &worlds, ExecBudget::UNLIMITED, 4).unwrap();
+        assert_eq!(seq_u, par_u);
+    }
+
+    #[test]
+    fn parallel_query_fps_match_sequential() {
+        let mut database = db();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 300,
+                ..Default::default()
+            },
+        );
+        let q = prepare_query(&database, "select grp, sum(v) from T group by grp").unwrap();
+        let seq =
+            naive::query_fps_nbrs(&mut database, &q, &updates, ExecBudget::UNLIMITED).unwrap();
+        for workers in [2, 4] {
+            let par =
+                query_fps_nbrs(&database, &q, &updates, ExecBudget::UNLIMITED, workers).unwrap();
+            assert_eq!(seq, par, "worker count {workers} changed fingerprints");
+        }
+
+        let worlds = generate_uniform_worlds(&database, 64, 5);
+        let seq_u = naive::query_fps_uniform(&q, &worlds, ExecBudget::UNLIMITED).unwrap();
+        let par_u = query_fps_uniform(&q, &worlds, ExecBudget::UNLIMITED, 4).unwrap();
         assert_eq!(seq_u, par_u);
     }
 

@@ -12,7 +12,8 @@ use qirana_core::{
     bundle_disagreements, bundle_partition, generate_support, generate_uniform_worlds,
     prepare_query,
     pricing::{shannon_entropy, weighted_coverage},
-    uniform_weights, EngineOptions, Parallelism, SupportConfig, SupportSet, SupportUpdate,
+    uniform_weights, CacheConfig, EngineOptions, Parallelism, PricingFunction, Qirana,
+    QiranaConfig, SupportConfig, SupportSet, SupportUpdate,
 };
 use qirana_sqlengine::{
     ColumnDef, DataType, Database, EngineError, ExecBudget, TableSchema, Value,
@@ -166,6 +167,68 @@ proptest! {
             shannon_entropy(100.0, &weights, &seq).to_bits(),
             shannon_entropy(100.0, &weights, &par).to_bits()
         );
+    }
+
+    /// Incremental history-aware pricing: over a random purchase session
+    /// (repeats included), brokers with the pricing cache on and off — and
+    /// under sequential and parallel executors — charge bitwise-identical
+    /// prices at every step, for both pricing families. The cached broker
+    /// must actually exercise the memo (hits > 0 whenever the session
+    /// repeats a query).
+    #[test]
+    fn cached_and_uncached_sessions_are_bitwise_identical(
+        t_rows in prop::collection::vec((0u8..3, -40i16..40), 8..16),
+        u_rows in prop::collection::vec((any::<u8>(), -40i16..40), 4..10),
+        c in -40i16..40,
+        seed in any::<u64>(),
+        session in prop::collection::vec(0usize..7, 1..6),
+        entropy in any::<bool>(),
+    ) {
+        let function = if entropy {
+            PricingFunction::ShannonEntropy
+        } else {
+            PricingFunction::WeightedCoverage
+        };
+        let pool = query_pool(c);
+        let broker = |cache: CacheConfig, parallelism: Parallelism| {
+            Qirana::new(
+                build_db(&t_rows, &u_rows),
+                QiranaConfig {
+                    function,
+                    support: SupportConfig { size: 96, seed, ..Default::default() },
+                    engine: EngineOptions::default()
+                        .with_cache(cache)
+                        .with_parallelism(parallelism),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut variants = [
+            broker(CacheConfig::default(), Parallelism::Sequential),
+            broker(CacheConfig::disabled(), Parallelism::Sequential),
+            broker(CacheConfig::default(), PAR),
+            broker(CacheConfig::disabled(), PAR),
+        ];
+        for &idx in &session {
+            let sql = &pool[idx];
+            let reference = variants[0].buy("p", sql).unwrap();
+            for (v, variant) in variants.iter_mut().enumerate().skip(1) {
+                let got = variant.buy("p", sql).unwrap();
+                prop_assert_eq!(
+                    got.price.to_bits(),
+                    reference.price.to_bits(),
+                    "variant {} diverges on {} ({:?})", v, sql, function
+                );
+                prop_assert_eq!(got.total_paid.to_bits(), reference.total_paid.to_bits());
+            }
+        }
+        let repeats = session.len()
+            != session.iter().collect::<std::collections::HashSet<_>>().len();
+        if repeats {
+            prop_assert!(variants[0].cache_stats().hits > 0, "repeat session must hit");
+        }
+        prop_assert_eq!(variants[1].cache_stats().hits, 0, "disabled cache never hits");
     }
 
     /// Uniform-world supports: the read-only shared-reference parallel path

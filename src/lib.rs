@@ -45,7 +45,7 @@ pub use qirana_solver as solver;
 pub use qirana_sqlengine as sqlengine;
 
 pub use qirana_core::{
-    BrokerError, EngineOptions, Parallelism, PricePoint, PricingFunction, Purchase, Qirana,
-    QiranaConfig, Quote, RetryPolicy, SupportConfig, SupportType,
+    BrokerError, CacheConfig, CacheStats, EngineOptions, Parallelism, PricePoint, PricingFunction,
+    Purchase, Qirana, QiranaConfig, Quote, RetryPolicy, SupportConfig, SupportType,
 };
 pub use qirana_sqlengine::{Database, ExecBudget, QueryOutput, Value};

@@ -17,8 +17,8 @@ use qirana::core::WeightError;
 use qirana::solver::AbortCause;
 use qirana::sqlengine::{BudgetResource, ColumnDef, DataType, EngineError, TableSchema};
 use qirana::{
-    BrokerError, Database, EngineOptions, ExecBudget, PricePoint, Qirana, QiranaConfig,
-    RetryPolicy, SupportConfig,
+    BrokerError, Database, EngineOptions, ExecBudget, PricePoint, PricingFunction, Qirana,
+    QiranaConfig, RetryPolicy, SupportConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -332,4 +332,96 @@ fn injected_buy_failure_charges_nothing_then_recovers() {
     let second = broker.buy("carol", sql).unwrap();
     fault::reset();
     assert_eq!(second.price, 0.0, "repeat purchase still free after fault");
+}
+
+// ---------------------------------------------------------------------------
+// Failure mode 6: failed purchases are atomic for BOTH pricing families
+// ---------------------------------------------------------------------------
+
+/// A purchase that fails partway must leave the buyer's account, history,
+/// and charged bitmap exactly as they were — for the coverage family and
+/// the entropy family alike, whether the fault fires at the broker entry
+/// point (`BROKER_BUY`) or inside pricing itself (`ENGINE_EXECUTE`; the
+/// cached entry points check the same failpoint at their head, so an armed
+/// fault aborts cached buys exactly like uncached ones). Solver weights are
+/// fixed at broker construction and cannot abort mid-buy, so the engine
+/// abort stands in for every mid-purchase failure source.
+///
+/// Atomicity is verified two ways: the visible account is unchanged after
+/// the fault, and every subsequent buy prices bitwise-identically to a
+/// never-faulted control broker — a corrupted history vector, entropy
+/// `paid` accumulator, or charged bitmap would diverge here.
+#[test]
+fn failed_purchase_is_atomic_for_both_families() {
+    let _guard = fault::serialize_tests();
+    for function in [
+        PricingFunction::WeightedCoverage,
+        PricingFunction::ShannonEntropy,
+    ] {
+        for failpoint in [fault::BROKER_BUY, fault::ENGINE_EXECUTE] {
+            fault::reset();
+            let make = || {
+                Qirana::new(
+                    twitter_db(),
+                    QiranaConfig {
+                        function,
+                        support: small_support(),
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            let mut broker = make();
+            let mut control = make();
+            let q1 = "SELECT gender, count(*) FROM User GROUP BY gender";
+            let q2 = "SELECT count(*) FROM Tweet WHERE uid = 3";
+
+            let first = broker.buy("carol", q1).unwrap();
+            let first_control = control.buy("carol", q1).unwrap();
+            assert_eq!(first.price.to_bits(), first_control.price.to_bits());
+            let paid_before = broker.buyer_paid("carol");
+            let coverage_before = broker.buyer_coverage("carol");
+
+            fault::arm(failpoint, fault::Trigger::Once);
+            let err = broker.buy("carol", q2).unwrap_err();
+            assert_eq!(
+                fault::fired_count(failpoint),
+                1,
+                "{failpoint}: the armed failpoint must be the failure cause"
+            );
+            assert!(
+                err.to_string().contains("injected fault")
+                    || matches!(err, BrokerError::Injected(_)),
+                "{failpoint}: fault provenance lost: {err}"
+            );
+            assert_eq!(
+                broker.buyer_paid("carol").to_bits(),
+                paid_before.to_bits(),
+                "{failpoint}/{function:?}: failed buy must not charge"
+            );
+            assert_eq!(
+                broker.buyer_coverage("carol").to_bits(),
+                coverage_before.to_bits(),
+                "{failpoint}/{function:?}: failed buy must not mark coverage"
+            );
+
+            // Recovery: the faulted broker now tracks the control broker
+            // bit-for-bit, including the free repeat of q1.
+            for sql in [q2, q1, q2] {
+                let got = broker.buy("carol", sql).unwrap();
+                let want = control.buy("carol", sql).unwrap();
+                assert_eq!(
+                    got.price.to_bits(),
+                    want.price.to_bits(),
+                    "{failpoint}/{function:?}: post-fault price diverges on {sql}"
+                );
+                assert_eq!(
+                    got.total_paid.to_bits(),
+                    want.total_paid.to_bits(),
+                    "{failpoint}/{function:?}: post-fault account diverges"
+                );
+            }
+            fault::reset();
+        }
+    }
 }

@@ -1,0 +1,135 @@
+//! Durability overhead and crash-recovery smoke: what the write-ahead
+//! log costs per purchase under each fsync policy, and how fast a market
+//! rebuilds from its ledger.
+//!
+//! `cargo run -p qirana-bench --bin recovery --release -- [--support N] [--purchases N] [--seed N]`
+//!
+//! The same purchase session runs against an in-memory broker and against
+//! durable brokers with `FsyncPolicy::{Always, EveryN(8), Never}`; every
+//! durable price is asserted bitwise-identical to the in-memory one
+//! (durability must never perturb pricing). The `Always` market is then
+//! recovered from disk — replaying and re-pricing every logged purchase —
+//! and its balances are asserted bitwise-identical to the live session.
+
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use qirana_bench::{time, Args};
+use qirana_core::{FsyncPolicy, LedgerConfig, Qirana, QiranaConfig, SupportConfig};
+use qirana_datagen::world;
+use std::path::PathBuf;
+
+fn cfg(support: usize, seed: u64) -> QiranaConfig {
+    QiranaConfig {
+        total_price: 100.0,
+        support: SupportConfig {
+            size: support,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn session_queries(purchases: usize) -> Vec<String> {
+    (1..=purchases)
+        .map(|h| {
+            format!(
+                "SELECT Name FROM Country WHERE Population > {}",
+                h * 1_000_000
+            )
+        })
+        .collect()
+}
+
+fn market_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qirana-bench-recovery-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn main() {
+    let args = Args::parse();
+    let support: usize = args.get("support", 300);
+    let purchases: usize = args.get("purchases", 32);
+    let seed: u64 = args.get("seed", 1);
+    let queries = session_queries(purchases);
+
+    println!("== Durable ledger overhead (world dataset, S={support}, H={purchases}) ==");
+
+    // Reference: the never-persisted market.
+    let mut baseline = Qirana::new(world::generate(7), cfg(support, seed)).unwrap();
+    let (_, t_mem) = time(|| {
+        for sql in &queries {
+            baseline.buy("analyst", sql).unwrap();
+        }
+    });
+    println!("{:>14} {:>10.4}s", "in-memory", t_mem);
+
+    let policies = [
+        ("fsync=always", FsyncPolicy::Always),
+        ("fsync=every8", FsyncPolicy::EveryN(8)),
+        ("fsync=never", FsyncPolicy::Never),
+    ];
+    let always_dir = market_dir("always");
+    for (label, policy) in policies {
+        let dir = if matches!(policy, FsyncPolicy::Always) {
+            always_dir.clone()
+        } else {
+            market_dir(label)
+        };
+        let ledger_cfg = LedgerConfig::new(&dir)
+            .with_fsync(policy)
+            .with_snapshot_every(16);
+        let mut broker = Qirana::open(world::generate(7), cfg(support, seed), ledger_cfg).unwrap();
+        let (_, t) = time(|| {
+            for sql in &queries {
+                broker.buy("analyst", sql).unwrap();
+            }
+        });
+        assert_eq!(
+            broker.buyer_paid("analyst").unwrap().to_bits(),
+            baseline.buyer_paid("analyst").unwrap().to_bits(),
+            "durability changed the session total under {label}"
+        );
+        println!(
+            "{:>14} {:>10.4}s  ({:+7.1}% vs in-memory)",
+            label,
+            t,
+            (t / t_mem - 1.0) * 100.0
+        );
+        if !matches!(policy, FsyncPolicy::Always) {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    // Recovery: rebuild the fsync=always market from its directory. Every
+    // logged purchase is re-priced and verified bitwise during replay.
+    let log_len = std::fs::metadata(LedgerConfig::new(&always_dir).log_path())
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let (recovered, t_rec) = time(|| {
+        Qirana::recover(
+            world::generate(7),
+            cfg(support, seed),
+            LedgerConfig::new(&always_dir),
+        )
+        .unwrap()
+    });
+    assert_eq!(
+        recovered.buyer_paid("analyst").unwrap().to_bits(),
+        baseline.buyer_paid("analyst").unwrap().to_bits(),
+        "recovery changed the session total"
+    );
+    println!(
+        "\nrecovery: {purchases} purchases replayed & re-verified from a {log_len}-byte log in {t_rec:.4}s \
+         ({:.1} purchases/s)",
+        purchases as u32 as f64 / t_rec
+    );
+    std::fs::remove_dir_all(&always_dir).ok();
+}

@@ -16,6 +16,9 @@ use crate::engine::{
     query_disagreements_cached, EngineOptions,
 };
 use crate::fault;
+use crate::ledger::{
+    self, BuyerSnapshot, Ledger, LedgerConfig, LedgerError, LedgerEvent, SnapshotState,
+};
 use crate::normal_form::{prepare_query, Prepared};
 use crate::pricing::{coverage_price, partition_price, PricingError, PricingFunction};
 use crate::support::{
@@ -131,6 +134,10 @@ pub enum BrokerError {
         /// Length of the offending bitmap.
         actual: usize,
     },
+    /// The durable ledger failed: an append did not reach disk (the
+    /// event was not applied), recovery found corruption, or replay
+    /// diverged from the logged prices.
+    Ledger(LedgerError),
     /// A fault-injection failpoint fired (tests only; never in production).
     Injected(fault::InjectedFault),
 }
@@ -147,6 +154,7 @@ impl fmt::Display for BrokerError {
                 "disagreement bitmap length {actual} does not match the \
                  support-set size {expected}; refusing to charge"
             ),
+            BrokerError::Ledger(e) => write!(f, "{e}"),
             BrokerError::Injected(e) => write!(f, "{e}"),
         }
     }
@@ -175,6 +183,12 @@ impl From<SupportError> for BrokerError {
 impl From<PricingError> for BrokerError {
     fn from(e: PricingError) -> Self {
         BrokerError::Pricing(e)
+    }
+}
+
+impl From<LedgerError> for BrokerError {
+    fn from(e: LedgerError) -> Self {
+        BrokerError::Ledger(e)
     }
 }
 
@@ -220,6 +234,17 @@ struct BuyerState {
     paid: f64,
 }
 
+/// The account mutation a purchase will apply, computed before anything
+/// (ledger or memory) is touched so the event can be logged first
+/// (append-then-apply).
+enum AccountUpdate {
+    /// Entropy family: re-anchor the stored total at the freshly priced
+    /// bundle (`None` when the purchase was free and the anchor stands).
+    Entropy { anchor: Option<f64> },
+    /// Coverage family: the merged charged bitmap after this purchase.
+    Coverage { charged: Vec<bool> },
+}
+
 /// The QIRANA pricing broker.
 pub struct Qirana {
     db: Database,
@@ -244,6 +269,11 @@ pub struct Qirana {
     /// across buyers: the artifacts depend only on the query and the
     /// support set, never on the account.
     cache: PricingCache,
+    /// Durable write-ahead log of market events. `None` for an in-memory
+    /// broker ([`Qirana::new`]); set by [`Qirana::open`] and
+    /// [`Qirana::recover`]. Every purchase and commit is appended (and
+    /// synced per the fsync policy) *before* it mutates broker state.
+    ledger: Option<Ledger>,
 }
 
 impl fmt::Debug for Qirana {
@@ -357,7 +387,183 @@ impl Qirana {
             tsallis_factor,
             degraded,
             cache,
+            ledger: None,
         }
+    }
+
+    /// Builds a broker like [`Qirana::new`] and starts a **fresh** durable
+    /// ledger in `ledger_cfg.dir` (truncating any previous market there).
+    /// Every purchase and committed update is appended to the write-ahead
+    /// log before it is applied, so the market can be rebuilt after a
+    /// crash with [`Qirana::recover`].
+    pub fn open(
+        db: Database,
+        cfg: QiranaConfig,
+        ledger_cfg: LedgerConfig,
+    ) -> Result<Self, BrokerError> {
+        let mut broker = Self::new(db, cfg)?;
+        broker.ledger = Some(Ledger::create(ledger_cfg)?);
+        Ok(broker)
+    }
+
+    /// Rebuilds a crashed market from its ledger directory.
+    ///
+    /// `db` must be the same **genesis** database the market was
+    /// [`Qirana::open`]ed with and `cfg` the same configuration: support
+    /// generation and weight assignment are deterministic in `(db, cfg)`,
+    /// so the rebuilt broker prices exactly like the original. Recovery
+    /// then loads the last snapshot (restoring table rows, buyer
+    /// accounts, and the cache generation), replays every logged event
+    /// after it, and **re-prices each logged purchase**, verifying the
+    /// recomputed price is bitwise-identical to the logged one — the
+    /// determinism of the pricing pipeline doubles as a recovery
+    /// invariant. A torn tail (crash mid-append) is truncated; corruption
+    /// a crash cannot explain surfaces as
+    /// [`BrokerError::Ledger`]`(`[`LedgerError::Corrupt`]`)`, and a price
+    /// mismatch as [`LedgerError::ReplayDiverged`].
+    pub fn recover(
+        db: Database,
+        cfg: QiranaConfig,
+        ledger_cfg: LedgerConfig,
+    ) -> Result<Self, BrokerError> {
+        let mut broker = Self::new(db, cfg)?;
+        let (led, recovered) = ledger::recover_dir(&ledger_cfg)?;
+        if let Some(snap) = &recovered.snapshot {
+            broker.restore_snapshot(snap)?;
+        }
+        for (seq, ev) in &recovered.events {
+            broker.replay_event(*seq, ev)?;
+        }
+        broker.ledger = Some(led);
+        Ok(broker)
+    }
+
+    /// Restores broker state from a snapshot: table rows, buyer accounts
+    /// (histories re-prepared from their SQL), the cache generation, and
+    /// the entropy anchors recomputed against the restored database.
+    fn restore_snapshot(&mut self, snap: &SnapshotState) -> Result<(), BrokerError> {
+        let mismatch = |detail: String| BrokerError::Ledger(LedgerError::StateMismatch { detail });
+        if snap.tables.len() != self.db.tables().len() {
+            return Err(mismatch(format!(
+                "snapshot has {} tables, database has {}",
+                snap.tables.len(),
+                self.db.tables().len()
+            )));
+        }
+        for (ti, rows) in snap.tables.iter().enumerate() {
+            if rows.len() != self.db.table_at(ti).rows.len() {
+                return Err(mismatch(format!(
+                    "table {ti}: snapshot has {} rows, database has {} \
+                     (updates are cell-level, so row counts never change)",
+                    rows.len(),
+                    self.db.table_at(ti).rows.len()
+                )));
+            }
+            for (ri, row) in rows.iter().enumerate() {
+                if row.len() != self.db.table_at(ti).rows[ri].len() {
+                    return Err(mismatch(format!(
+                        "table {ti} row {ri}: snapshot has {} cells, database has {}",
+                        row.len(),
+                        self.db.table_at(ti).rows[ri].len()
+                    )));
+                }
+                for (ci, v) in row.iter().enumerate() {
+                    // `set_cell` keeps the lazy key index coherent; only
+                    // differing cells are written.
+                    if self.db.table_at(ti).rows[ri][ci] != *v {
+                        self.db.table_at_mut(ti).set_cell(ri, ci, v.clone());
+                    }
+                }
+            }
+        }
+        self.buyers.clear();
+        for b in &snap.buyers {
+            let mut history = Vec::with_capacity(b.history.len());
+            for sql in &b.history {
+                let prepared = prepare_query(&self.db, sql).map_err(|e| {
+                    mismatch(format!(
+                        "buyer {}: logged history query no longer prepares: {e}",
+                        b.name
+                    ))
+                })?;
+                history.push(Arc::new(prepared));
+            }
+            self.buyers.insert(
+                b.name.clone(),
+                BuyerState {
+                    charged: b.charged.clone(),
+                    history,
+                    paid: b.paid,
+                },
+            );
+        }
+        // Post-snapshot cache keys must never collide with pre-crash ones,
+        // and the entropy anchors are a function of the restored rows.
+        self.cache.restore_generation(snap.generation);
+        let (shannon, tsallis) =
+            entropy_factors(&self.db, &self.support, &self.weights, self.cfg.total_price);
+        self.shannon_factor = shannon;
+        self.tsallis_factor = tsallis;
+        Ok(())
+    }
+
+    /// Replays one logged event against live state, without re-logging.
+    /// Purchases are re-priced and verified bitwise against the log.
+    fn replay_event(&mut self, seq: u64, ev: &LedgerEvent) -> Result<(), BrokerError> {
+        let diverged =
+            |detail: String| BrokerError::Ledger(LedgerError::ReplayDiverged { seq, detail });
+        match ev {
+            LedgerEvent::PurchaseCommitted {
+                buyer,
+                sql,
+                price,
+                total_paid,
+            } => {
+                let purchase = self
+                    .buy_inner(buyer, sql, false)
+                    .map_err(|e| diverged(format!("re-pricing failed: {e}")))?;
+                if purchase.price.to_bits() != price.to_bits() {
+                    return Err(diverged(format!(
+                        "logged price {price} != replayed price {} for buyer {buyer}",
+                        purchase.price
+                    )));
+                }
+                if purchase.total_paid.to_bits() != total_paid.to_bits() {
+                    return Err(diverged(format!(
+                        "logged balance {total_paid} != replayed balance {} for buyer {buyer}",
+                        purchase.total_paid
+                    )));
+                }
+                Ok(())
+            }
+            LedgerEvent::UpdateCommitted { sql, changed } => {
+                let undo = apply_update_sql(&mut self.db, sql)
+                    .map_err(|e| diverged(format!("logged update failed to re-apply: {e}")))?;
+                if undo.len() as u64 != *changed {
+                    return Err(diverged(format!(
+                        "logged update changed {changed} cells, replay changed {}",
+                        undo.len()
+                    )));
+                }
+                if !undo.is_empty() {
+                    self.after_commit();
+                }
+                Ok(())
+            }
+            LedgerEvent::WritesCommitted { writes } => {
+                if !writes.is_empty() {
+                    apply_writes(&mut self.db, writes);
+                    self.after_commit();
+                }
+                Ok(())
+            }
+            LedgerEvent::SnapshotTaken { .. } => Ok(()),
+        }
+    }
+
+    /// The durable ledger, when this broker has one.
+    pub fn ledger(&self) -> Option<&Ledger> {
+        self.ledger.as_ref()
     }
 
     /// True when the broker runs on degraded uniform weights (price points
@@ -482,24 +688,34 @@ impl Qirana {
     /// memo; with it disabled the whole accumulated bundle is re-evaluated
     /// (O(H·S)). The two paths produce bitwise-identical prices.
     pub fn buy(&mut self, buyer: &str, sql: &str) -> Result<Purchase, BrokerError> {
+        self.buy_inner(buyer, sql, true)
+    }
+
+    /// The purchase pipeline. Phase 1 computes the answer, the price, and
+    /// the account mutation without touching any account state; phase 2
+    /// appends the event to the ledger (when `log` and one is attached);
+    /// phase 3 applies the mutation. A crash between phases 2 and 3 is
+    /// healed by replay — the logged price is authoritative. `log = false`
+    /// is the recovery replay path itself.
+    fn buy_inner(&mut self, buyer: &str, sql: &str, log: bool) -> Result<Purchase, BrokerError> {
         fault::check(fault::BROKER_BUY).map_err(BrokerError::Injected)?;
         let prepared = Arc::new(prepare_query(&self.db, sql)?);
         let s = self.support.len();
         let use_cache = self.cfg.engine.cache.enabled;
 
-        // Answer and price first, mutate the buyer's account only when both
-        // succeed: a failed purchase (budget trip, injected fault, solver
-        // misconfiguration) must not charge the buyer or corrupt their
-        // history. Pricing leaves the database unchanged, so answering
-        // before pricing is equivalent. The pricing cache may retain
-        // artifacts computed before a later failure — that is safe: they
-        // are buyer-independent facts about query × support set, not
-        // account state.
+        // Phase 1: answer and price, mutating no account state. A failed
+        // purchase (budget trip, injected fault, ledger append failure)
+        // must not charge the buyer or corrupt their history. Pricing
+        // leaves the database unchanged, so answering before pricing is
+        // equivalent. The pricing cache may retain artifacts computed
+        // before a later failure — that is safe: they are buyer-independent
+        // facts about query × support set, not account state.
         let output = {
             let ctx = ExecContext::new(&self.db).with_budget(self.cfg.engine.budget);
             execute(&prepared.plan, &ctx)?
         };
-        let price = if self.cfg.function.needs_partition() {
+        let old_paid = self.buyers.get(buyer).map(|b| b.paid).unwrap_or(0.0);
+        let (price, total_after, update) = if self.cfg.function.needs_partition() {
             // Entropy family: price the accumulated bundle and charge the
             // increment (bundle formulation of §2.2's history-aware mode).
             let mut history: Vec<Arc<Prepared>> = self
@@ -527,19 +743,22 @@ impl Qirana {
                 &self.weights,
                 &partition,
             )? * factor;
-            let state = self.buyers.entry(buyer.to_string()).or_default();
-            let mut delta = total_now - state.paid;
-            if delta <= 0.0 {
+            let mut delta = total_now - old_paid;
+            let anchor = if delta <= 0.0 {
                 delta = 0.0; // also normalizes -0.0 from float cancellation
+                None
             } else {
                 // Anchor the stored total at the freshly priced bundle
                 // instead of accumulating `paid += delta`: the two are
                 // equal in exact arithmetic, but the accumulation drifts
                 // by one rounding error per purchase over a long session.
-                state.paid = total_now;
-            }
-            state.history.push(prepared);
-            delta
+                Some(total_now)
+            };
+            (
+                delta,
+                anchor.unwrap_or(old_paid),
+                AccountUpdate::Entropy { anchor },
+            )
         } else {
             // Coverage family: Algorithm 3's bitmap.
             let charged = match self.buyers.get(buyer) {
@@ -597,50 +816,93 @@ impl Qirana {
             if delta <= 0.0 {
                 delta = 0.0; // normalize -0.0
             }
-            let state = self.buyers.entry(buyer.to_string()).or_default();
-            if state.charged.is_empty() {
-                state.charged = charged;
-            }
-            if state.charged.len() != bits.len() {
+            let mut merged = charged;
+            if merged.len() != bits.len() {
                 // Never zip-truncate: dropping trailing bits would silently
                 // under-charge every later purchase.
                 return Err(BrokerError::BitmapLength {
-                    expected: state.charged.len(),
+                    expected: merged.len(),
                     actual: bits.len(),
                 });
             }
-            for (c, b) in state.charged.iter_mut().zip(&bits) {
+            for (c, b) in merged.iter_mut().zip(&bits) {
                 *c |= b;
             }
-            state.paid += delta;
-            delta
+            (
+                delta,
+                old_paid + delta,
+                AccountUpdate::Coverage { charged: merged },
+            )
         };
 
-        let total_paid = self.buyers.get(buyer).map(|b| b.paid).unwrap_or(0.0);
-        Ok(Purchase {
+        // Phase 2: append-then-apply. The event must be durable before the
+        // account mutates, so a crash can never leave a charged buyer the
+        // log knows nothing about. On append failure nothing was applied.
+        if log {
+            if let Some(led) = self.ledger.as_mut() {
+                led.append(&LedgerEvent::PurchaseCommitted {
+                    buyer: buyer.to_string(),
+                    sql: sql.to_string(),
+                    price,
+                    total_paid: total_after,
+                })?;
+            }
+        }
+
+        // Phase 3: apply the planned mutation.
+        let state = self.buyers.entry(buyer.to_string()).or_default();
+        match update {
+            AccountUpdate::Entropy { anchor } => {
+                if let Some(total) = anchor {
+                    state.paid = total;
+                }
+                state.history.push(prepared);
+            }
+            AccountUpdate::Coverage { charged } => {
+                state.charged = charged;
+                state.paid = total_after;
+            }
+        }
+
+        let purchase = Purchase {
             price,
-            total_paid,
+            total_paid: total_after,
             output,
             degraded: self.degraded,
             cache: self.cache.stats(),
-        })
+        };
+        if log {
+            self.maybe_snapshot()?;
+        }
+        Ok(purchase)
     }
 
-    /// A buyer's cumulative spend.
-    pub fn buyer_paid(&self, buyer: &str) -> f64 {
-        self.buyers.get(buyer).map(|b| b.paid).unwrap_or(0.0)
+    /// A buyer's cumulative spend, or `None` for a buyer the broker has
+    /// never seen — distinguishable from a real zero balance.
+    pub fn buyer_paid(&self, buyer: &str) -> Option<f64> {
+        self.buyers.get(buyer).map(|b| b.paid)
     }
 
     /// Fraction of the support set a buyer has already paid for (coverage
-    /// family); 1.0 means all further queries are free.
-    pub fn buyer_coverage(&self, buyer: &str) -> f64 {
-        match self.buyers.get(buyer) {
-            Some(b) if !b.charged.is_empty() => {
+    /// family; 1.0 means all further queries are free), or `None` for a
+    /// buyer the broker has never seen.
+    pub fn buyer_coverage(&self, buyer: &str) -> Option<f64> {
+        self.buyers.get(buyer).map(|b| {
+            if b.charged.is_empty() {
+                0.0
+            } else {
                 // qirana-lint::allow(QL002): support-set counts, far below 2^53
                 b.charged.iter().filter(|&&c| c).count() as f64 / b.charged.len() as f64
             }
-            _ => 0.0,
-        }
+        })
+    }
+
+    /// Every buyer with an account, sorted by name.
+    pub fn buyer_names(&self) -> Vec<String> {
+        // qirana-lint::allow(QL001): keys are collected and sorted before use
+        let mut names: Vec<String> = self.buyers.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Commits a SQL `UPDATE` statement to the stored database and returns
@@ -657,21 +919,43 @@ impl Qirana {
     pub fn commit_update(&mut self, sql: &str) -> Result<usize, BrokerError> {
         let undo = apply_update_sql(&mut self.db, sql)?;
         let changed = undo.len();
-        if changed > 0 {
-            self.after_commit();
+        if changed == 0 {
+            return Ok(0);
         }
+        // The changed-cell count is only known after applying, so this
+        // path applies first and logs second; if the append fails, the
+        // undo batch rolls the database back so memory and disk agree.
+        if let Some(led) = self.ledger.as_mut() {
+            if let Err(e) = led.append(&LedgerEvent::UpdateCommitted {
+                sql: sql.to_string(),
+                changed: changed as u64,
+            }) {
+                apply_writes(&mut self.db, &undo);
+                return Err(e.into());
+            }
+        }
+        self.after_commit();
+        self.maybe_snapshot()?;
         Ok(changed)
     }
 
     /// Commits a batch of cell writes to the stored database (the
     /// programmatic counterpart of [`Qirana::commit_update`], same
-    /// invalidation semantics).
-    pub fn commit_writes(&mut self, writes: &[CellWrite]) {
+    /// invalidation semantics). Fails without applying anything when the
+    /// ledger append fails (append-then-apply).
+    pub fn commit_writes(&mut self, writes: &[CellWrite]) -> Result<(), BrokerError> {
         if writes.is_empty() {
-            return;
+            return Ok(());
+        }
+        if let Some(led) = self.ledger.as_mut() {
+            led.append(&LedgerEvent::WritesCommitted {
+                writes: writes.to_vec(),
+            })?;
         }
         apply_writes(&mut self.db, writes);
         self.after_commit();
+        self.maybe_snapshot()?;
+        Ok(())
     }
 
     fn after_commit(&mut self) {
@@ -680,6 +964,46 @@ impl Qirana {
             entropy_factors(&self.db, &self.support, &self.weights, self.cfg.total_price);
         self.shannon_factor = shannon;
         self.tsallis_factor = tsallis;
+    }
+
+    /// Takes a snapshot and compacts the log when the configured cadence
+    /// is due. Called after every applied event; a no-op without a ledger
+    /// or before the cadence.
+    fn maybe_snapshot(&mut self) -> Result<(), BrokerError> {
+        if !self.ledger.as_ref().is_some_and(Ledger::should_snapshot) {
+            return Ok(());
+        }
+        let snap = self.snapshot_state();
+        if let Some(led) = self.ledger.as_mut() {
+            led.snapshot_and_compact(&snap)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the broker's durable state: table rows, buyer accounts
+    /// (balances bit-exact, histories as SQL), and the cache generation.
+    /// Entropy anchors are recomputed on restore, not stored.
+    fn snapshot_state(&self) -> SnapshotState {
+        // qirana-lint::allow(QL001): keys are collected and sorted before use
+        let mut names: Vec<&String> = self.buyers.keys().collect();
+        names.sort();
+        let buyers = names
+            .into_iter()
+            .filter_map(|name| {
+                self.buyers.get(name).map(|st| BuyerSnapshot {
+                    name: name.clone(),
+                    paid: st.paid,
+                    charged: st.charged.clone(),
+                    history: st.history.iter().map(|p| p.sql.clone()).collect(),
+                })
+            })
+            .collect();
+        SnapshotState {
+            seq: self.ledger.as_ref().map_or(0, Ledger::last_seq),
+            generation: self.cache.generation(),
+            tables: self.db.tables().iter().map(|t| t.rows.clone()).collect(),
+            buyers,
+        }
     }
 
     /// Cumulative pricing-cache counters.
@@ -882,8 +1206,11 @@ mod tests {
         let mut q = broker();
         q.buy("carol", "SELECT * FROM User").unwrap();
         q.buy("carol", "SELECT * FROM Tweet").unwrap();
-        assert!((q.buyer_paid("carol") - 100.0).abs() < 1e-9);
-        assert_eq!(q.buyer_coverage("carol"), 1.0);
+        assert!((q.buyer_paid("carol").unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(q.buyer_coverage("carol"), Some(1.0));
+        assert_eq!(q.buyer_paid("nobody"), None, "unknown buyer is None");
+        assert_eq!(q.buyer_coverage("nobody"), None);
+        assert_eq!(q.buyer_names(), vec!["carol".to_string()]);
         let p = q.buy("carol", "SELECT count(*) FROM User").unwrap();
         assert_eq!(p.price, 0.0);
     }

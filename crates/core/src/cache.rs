@@ -163,6 +163,15 @@ impl PricingCache {
         self.entries.clear();
     }
 
+    /// Re-anchors the generation counter after crash recovery so cache
+    /// keys minted before the crash can never collide with post-recovery
+    /// entries. Purges everything, like [`Self::bump_generation`].
+    pub fn restore_generation(&mut self, generation: u64) {
+        self.generation = generation;
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> CacheStats {
         self.stats

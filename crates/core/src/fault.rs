@@ -1,7 +1,8 @@
 //! Deterministic fault injection for robustness testing.
 //!
 //! Named **failpoints** are placed on the broker's critical paths (support
-//! generation, weight assignment, query execution). In production nothing
+//! generation, weight assignment, query execution, ledger appends and
+//! snapshots). In production nothing
 //! is armed and every check is a single relaxed atomic load of a global
 //! counter — effectively free. Tests arm failpoints through
 //! [`arm`]/[`reset`] and drive the degradation machinery end to end:
@@ -20,10 +21,17 @@
 //! [`Trigger::Nth`] (fire on the n-th hit), and [`Trigger::SeededRatio`]
 //! (a seeded counter-hash; the same arm always fires on the same hit
 //! sequence) — so failing runs replay exactly.
+//!
+//! The ledger additionally supports a **byte-granular crash budget**
+//! ([`arm_ledger_crash`]): once the armed number of append-stream bytes
+//! has reached disk, the write in flight is cut short at exactly that
+//! byte, simulating a torn write from a crash mid-`write(2)`. The crash
+//! matrix in `tests/crash_matrix.rs` sweeps this budget over every byte
+//! offset of a recorded session.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Failpoint in [`crate::support::generate_support`] / uniform-world
@@ -36,6 +44,12 @@ pub const WEIGHTS_ASSIGN: &str = "weights::assign";
 pub const ENGINE_EXECUTE: &str = "engine::execute";
 /// Failpoint in the broker's `buy` path, before the purchased query runs.
 pub const BROKER_BUY: &str = "broker::buy";
+/// Failpoint at the head of a ledger record append, before any bytes reach
+/// the log — a record-granular crash point (abort between records).
+pub const LEDGER_APPEND: &str = "ledger::append";
+/// Failpoint at the head of a ledger snapshot, before the snapshot file is
+/// written.
+pub const LEDGER_SNAPSHOT: &str = "ledger::snapshot";
 
 /// When an armed failpoint fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,12 +138,52 @@ pub fn disarm(failpoint: &'static str) {
     }
 }
 
-/// Disarms everything.
+/// Disarms everything, including any armed ledger crash budget.
 pub fn reset() {
     let mut reg = lock();
     let n = reg.points.len();
     reg.points.clear();
     ARMED_COUNT.fetch_sub(n, Ordering::Relaxed);
+    disarm_ledger_crash();
+}
+
+/// Remaining byte budget for ledger append writes; `u64::MAX` means the
+/// crash point is disarmed and appends are unrestricted.
+static LEDGER_CRASH_BUDGET: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Arms the ledger crash point: exactly `bytes` more bytes of the ledger's
+/// append stream reach disk, then the write in flight is cut short — the
+/// deterministic analogue of the process dying mid-`write(2)` at that byte.
+pub fn arm_ledger_crash(bytes: u64) {
+    LEDGER_CRASH_BUDGET.store(bytes, Ordering::SeqCst);
+}
+
+/// Disarms the ledger crash point.
+pub fn disarm_ledger_crash() {
+    LEDGER_CRASH_BUDGET.store(u64::MAX, Ordering::SeqCst);
+}
+
+/// Whether a ledger crash budget is currently armed.
+pub fn ledger_crash_armed() -> bool {
+    LEDGER_CRASH_BUDGET.load(Ordering::SeqCst) != u64::MAX
+}
+
+/// Consumes ledger crash budget for a `len`-byte append. `None` means the
+/// crash point is disarmed: write everything. `Some(n)` means only the
+/// first `n` bytes may be written (`n < len` simulates a torn write; the
+/// caller must then treat the ledger as crashed).
+pub fn ledger_write_quota(len: usize) -> Option<usize> {
+    let res = LEDGER_CRASH_BUDGET.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+        if cur == u64::MAX {
+            None
+        } else {
+            Some(cur.saturating_sub(len as u64))
+        }
+    });
+    match res {
+        Err(_) => None,
+        Ok(prev) => Some(prev.min(len as u64) as usize),
+    }
 }
 
 /// Times `failpoint` fired since it was last armed (0 if not armed).
@@ -261,6 +315,32 @@ mod tests {
         assert!(a.iter().any(|&f| f), "ratio 1/3 over 30 hits should fire");
         assert!(!a.iter().all(|&f| f), "ratio 1/3 should not always fire");
         reset();
+    }
+
+    #[test]
+    fn ledger_crash_budget_cuts_at_exact_byte() {
+        let _guard = serialize_tests();
+        reset();
+        assert!(!ledger_crash_armed());
+        assert_eq!(ledger_write_quota(100), None, "disarmed: unrestricted");
+
+        arm_ledger_crash(25);
+        assert!(ledger_crash_armed());
+        assert_eq!(ledger_write_quota(10), Some(10), "fits in budget");
+        assert_eq!(ledger_write_quota(10), Some(10), "still fits");
+        assert_eq!(ledger_write_quota(10), Some(5), "cut mid-record at byte 25");
+        assert_eq!(ledger_write_quota(10), Some(0), "budget exhausted");
+        disarm_ledger_crash();
+        assert_eq!(ledger_write_quota(10), None);
+        reset();
+    }
+
+    #[test]
+    fn reset_disarms_ledger_crash() {
+        let _guard = serialize_tests();
+        arm_ledger_crash(7);
+        reset();
+        assert!(!ledger_crash_armed());
     }
 
     #[test]

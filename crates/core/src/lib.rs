@@ -65,6 +65,7 @@ pub mod cache;
 pub mod determinacy;
 pub mod engine;
 pub mod fault;
+pub mod ledger;
 pub mod naive;
 pub mod normal_form;
 pub mod optimized;
@@ -81,6 +82,7 @@ pub use engine::{
     bundle_disagreements, bundle_disagreements_cached, bundle_partition, bundle_partition_cached,
     EngineOptions,
 };
+pub use ledger::{FsyncPolicy, Ledger, LedgerConfig, LedgerError, LedgerEvent, SnapshotState};
 pub use normal_form::{prepare_query, Prepared, Shape};
 pub use parallel::Parallelism;
 pub use pricing::{PricingError, PricingFunction};

@@ -94,6 +94,12 @@ impl FileContext {
     pub fn is_fault_module(&self) -> bool {
         self.path.ends_with("/fault.rs")
     }
+
+    /// True for the durable market ledger, the one sanctioned home for
+    /// direct filesystem writes (QL005 does not apply).
+    pub fn is_ledger_module(&self) -> bool {
+        self.path.ends_with("/ledger.rs")
+    }
 }
 
 /// Parses `qirana-lint::allow(QL00x[, QL00y…]): reason` and

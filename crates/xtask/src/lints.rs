@@ -1,5 +1,6 @@
-//! The qirana-lint rules: four repo-specific invariants, each born from a
-//! real bug class in this codebase (see DESIGN.md §6).
+//! The qirana-lint rules: five repo-specific invariants, each born from a
+//! real bug class (or bug class we refuse to admit) in this codebase
+//! (see DESIGN.md §6).
 //!
 //! * **QL001** — nondeterministic iteration over `HashMap`/`HashSet`.
 //!   Float accumulation is not associative, so hash-order iteration made
@@ -19,6 +20,11 @@
 //!   budget/fault modules. Support generation, weights, and fault
 //!   injection are all seed-driven so every price is replayable; an
 //!   unseeded RNG or ambient clock read reintroduces nondeterminism.
+//! * **QL005** — direct filesystem writes (`std::fs::write`,
+//!   `File::create`) outside the ledger module. Every durable market
+//!   mutation must flow through the write-ahead log so crash recovery
+//!   sees it; a stray `fs::write` is state the ledger cannot replay.
+//!   Bins and tests are exempt.
 //!
 //! All rules are waivable with an inline justification:
 //! `// qirana-lint::allow(QL00x): <why this site is sound>`.
@@ -35,6 +41,7 @@ pub enum Lint {
     Ql002,
     Ql003,
     Ql004,
+    Ql005,
 }
 
 impl Lint {
@@ -45,6 +52,7 @@ impl Lint {
             Lint::Ql002 => "QL002",
             Lint::Ql003 => "QL003",
             Lint::Ql004 => "QL004",
+            Lint::Ql005 => "QL005",
         }
     }
 
@@ -55,11 +63,18 @@ impl Lint {
             "QL002" => Some(Lint::Ql002),
             "QL003" => Some(Lint::Ql003),
             "QL004" => Some(Lint::Ql004),
+            "QL005" => Some(Lint::Ql005),
             _ => None,
         }
     }
 
-    pub const ALL: [Lint; 4] = [Lint::Ql001, Lint::Ql002, Lint::Ql003, Lint::Ql004];
+    pub const ALL: [Lint; 5] = [
+        Lint::Ql001,
+        Lint::Ql002,
+        Lint::Ql003,
+        Lint::Ql004,
+        Lint::Ql005,
+    ];
 }
 
 /// One finding: file, line, rule, and a human explanation.
@@ -91,6 +106,7 @@ pub fn lint_file(ctx: &FileContext) -> Vec<Diagnostic> {
     ql002_lossy_casts(ctx, &mut out);
     ql003_panicking_calls(ctx, &mut out);
     ql004_ambient_nondeterminism(ctx, &mut out);
+    ql005_durability_bypass(ctx, &mut out);
     out.sort();
     out
 }
@@ -387,6 +403,66 @@ fn ql004_ambient_nondeterminism(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// QL005: durable-state writes that bypass the ledger. Library code must
+/// never open a file for writing directly: the market's only durable
+/// artifacts are the write-ahead log and its snapshots, both owned by
+/// `core::ledger`, and a side-channel `fs::write` is state that crash
+/// recovery can neither see nor replay. The ledger module itself and bins
+/// (report generators, the REPL) are exempt; tests are skipped.
+fn ql005_durability_bypass(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.is_ledger_module() || ctx.is_bin() {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let t = &code[i];
+        if !code.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        // `fs::write(` / `std::fs::write(`.
+        if t.is_ident("write")
+            && i >= 3
+            && code[i - 1].is_punct(":")
+            && code[i - 2].is_punct(":")
+            && code[i - 3].is_ident("fs")
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql005,
+                "`fs::write` outside `core::ledger` creates durable state the \
+                 write-ahead log cannot replay after a crash; persist through the \
+                 ledger (or move this into a bin/test)"
+                    .to_string(),
+                out,
+            );
+        }
+        // `File::create(` / `File::create_new(`.
+        if (t.is_ident("create") || t.is_ident("create_new"))
+            && i >= 3
+            && code[i - 1].is_punct(":")
+            && code[i - 2].is_punct(":")
+            && code[i - 3].is_ident("File")
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql005,
+                format!(
+                    "`File::{}` outside `core::ledger` opens a durable side channel \
+                     that crash recovery cannot see; persist through the ledger (or \
+                     move this into a bin/test)",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +529,30 @@ mod tests {
     fn ql004_flags_clock_and_entropy() {
         let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
         assert_eq!(codes(src), vec!["QL004", "QL004"]);
+    }
+
+    #[test]
+    fn ql005_flags_direct_writes_in_lib_code() {
+        let src = "use std::fs::{self, File};\nfn f() {\n  fs::write(\"out.bin\", b\"x\").ok();\n  let _ = File::create(\"log.txt\");\n  let _ = File::create_new(\"log2.txt\");\n}\n";
+        assert_eq!(codes(src), vec!["QL005", "QL005", "QL005"]);
+    }
+
+    #[test]
+    fn ql005_exempts_ledger_module_bins_and_tests() {
+        let src = "fn f() { std::fs::write(\"wal\", b\"x\").ok(); }\n";
+        let ledger = lint_file(&FileContext::new("crates/core/src/ledger.rs", src));
+        assert!(ledger.is_empty(), "{ledger:?}");
+        let bin = lint_file(&FileContext::new("crates/bench/src/bin/fig2.rs", src));
+        assert!(bin.is_empty(), "{bin:?}");
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n  fn t() { std::fs::write(\"t\", b\"x\").ok(); }\n}\n";
+        assert!(codes(test_src).is_empty());
+    }
+
+    #[test]
+    fn ql005_ignores_unrelated_create_and_write() {
+        let src = "fn f(v: &mut Vec<u8>, w: &mut dyn std::io::Write) {\n  Builder::create(v);\n  w.write(b\"in-memory\").ok();\n  writer.write(buf).ok();\n}\n";
+        assert!(codes(src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! QL005 fixture: durable filesystem writes that bypass the ledger.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+
+use std::fs::{self, File};
+use std::io::Write;
+
+fn side_channel_dump(bytes: &[u8]) {
+    fs::write("prices.bin", bytes).ok();
+}
+
+fn qualified_side_channel(bytes: &[u8]) {
+    std::fs::write("prices.bin", bytes).ok();
+}
+
+fn handle_side_channel() -> std::io::Result<File> {
+    File::create("market.log")
+}
+
+fn exclusive_side_channel() -> std::io::Result<File> {
+    File::create_new("market.lock")
+}
+
+fn in_memory_write_is_fine(sink: &mut Vec<u8>, payload: &[u8]) {
+    sink.write_all(payload).ok();
+}
+
+fn unrelated_create_is_fine(cap: usize) -> Vec<u8> {
+    Buffer::create(cap)
+}
+
+fn annotated_export(bytes: &[u8]) {
+    // qirana-lint::allow(QL005): operator-requested debug dump, not market state
+    fs::write("debug-dump.bin", bytes).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_in_tests_are_fine() {
+        std::fs::write("scratch", b"x").unwrap();
+    }
+}

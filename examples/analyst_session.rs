@@ -73,9 +73,9 @@ fn main() {
     println!("history-oblivious sum of quotes : ${oblivious_total:>7.2}");
     println!(
         "history-aware session total     : ${:>7.2}",
-        broker.buyer_paid("analyst")
+        broker.buyer_paid("analyst").unwrap_or(0.0)
     );
     println!("re-running the workload costs   : ${rerun:>7.2}");
-    assert!(broker.buyer_paid("analyst") <= oblivious_total + 1e-9);
+    assert!(broker.buyer_paid("analyst").unwrap_or(0.0) <= oblivious_total + 1e-9);
     assert_eq!(rerun, 0.0);
 }

@@ -92,8 +92,8 @@ fn main() {
             "balance" => {
                 println!(
                     "spent ${:.2}; coverage {:.1}% of the dataset's information",
-                    broker.buyer_paid(buyer),
-                    broker.buyer_coverage(buyer) * 100.0
+                    broker.buyer_paid(buyer).unwrap_or(0.0),
+                    broker.buyer_coverage(buyer).unwrap_or(0.0) * 100.0
                 );
             }
             "quote" => match broker.quote(rest) {
@@ -110,7 +110,7 @@ fn main() {
                         "charged ${:.2} (total ${:.2}, coverage {:.1}%)",
                         p.price,
                         p.total_paid,
-                        broker.buyer_coverage(buyer) * 100.0
+                        broker.buyer_coverage(buyer).unwrap_or(0.0) * 100.0
                     );
                     print_rows(&p.output);
                 }
@@ -121,7 +121,7 @@ fn main() {
     }
     println!(
         "\nsession total: ${:.2} — thanks for trading.",
-        broker.buyer_paid(buyer)
+        broker.buyer_paid(buyer).unwrap_or(0.0)
     );
 }
 

@@ -134,7 +134,7 @@ fn main() {
 
     println!(
         "\nalice total: ${:.2}; coverage of the dataset: {:.1}%",
-        broker.buyer_paid("alice"),
-        broker.buyer_coverage("alice") * 100.0
+        broker.buyer_paid("alice").unwrap_or(0.0),
+        broker.buyer_coverage("alice").unwrap_or(0.0) * 100.0
     );
 }

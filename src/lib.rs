@@ -45,7 +45,8 @@ pub use qirana_solver as solver;
 pub use qirana_sqlengine as sqlengine;
 
 pub use qirana_core::{
-    BrokerError, CacheConfig, CacheStats, EngineOptions, Parallelism, PricePoint, PricingFunction,
-    Purchase, Qirana, QiranaConfig, Quote, RetryPolicy, SupportConfig, SupportType,
+    BrokerError, CacheConfig, CacheStats, EngineOptions, FsyncPolicy, Ledger, LedgerConfig,
+    LedgerError, LedgerEvent, Parallelism, PricePoint, PricingFunction, Purchase, Qirana,
+    QiranaConfig, Quote, RetryPolicy, SupportConfig, SupportType,
 };
 pub use qirana_sqlengine::{Database, ExecBudget, QueryOutput, Value};

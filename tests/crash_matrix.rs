@@ -1,0 +1,419 @@
+//! The deterministic crash-point matrix (README "Durability & crash
+//! recovery", DESIGN.md §7).
+//!
+//! A scripted market session is first run to completion against a durable
+//! ledger, checkpointing every buyer balance (bit-exact) after every
+//! committed operation. The matrix then re-runs the same session once per
+//! byte of the resulting write-ahead log, arming the fault layer's crash
+//! budget so the simulated process dies after exactly that many durable
+//! bytes — mid-magic, mid-header, mid-payload, and on every record
+//! boundary. Each crashed market is recovered and must match the
+//! checkpoint of its last fully-durable record: balances and coverage to
+//! the last bit, re-bought history free (no arbitrage through a crash),
+//! and the database probe query priced identically.
+//!
+//! Record-granular failpoints (`LEDGER_APPEND`, `LEDGER_SNAPSHOT`) cover
+//! the non-byte crash shapes: an append aborted before any write must be
+//! atomic (no memory/disk divergence), and a crash during the snapshot
+//! cadence must leave a market that recovers and compacts later.
+//!
+//! Every test holds [`fault::serialize_tests`]: the fault registry and
+//! crash budget are process-global.
+
+// CLI/bench/demo target: aborting with a clear message on bad input or a
+// broken fixture is the intended failure mode here, unlike in the library
+// crates where the workspace lints deny panicking calls.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use qirana::core::fault;
+use qirana::core::ledger::scan_log;
+use qirana::sqlengine::{CellWrite, ColumnDef, DataType, TableSchema};
+use qirana::{
+    BrokerError, Database, LedgerConfig, LedgerError, PricingFunction, Qirana, QiranaConfig,
+    SupportConfig, Value,
+};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("grp", DataType::Str),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            &["id"],
+        ),
+        (0..10i64)
+            .map(|i| {
+                vec![
+                    i.into(),
+                    ["a", "b", "c"][i as usize % 3].into(),
+                    (i * 7 % 13).into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    db
+}
+
+fn cfg(function: PricingFunction) -> QiranaConfig {
+    QiranaConfig {
+        function,
+        support: SupportConfig {
+            size: 40,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Priced against the stored rows, so it witnesses replayed updates too.
+const PROBE: &str = "SELECT sum(v) FROM T";
+
+/// One scripted market operation; each committed op appends one record.
+enum Op {
+    Buy(&'static str, &'static str),
+    Update(&'static str),
+    Writes(&'static [(usize, usize, usize, i64)]),
+}
+
+fn apply_op(broker: &mut Qirana, op: &Op) -> Result<(), BrokerError> {
+    match op {
+        Op::Buy(buyer, sql) => broker.buy(buyer, sql).map(|_| ()),
+        Op::Update(sql) => broker.commit_update(sql).map(|_| ()),
+        Op::Writes(cells) => {
+            let writes: Vec<CellWrite> = cells
+                .iter()
+                .map(|&(table, row, col, v)| CellWrite {
+                    table,
+                    row,
+                    col,
+                    value: Value::Int(v),
+                })
+                .collect();
+            broker.commit_writes(&writes)
+        }
+    }
+}
+
+/// The always-run session: both pricing-relevant event kinds around buys.
+const SESSION: [Op; 5] = [
+    Op::Buy("alice", "SELECT v FROM T WHERE v > 4"),
+    Op::Buy("bob", "SELECT grp, count(*) FROM T GROUP BY grp"),
+    Op::Update("UPDATE T SET v = 11 WHERE id = 3"),
+    Op::Buy("alice", "SELECT sum(v) FROM T"),
+    Op::Writes(&[(0, 1, 2, 42)]),
+];
+
+/// The release-mode sweep: longer, three buyers, repeated queries.
+const LONG_SESSION: [Op; 9] = [
+    Op::Buy("alice", "SELECT v FROM T WHERE v > 4"),
+    Op::Buy("bob", "SELECT grp, count(*) FROM T GROUP BY grp"),
+    Op::Buy("carol", "SELECT sum(v) FROM T"),
+    Op::Update("UPDATE T SET v = 11 WHERE id = 3"),
+    Op::Buy("alice", "SELECT sum(v) FROM T"),
+    Op::Writes(&[(0, 1, 2, 42), (0, 4, 1, 0)]),
+    Op::Buy("carol", "SELECT grp FROM T WHERE v <= 6"),
+    Op::Buy("bob", "SELECT v FROM T WHERE v > 4"),
+    Op::Update("UPDATE T SET grp = 'z' WHERE id = 7"),
+];
+
+/// Every buyer's `(paid, coverage)` as raw bits plus the probe quote:
+/// crash recovery is held to bitwise equality, not tolerance.
+type Checkpoint = (BTreeMap<String, (u64, u64)>, u64);
+
+fn checkpoint(broker: &mut Qirana) -> Checkpoint {
+    let state = broker
+        .buyer_names()
+        .into_iter()
+        .map(|name| {
+            let paid = broker.buyer_paid(&name).unwrap().to_bits();
+            let cov = broker.buyer_coverage(&name).unwrap().to_bits();
+            (name, (paid, cov))
+        })
+        .collect();
+    let probe = broker.quote(PROBE).unwrap().to_bits();
+    (state, probe)
+}
+
+fn matrix_base(tag: &str) -> PathBuf {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    fs::remove_dir_all(&base).ok();
+    fs::create_dir_all(&base).unwrap();
+    base
+}
+
+/// Runs the never-crashed session in `dir` (pure WAL, no snapshots) and
+/// returns one checkpoint per committed record, index 0 = genesis.
+fn control_run(function: PricingFunction, session: &[Op], dir: &Path) -> Vec<Checkpoint> {
+    let ledger_cfg = LedgerConfig::new(dir).with_snapshot_every(0);
+    let mut broker = Qirana::open(db(), cfg(function), ledger_cfg).unwrap();
+    let mut checkpoints = vec![checkpoint(&mut broker)];
+    for op in session {
+        apply_op(&mut broker, op).unwrap();
+        checkpoints.push(checkpoint(&mut broker));
+    }
+    checkpoints
+}
+
+/// The matrix proper: kill the session once per durable byte, recover,
+/// and hold the rebuilt market to its checkpoint.
+fn run_matrix(function: PricingFunction, session: &[Op], tag: &str) {
+    let base = matrix_base(tag);
+    let control_dir = base.join("control");
+    let checkpoints = control_run(function, session, &control_dir);
+    let control_log = fs::read(LedgerConfig::new(&control_dir).log_path()).unwrap();
+    let control_scan = scan_log(&control_log).unwrap();
+    assert_eq!(
+        control_scan.records.len(),
+        session.len(),
+        "each op must commit exactly one record"
+    );
+
+    let crash_dir = base.join("crashed");
+    let crash_ledger_cfg = || LedgerConfig::new(&crash_dir).with_snapshot_every(0);
+    let mut boundaries_seen = vec![false; session.len()];
+    for c in 0..control_log.len() as u64 {
+        fs::remove_dir_all(&crash_dir).ok();
+        fault::arm_ledger_crash(c);
+        let outcome =
+            Qirana::open(db(), cfg(function), crash_ledger_cfg()).and_then(|mut broker| {
+                for op in session {
+                    apply_op(&mut broker, op)?;
+                }
+                Ok(())
+            });
+        fault::disarm_ledger_crash();
+        let err = outcome.expect_err("the crash budget must kill the session");
+        assert!(
+            matches!(err, BrokerError::Ledger(LedgerError::Crashed { .. })),
+            "byte {c}: expected LedgerError::Crashed, got {err}"
+        );
+
+        // Exactly `c` bytes reached the disk — the budget is the file.
+        let crashed = fs::read(LedgerConfig::new(&crash_dir).log_path()).unwrap();
+        assert_eq!(
+            crashed.len() as u64,
+            c,
+            "durable bytes must equal the budget"
+        );
+        let k = scan_log(&crashed).unwrap().records.len();
+        boundaries_seen[k.min(session.len() - 1)] = true;
+
+        let mut recovered =
+            Qirana::recover(db(), cfg(function), LedgerConfig::new(&crash_dir)).unwrap();
+        let got = checkpoint(&mut recovered);
+        assert_eq!(
+            got, checkpoints[k],
+            "byte {c}: recovered market diverges from checkpoint {k} ({function:?})"
+        );
+        // No arbitrage through a crash: a recovered buyer still owns their
+        // history, so re-buying it is free — for purchases made since the
+        // last committed data mutation. (An UPDATE legitimately re-prices
+        // owned queries: the data changed, the answer may reveal new
+        // information.)
+        let unmutated_from = session[..k]
+            .iter()
+            .rposition(|op| !matches!(op, Op::Buy(..)))
+            .map_or(0, |i| i + 1);
+        for op in &session[unmutated_from..k] {
+            if let Op::Buy(buyer, sql) = op {
+                let p = recovered.buy(buyer, sql).unwrap();
+                assert_eq!(
+                    p.price, 0.0,
+                    "byte {c}: {buyer} re-charged for owned history {sql:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        boundaries_seen.iter().all(|&s| s),
+        "the sweep must exercise every record boundary"
+    );
+
+    // The exact-budget edge: a budget of the full log length lets every
+    // append through and the completed market recovers to the final
+    // checkpoint.
+    fs::remove_dir_all(&crash_dir).ok();
+    fault::arm_ledger_crash(control_log.len() as u64);
+    {
+        let mut broker = Qirana::open(db(), cfg(function), crash_ledger_cfg()).unwrap();
+        for op in session {
+            apply_op(&mut broker, op).unwrap();
+        }
+    }
+    fault::disarm_ledger_crash();
+    let mut recovered =
+        Qirana::recover(db(), cfg(function), LedgerConfig::new(&crash_dir)).unwrap();
+    assert_eq!(checkpoint(&mut recovered), checkpoints[session.len()]);
+
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn crash_at_every_byte_recovers_to_a_checkpoint() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    run_matrix(
+        PricingFunction::WeightedCoverage,
+        &SESSION,
+        "crash-matrix-coverage",
+    );
+    fault::reset();
+}
+
+/// The full sweep over the longer session and the entropy family — run
+/// release-mode in CI: `cargo test --release --test crash_matrix -- --ignored`.
+#[test]
+#[ignore = "full release-mode sweep; CI runs it with --ignored"]
+fn crash_matrix_full_sweep_entropy_family() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    run_matrix(
+        PricingFunction::ShannonEntropy,
+        &LONG_SESSION,
+        "crash-matrix-entropy",
+    );
+    run_matrix(
+        PricingFunction::WeightedCoverage,
+        &LONG_SESSION,
+        "crash-matrix-coverage-long",
+    );
+    fault::reset();
+}
+
+// ---------------------------------------------------------------------------
+// Record-granular crash shapes
+// ---------------------------------------------------------------------------
+
+/// An append aborted *before* any byte is written (the failpoint fires at
+/// the top of `Ledger::append`) must be perfectly atomic: the operation
+/// reports the injected fault, memory and disk both exclude it, and the
+/// session — not poisoned, nothing torn — simply continues.
+#[test]
+fn aborted_append_is_atomic_and_the_session_continues() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    let base = matrix_base("append-abort");
+
+    // Control: the same session with the third op (the UPDATE) left out.
+    let control_dir = base.join("control");
+    let skipped: Vec<&Op> = SESSION
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| (i != 2).then_some(op))
+        .collect();
+    let mut control = Qirana::open(
+        db(),
+        cfg(PricingFunction::WeightedCoverage),
+        LedgerConfig::new(&control_dir).with_snapshot_every(0),
+    )
+    .unwrap();
+    for &op in &skipped {
+        apply_op(&mut control, op).unwrap();
+    }
+    let expected = checkpoint(&mut control);
+
+    // Faulted run: the third append (1-based hit 3) aborts.
+    let faulted_dir = base.join("faulted");
+    fault::arm(fault::LEDGER_APPEND, fault::Trigger::Nth(3));
+    let mut broker = Qirana::open(
+        db(),
+        cfg(PricingFunction::WeightedCoverage),
+        LedgerConfig::new(&faulted_dir).with_snapshot_every(0),
+    )
+    .unwrap();
+    for (i, op) in SESSION.iter().enumerate() {
+        let res = apply_op(&mut broker, op);
+        if i == 2 {
+            let err = res.unwrap_err();
+            assert!(
+                matches!(err, BrokerError::Ledger(LedgerError::Injected(_))),
+                "expected the injected abort, got {err}"
+            );
+        } else {
+            res.unwrap();
+        }
+    }
+    assert!(
+        !broker.ledger().unwrap().is_poisoned(),
+        "an abort before any write must not poison the handle"
+    );
+    assert_eq!(checkpoint(&mut broker), expected, "live session diverged");
+    drop(broker);
+
+    let mut recovered = Qirana::recover(
+        db(),
+        cfg(PricingFunction::WeightedCoverage),
+        LedgerConfig::new(&faulted_dir),
+    )
+    .unwrap();
+    assert_eq!(checkpoint(&mut recovered), expected, "recovery diverged");
+    fault::reset();
+    fs::remove_dir_all(&base).ok();
+}
+
+/// A crash during the snapshot cadence: the purchase that triggered the
+/// snapshot is already durable in the WAL, so recovery keeps it — and the
+/// recovered market still owes a snapshot, which the next committed event
+/// takes (compacting the log) without further ado.
+#[test]
+fn crash_during_snapshot_recovers_and_compacts_later() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    let base = matrix_base("snapshot-crash");
+
+    let control_dir = base.join("control");
+    let checkpoints = control_run(
+        PricingFunction::WeightedCoverage,
+        &SESSION[..3],
+        &control_dir,
+    );
+
+    let faulted_dir = base.join("faulted");
+    let faulted_cfg = || LedgerConfig::new(&faulted_dir).with_snapshot_every(2);
+    fault::arm(fault::LEDGER_SNAPSHOT, fault::Trigger::Once);
+    {
+        let mut broker =
+            Qirana::open(db(), cfg(PricingFunction::WeightedCoverage), faulted_cfg()).unwrap();
+        apply_op(&mut broker, &SESSION[0]).unwrap();
+        // The second commit trips the cadence; the snapshot dies, but the
+        // purchase record itself is already on disk.
+        let err = apply_op(&mut broker, &SESSION[1]).unwrap_err();
+        assert!(
+            matches!(err, BrokerError::Ledger(LedgerError::Injected(_))),
+            "expected the injected snapshot crash, got {err}"
+        );
+    }
+    fault::reset();
+
+    let mut recovered =
+        Qirana::recover(db(), cfg(PricingFunction::WeightedCoverage), faulted_cfg()).unwrap();
+    assert_eq!(
+        checkpoint(&mut recovered),
+        checkpoints[2],
+        "both purchases must survive the snapshot crash"
+    );
+
+    // The owed snapshot is taken on the next committed event, compacting
+    // the log down to its marker.
+    apply_op(&mut recovered, &SESSION[2]).unwrap();
+    drop(recovered);
+    let bytes = fs::read(faulted_cfg().log_path()).unwrap();
+    let scan = scan_log(&bytes).unwrap();
+    assert_eq!(scan.records.len(), 1, "compaction must have run");
+
+    let mut reopened =
+        Qirana::recover(db(), cfg(PricingFunction::WeightedCoverage), faulted_cfg()).unwrap();
+    assert_eq!(
+        checkpoint(&mut reopened),
+        checkpoints[3],
+        "the snapshot-only market must match the never-crashed control"
+    );
+    fs::remove_dir_all(&base).ok();
+}

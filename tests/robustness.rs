@@ -148,8 +148,12 @@ fn failed_purchase_does_not_charge_the_buyer() {
         matches!(err, BrokerError::Engine(e) if e.is_budget_exceeded()),
         "budget trip expected"
     );
-    assert_eq!(broker.buyer_paid("alice"), 0.0, "no charge on failure");
-    assert_eq!(broker.buyer_coverage("alice"), 0.0);
+    assert_eq!(
+        broker.buyer_paid("alice"),
+        None,
+        "no account is opened on failure"
+    );
+    assert_eq!(broker.buyer_coverage("alice"), None);
 }
 
 // ---------------------------------------------------------------------------
@@ -323,8 +327,8 @@ fn injected_buy_failure_charges_nothing_then_recovers() {
     assert!(matches!(err, BrokerError::Injected(_)), "got {err}");
     assert_eq!(
         broker.buyer_paid("carol"),
-        0.0,
-        "failed buy charges nothing"
+        None,
+        "failed buy opens no account"
     );
     // The retry goes through and history-aware accounting is intact.
     let first = broker.buy("carol", sql).unwrap();
@@ -379,8 +383,8 @@ fn failed_purchase_is_atomic_for_both_families() {
             let first = broker.buy("carol", q1).unwrap();
             let first_control = control.buy("carol", q1).unwrap();
             assert_eq!(first.price.to_bits(), first_control.price.to_bits());
-            let paid_before = broker.buyer_paid("carol");
-            let coverage_before = broker.buyer_coverage("carol");
+            let paid_before = broker.buyer_paid("carol").unwrap();
+            let coverage_before = broker.buyer_coverage("carol").unwrap();
 
             fault::arm(failpoint, fault::Trigger::Once);
             let err = broker.buy("carol", q2).unwrap_err();
@@ -395,12 +399,12 @@ fn failed_purchase_is_atomic_for_both_families() {
                 "{failpoint}: fault provenance lost: {err}"
             );
             assert_eq!(
-                broker.buyer_paid("carol").to_bits(),
+                broker.buyer_paid("carol").unwrap().to_bits(),
                 paid_before.to_bits(),
                 "{failpoint}/{function:?}: failed buy must not charge"
             );
             assert_eq!(
-                broker.buyer_coverage("carol").to_bits(),
+                broker.buyer_coverage("carol").unwrap().to_bits(),
                 coverage_before.to_bits(),
                 "{failpoint}/{function:?}: failed buy must not mark coverage"
             );

@@ -73,7 +73,7 @@ fn spj_engine_ladder(c: &mut Criterion) {
     ];
     for (name, opts) in configs {
         g.bench_function(name, |b| {
-            b.iter(|| bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap())
+            b.iter(|| bundle_disagreements(&mut db, &[&q], &support, &opts, None).unwrap())
         });
     }
     g.finish();
@@ -99,7 +99,7 @@ fn agg_engine(c: &mut Criterion) {
         ("optimized", EngineOptions::default()),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap())
+            b.iter(|| bundle_disagreements(&mut db, &[&q], &support, &opts, None).unwrap())
         });
     }
     g.finish();
@@ -120,7 +120,7 @@ fn entropy_partition(c: &mut Criterion) {
     )
     .unwrap();
     c.bench_function("bundle_partition_S300", |b| {
-        b.iter(|| bundle_partition(&mut db, &[&q], &support, EngineOptions::default()).unwrap())
+        b.iter(|| bundle_partition(&mut db, &[&q], &support, &EngineOptions::default()).unwrap())
     });
 }
 
@@ -139,7 +139,7 @@ fn history_shrinks_work(c: &mut Criterion) {
     let mut g = c.benchmark_group("history_aware_S2000");
     g.bench_function("fresh_buyer", |b| {
         b.iter(|| {
-            bundle_disagreements(&mut db, &[&q], &support, EngineOptions::default(), None).unwrap()
+            bundle_disagreements(&mut db, &[&q], &support, &EngineOptions::default(), None).unwrap()
         })
     });
     g.bench_function("buyer_with_90pct_history", |b| {
@@ -148,7 +148,7 @@ fn history_shrinks_work(c: &mut Criterion) {
                 &mut db,
                 &[&q],
                 &support,
-                EngineOptions::default(),
+                &EngineOptions::default(),
                 Some(&charged),
             )
             .unwrap()
@@ -173,8 +173,14 @@ fn weight_assignment(c: &mut Criterion) {
     ];
     c.bench_function("assign_weights_3_points_S2000", |b| {
         b.iter(|| {
-            qirana_core::assign_weights(&mut db, &support, 100.0, &points, EngineOptions::default())
-                .unwrap()
+            qirana_core::assign_weights(
+                &mut db,
+                &support,
+                100.0,
+                &points,
+                &EngineOptions::default(),
+            )
+            .unwrap()
         })
     });
 }

@@ -13,7 +13,7 @@
 // crates where the workspace lints deny panicking calls.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use qirana_bench::{time, Args};
+use qirana_bench::{Args, Harness};
 use qirana_core::generate_support;
 use qirana_core::{
     bundle_disagreements, prepare_query, EngineOptions, Parallelism, SupportConfig, SupportSet,
@@ -60,6 +60,12 @@ fn main() {
         }
     };
 
+    let mut h = Harness::from_args("fig5", &args, None);
+    h.param("dataset", &which);
+    h.param("sf", sf);
+    h.param("support", support);
+    h.param("threads", threads);
+
     println!(
         "== Figure 5 ({which}, sf={sf}, S={support}, threads={threads}): pricing time in seconds =="
     );
@@ -89,35 +95,37 @@ fn main() {
                 continue;
             }
         };
-        let (_, t_exec) = time(|| execute(&q.plan, &ExecContext::new(&db)).unwrap());
-        let (_, t_nobatch) = time(|| {
+        let (_, t_exec) = h.time("query_exec", &name, || {
+            execute(&q.plan, &ExecContext::new(&db)).unwrap()
+        });
+        let (_, t_nobatch) = h.time("no_batching", &name, || {
             bundle_disagreements(
                 &mut db,
                 &[&q],
                 &support_set,
-                EngineOptions::no_batching().with_parallelism(par),
+                &EngineOptions::no_batching().with_parallelism(par),
                 None,
             )
             .unwrap()
         });
-        let (_, t_batch) = time(|| {
+        let (_, t_batch) = h.time("with_batching", &name, || {
             bundle_disagreements(
                 &mut db,
                 &[&q],
                 &support_set,
-                EngineOptions::default().with_parallelism(par),
+                &EngineOptions::default().with_parallelism(par),
                 None,
             )
             .unwrap()
         });
         print!("{name:<6} {t_nobatch:>14.4} {t_batch:>14.4} {t_exec:>14.4}");
         if include_naive == 1 {
-            let (_, t_naive) = time(|| {
+            let (_, t_naive) = h.time("naive", &name, || {
                 bundle_disagreements(
                     &mut db,
                     &[&q],
                     &support_set,
-                    EngineOptions::naive().with_parallelism(par),
+                    &EngineOptions::naive().with_parallelism(par),
                     None,
                 )
                 .unwrap()
@@ -125,5 +133,8 @@ fn main() {
             print!(" {t_naive:>14.4}");
         }
         println!();
+    }
+    if let Some(path) = h.finish().expect("bench artifact") {
+        println!("wrote {}", path.display());
     }
 }

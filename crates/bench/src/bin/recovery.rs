@@ -16,7 +16,7 @@
 // crates where the workspace lints deny panicking calls.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use qirana_bench::{time, Args};
+use qirana_bench::{Args, Harness};
 use qirana_core::{FsyncPolicy, LedgerConfig, Qirana, QiranaConfig, SupportConfig};
 use qirana_datagen::world;
 use std::path::PathBuf;
@@ -60,11 +60,16 @@ fn main() {
     let seed: u64 = args.get("seed", 1);
     let queries = session_queries(purchases);
 
+    let mut h = Harness::from_args("recovery", &args, None);
+    h.param("support", support);
+    h.param("purchases", purchases);
+    h.param("seed", seed);
+
     println!("== Durable ledger overhead (world dataset, S={support}, H={purchases}) ==");
 
     // Reference: the never-persisted market.
     let mut baseline = Qirana::new(world::generate(7), cfg(support, seed)).unwrap();
-    let (_, t_mem) = time(|| {
+    let (_, t_mem) = h.time("session", "in-memory", || {
         for sql in &queries {
             baseline.buy("analyst", sql).unwrap();
         }
@@ -87,7 +92,7 @@ fn main() {
             .with_fsync(policy)
             .with_snapshot_every(16);
         let mut broker = Qirana::open(world::generate(7), cfg(support, seed), ledger_cfg).unwrap();
-        let (_, t) = time(|| {
+        let (_, t) = h.time("session", label, || {
             for sql in &queries {
                 broker.buy("analyst", sql).unwrap();
             }
@@ -113,7 +118,7 @@ fn main() {
     let log_len = std::fs::metadata(LedgerConfig::new(&always_dir).log_path())
         .map(|m| m.len())
         .unwrap_or(0);
-    let (recovered, t_rec) = time(|| {
+    let (recovered, t_rec) = h.time("recover", "fsync=always", || {
         Qirana::recover(
             world::generate(7),
             cfg(support, seed),
@@ -132,4 +137,7 @@ fn main() {
         purchases as u32 as f64 / t_rec
     );
     std::fs::remove_dir_all(&always_dir).ok();
+    if let Some(path) = h.finish().expect("bench artifact") {
+        println!("wrote {}", path.display());
+    }
 }

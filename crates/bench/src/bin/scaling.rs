@@ -14,7 +14,7 @@
 // crates where the workspace lints deny panicking calls.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use qirana_bench::{time, Args};
+use qirana_bench::{Args, Harness};
 use qirana_core::{
     bundle_disagreements, bundle_partition, generate_support, prepare_query, EngineOptions,
     Parallelism, SupportConfig, SupportSet,
@@ -26,6 +26,11 @@ fn main() {
     let support: usize = args.get("support", 10_000);
     let seed: u64 = args.get("seed", 1);
     let max_threads: usize = args.get("max-threads", 8);
+
+    let mut h = Harness::from_args("scaling", &args, None);
+    h.param("support", support);
+    h.param("seed", seed);
+    h.param("max-threads", max_threads);
 
     let mut db = world::generate(7);
     let support_set = SupportSet::Neighborhood(generate_support(
@@ -68,9 +73,12 @@ fn main() {
         let mut baseline = 0.0;
         let mut reference_bits = Vec::new();
         for &n in &threads {
-            let opts = EngineOptions::naive().with_parallelism(Parallelism::Threads(n));
-            let (bits, secs) =
-                time(|| bundle_disagreements(&mut db, &[&q], &support_set, opts, None).unwrap());
+            let opts = EngineOptions::naive()
+                .with_parallelism(Parallelism::Threads(n))
+                .with_telemetry(h.telemetry());
+            let (bits, secs) = h.time(&format!("{name}_naive"), &format!("threads={n}"), || {
+                bundle_disagreements(&mut db, &[&q], &support_set, &opts, None).unwrap()
+            });
             if n == 1 {
                 baseline = secs;
                 reference_bits = bits;
@@ -94,9 +102,14 @@ fn main() {
         let mut baseline = 0.0;
         let mut reference_fps = Vec::new();
         for &n in &threads {
-            let opts = EngineOptions::default().with_parallelism(Parallelism::Threads(n));
-            let (fps, secs) =
-                time(|| bundle_partition(&mut db, &[&q], &support_set, opts).unwrap());
+            let opts = EngineOptions::default()
+                .with_parallelism(Parallelism::Threads(n))
+                .with_telemetry(h.telemetry());
+            let (fps, secs) = h.time(
+                &format!("{name}_partition"),
+                &format!("threads={n}"),
+                || bundle_partition(&mut db, &[&q], &support_set, &opts).unwrap(),
+            );
             if n == 1 {
                 baseline = secs;
                 reference_fps = fps;
@@ -115,5 +128,8 @@ fn main() {
                 baseline / secs
             );
         }
+    }
+    if let Some(path) = h.finish().expect("bench artifact") {
+        println!("wrote {}", path.display());
     }
 }

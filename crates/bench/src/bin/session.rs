@@ -2,7 +2,7 @@
 //! buyer's history grows from 1 to H queries, with the pricing cache on
 //! versus off.
 //!
-//! `cargo run -p qirana-bench --bin session --release -- [--support N] [--purchases N] [--seed N]`
+//! `cargo run -p qirana-bench --bin session --release -- [--support N] [--purchases N] [--seed N] [--json PATH]`
 //!
 //! The entropy family reprices the buyer's *accumulated bundle* on every
 //! buy, so without memoization the h-th purchase costs O(h·S) query
@@ -11,19 +11,24 @@
 //! regardless of history length. Both paths are asserted bitwise-identical
 //! at every step, so the flat-vs-linear curve this prints is free of
 //! semantic drift.
+//!
+//! This bin is the repo's perf-trajectory anchor: it runs with telemetry
+//! enabled and writes `BENCH_7.json` (schema `qirana-bench/v1`) by
+//! default; `--json PATH` redirects the artifact, `--json ""` disables it.
+//! Pass `--validate PATH` to schema-check an existing artifact and exit.
 
 // CLI/bench/demo target: aborting with a clear message on bad input or a
 // broken fixture is the intended failure mode here, unlike in the library
 // crates where the workspace lints deny panicking calls.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use qirana_bench::{time, Args};
+use qirana_bench::{validate_bench_json, Args, Harness};
 use qirana_core::{
-    CacheConfig, EngineOptions, PricingFunction, Qirana, QiranaConfig, SupportConfig,
+    CacheConfig, EngineOptions, PricingFunction, Qirana, QiranaConfig, SupportConfig, Telemetry,
 };
 use qirana_datagen::world;
 
-fn broker(cache: CacheConfig, support: usize, seed: u64) -> Qirana {
+fn broker(cache: CacheConfig, support: usize, seed: u64, telemetry: Telemetry) -> Qirana {
     Qirana::new(
         world::generate(7),
         QiranaConfig {
@@ -34,7 +39,9 @@ fn broker(cache: CacheConfig, support: usize, seed: u64) -> Qirana {
                 seed,
                 ..Default::default()
             },
-            engine: EngineOptions::default().with_cache(cache),
+            engine: EngineOptions::default()
+                .with_cache(cache)
+                .with_telemetry(telemetry),
             ..Default::default()
         },
     )
@@ -43,12 +50,33 @@ fn broker(cache: CacheConfig, support: usize, seed: u64) -> Qirana {
 
 fn main() {
     let args = Args::parse();
+    let validate: String = args.get("validate", String::new());
+    if !validate.is_empty() {
+        let text = std::fs::read_to_string(&validate)
+            .unwrap_or_else(|e| panic!("reading {validate}: {e}"));
+        match validate_bench_json(&text) {
+            Ok(()) => {
+                println!("{validate}: schema-valid ({})", qirana_bench::SCHEMA);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{validate}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let support: usize = args.get("support", 500);
     let purchases: usize = args.get("purchases", 64);
     let seed: u64 = args.get("seed", 1);
 
-    let mut cached = broker(CacheConfig::default(), support, seed);
-    let mut uncached = broker(CacheConfig::disabled(), support, seed);
+    let mut h = Harness::from_args("session", &args, Some("BENCH_7.json"));
+    h.param("support", support);
+    h.param("purchases", purchases);
+    h.param("seed", seed);
+
+    let mut cached = broker(CacheConfig::default(), support, seed, h.telemetry());
+    let mut uncached = broker(CacheConfig::disabled(), support, seed, h.telemetry());
 
     println!("== Session scaling (world dataset, S={support}, H={purchases}) ==");
     println!(
@@ -58,27 +86,38 @@ fn main() {
 
     let mut total_cached = 0.0;
     let mut total_uncached = 0.0;
-    for h in 1..=purchases {
+    for hn in 1..=purchases {
         // A distinct query per purchase: each buy grows the history bundle.
         let sql = format!(
             "SELECT Name FROM Country WHERE Population > {}",
-            h * 1_000_000
+            hn * 1_000_000
         );
-        let (pc, tc) = time(|| cached.buy("scaling", &sql).unwrap());
-        let (pu, tu) = time(|| uncached.buy("scaling", &sql).unwrap());
+        let label = format!("h={hn}");
+        let (pc, tc) = h.time_with_value(
+            "buy_cached",
+            &label,
+            || cached.buy("scaling", &sql).unwrap(),
+            |p| p.price,
+        );
+        let (pu, tu) = h.time_with_value(
+            "buy_uncached",
+            &label,
+            || uncached.buy("scaling", &sql).unwrap(),
+            |p| p.price,
+        );
         assert_eq!(
             pc.price.to_bits(),
             pu.price.to_bits(),
-            "cached and uncached prices diverged at h={h}"
+            "cached and uncached prices diverged at h={hn}"
         );
         assert_eq!(
             pc.total_paid.to_bits(),
             pu.total_paid.to_bits(),
-            "cached and uncached accounts diverged at h={h}"
+            "cached and uncached accounts diverged at h={hn}"
         );
         total_cached += tc;
         total_uncached += tu;
-        println!("{:>4} {:>12.4} {:>12.4} {:>8.2}x", h, tc, tu, tu / tc);
+        println!("{:>4} {:>12.4} {:>12.4} {:>8.2}x", hn, tc, tu, tu / tc);
     }
 
     let stats = cached.cache_stats();
@@ -95,4 +134,7 @@ fn main() {
         stats.evictions,
         cached.cache_len()
     );
+    if let Some(path) = h.finish().expect("bench artifact") {
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,0 +1,467 @@
+//! The shared bench harness: one timing/recording/reporting pipeline for
+//! every bench bin.
+//!
+//! Each bin builds a [`Harness`], threads [`Harness::telemetry`] into the
+//! brokers/engines it drives (so per-stage histograms populate), records
+//! wall-clock samples through [`Harness::time`] and scalar results through
+//! [`Harness::record`], and ends with [`Harness::finish`] — which, when the
+//! bin was invoked with `--json PATH` (or carries a default artifact name,
+//! as `session` does), writes a schema-versioned `BENCH_*.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "qirana-bench/v1",
+//!   "bench": "session",
+//!   "machine": {"os": "…", "arch": "…", "family": "…", "cpus": N},
+//!   "params": {"support": "500", …},
+//!   "samples": [{"series": "…", "label": "…", "seconds": S, "value": V|null}, …],
+//!   "series": [{"name": "…", "count": N, "total_seconds": S, "mean_seconds": S,
+//!               "min_seconds": S, "max_seconds": S, "per_second": R}, …],
+//!   "metrics": {"counters": {…}, "gauges": {…}, "histograms": {…}}
+//! }
+//! ```
+//!
+//! The file is validated against [`validate_bench_json`] before it is
+//! written, so a schema drift fails the producing bench run itself, not
+//! just the CI check downstream. Timing reads the telemetry clock — the
+//! harness owns the only enabled sink, so bench time and stage spans share
+//! one time base.
+
+use crate::json::{parse, Json};
+use crate::Args;
+use qirana_core::telemetry::json_string;
+use qirana_core::Telemetry;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Version tag every artifact opens with; bump on layout changes.
+pub const SCHEMA: &str = "qirana-bench/v1";
+
+/// One recorded observation: a timed closure and/or a scalar result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Aggregation key (one per plotted curve / table column).
+    pub series: String,
+    /// Point label within the series (`h=12`, `Q1.1`, …).
+    pub label: String,
+    /// Wall-clock seconds, when the sample came from [`Harness::time`].
+    pub seconds: Option<f64>,
+    /// Scalar result (a price, a speedup), when one was recorded.
+    pub value: Option<f64>,
+}
+
+/// The shared bench pipeline; see the module docs.
+pub struct Harness {
+    bench: String,
+    telemetry: Telemetry,
+    params: Vec<(String, String)>,
+    samples: Vec<Sample>,
+    json_path: Option<PathBuf>,
+}
+
+impl Harness {
+    /// Builds a harness for bench `bench`, reading the `--json PATH` flag
+    /// (overriding `default_json`, which may name a default artifact such
+    /// as `BENCH_7.json`; pass `None` for print-only-by-default bins).
+    pub fn from_args(bench: &str, args: &Args, default_json: Option<&str>) -> Harness {
+        let path: String = args.get("json", default_json.unwrap_or_default().to_string());
+        Harness {
+            bench: bench.to_string(),
+            telemetry: Telemetry::enabled(),
+            params: Vec::new(),
+            samples: Vec::new(),
+            json_path: if path.is_empty() {
+                None
+            } else {
+                Some(PathBuf::from(path))
+            },
+        }
+    }
+
+    /// The harness's telemetry handle — thread it into `EngineOptions` /
+    /// broker configs so pipeline stage histograms land in the artifact.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// Records a run parameter (support size, scale factor, …).
+    pub fn param(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.params.push((key.to_string(), value.to_string()));
+    }
+
+    /// Times `f` in wall-clock seconds on the telemetry clock, records the
+    /// sample under `series`/`label`, and feeds the
+    /// `bench_<series>_ns` latency histogram.
+    pub fn time<T>(&mut self, series: &str, label: &str, f: impl FnOnce() -> T) -> (T, f64) {
+        let t0 = self.telemetry.now_ns().unwrap_or(0);
+        let out = f();
+        let t1 = self.telemetry.now_ns().unwrap_or(t0);
+        let ns = t1.saturating_sub(t0);
+        self.telemetry.observe(&format!("bench_{series}_ns"), ns);
+        // qirana-lint::allow(QL002): ns counts stay exact below 2^53 (~104 days)
+        let seconds = ns as f64 / 1e9;
+        self.samples.push(Sample {
+            series: series.to_string(),
+            label: label.to_string(),
+            seconds: Some(seconds),
+            value: None,
+        });
+        (out, seconds)
+    }
+
+    /// Like [`Harness::time`], but also stores a scalar result extracted
+    /// from the timed output (a price, a row count).
+    pub fn time_with_value<T>(
+        &mut self,
+        series: &str,
+        label: &str,
+        f: impl FnOnce() -> T,
+        value_of: impl FnOnce(&T) -> f64,
+    ) -> (T, f64) {
+        let (out, seconds) = self.time(series, label, f);
+        let v = value_of(&out);
+        if let Some(last) = self.samples.last_mut() {
+            last.value = Some(v);
+        }
+        (out, seconds)
+    }
+
+    /// Records an untimed scalar sample (a quoted price, a summary stat).
+    pub fn record(&mut self, series: &str, label: &str, value: f64) {
+        self.samples.push(Sample {
+            series: series.to_string(),
+            label: label.to_string(),
+            seconds: None,
+            value: Some(value),
+        });
+    }
+
+    /// Renders the artifact JSON (also used by tests; [`Harness::finish`]
+    /// writes it).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"schema\":{}", json_string(SCHEMA));
+        let _ = write!(out, ",\"bench\":{}", json_string(&self.bench));
+        let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+        let _ = write!(
+            out,
+            ",\"machine\":{{\"os\":{},\"arch\":{},\"family\":{},\"cpus\":{cpus}}}",
+            json_string(std::env::consts::OS),
+            json_string(std::env::consts::ARCH),
+            json_string(std::env::consts::FAMILY),
+        );
+        out.push_str(",\"params\":{");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+        }
+        out.push_str("},\"samples\":[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"series\":{},\"label\":{},\"seconds\":{},\"value\":{}}}",
+                json_string(&s.series),
+                json_string(&s.label),
+                json_f64(s.seconds),
+                json_f64(s.value),
+            );
+        }
+        out.push_str("],\"series\":[");
+        for (i, agg) in self.series_aggregates().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"count\":{},\"total_seconds\":{},\"mean_seconds\":{},\
+                 \"min_seconds\":{},\"max_seconds\":{},\"per_second\":{}}}",
+                json_string(&agg.name),
+                agg.count,
+                json_f64(Some(agg.total)),
+                json_f64(Some(agg.mean)),
+                json_f64(Some(agg.min)),
+                json_f64(Some(agg.max)),
+                json_f64(Some(agg.per_second)),
+            );
+        }
+        out.push_str("],\"metrics\":");
+        match self.telemetry.sink() {
+            Some(sink) => out.push_str(&sink.metrics_json()),
+            None => out.push_str("{\"counters\":{},\"gauges\":{},\"histograms\":{}}"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Validates and (when an artifact path is configured) writes the
+    /// artifact. Returns the path written, `None` for print-only runs.
+    pub fn finish(self) -> Result<Option<PathBuf>, String> {
+        let text = self.to_json();
+        validate_bench_json(&text)
+            .map_err(|e| format!("bench `{}` produced schema-invalid JSON: {e}", self.bench))?;
+        match self.json_path {
+            None => Ok(None),
+            Some(path) => {
+                // qirana-lint::allow(QL005): bench artifact emission, not market state
+                std::fs::write(&path, text.as_bytes())
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                Ok(Some(path))
+            }
+        }
+    }
+
+    fn series_aggregates(&self) -> Vec<SeriesAgg> {
+        let mut out: Vec<SeriesAgg> = Vec::new();
+        for s in &self.samples {
+            let Some(secs) = s.seconds else { continue };
+            if !out.iter().any(|a| a.name == s.series) {
+                out.push(SeriesAgg {
+                    name: s.series.clone(),
+                    count: 0,
+                    total: 0.0,
+                    mean: 0.0,
+                    min: f64::INFINITY,
+                    max: 0.0,
+                    per_second: 0.0,
+                });
+            }
+            let Some(agg) = out.iter_mut().find(|a| a.name == s.series) else {
+                continue;
+            };
+            agg.count += 1;
+            agg.total += secs;
+            agg.min = agg.min.min(secs);
+            agg.max = agg.max.max(secs);
+        }
+        for a in &mut out {
+            // qirana-lint::allow(QL002): sample counts, far below 2^53
+            let n = a.count as f64;
+            a.mean = if a.count > 0 { a.total / n } else { 0.0 };
+            a.per_second = if a.total > 0.0 { n / a.total } else { 0.0 };
+            if !a.min.is_finite() {
+                a.min = 0.0;
+            }
+        }
+        out
+    }
+}
+
+struct SeriesAgg {
+    name: String,
+    count: u64,
+    total: f64,
+    mean: f64,
+    min: f64,
+    max: f64,
+    per_second: f64,
+}
+
+/// Finite floats render as JSON numbers; absent/non-finite as `null`.
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// Checks a `BENCH_*.json` document against the `qirana-bench/v1` schema.
+/// Returns the first violation found.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let schema = field(&doc, "schema")?;
+    match schema.as_str() {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema is `{s}`, expected `{SCHEMA}`")),
+        None => return Err(format!("`schema` must be a string, got {}", schema.kind())),
+    }
+    if field(&doc, "bench")?.as_str().is_none_or(str::is_empty) {
+        return Err("`bench` must be a non-empty string".to_string());
+    }
+
+    let machine = field(&doc, "machine")?;
+    for key in ["os", "arch", "family"] {
+        if field(machine, key)?.as_str().is_none() {
+            return Err(format!("`machine.{key}` must be a string"));
+        }
+    }
+    if !is_count(field(machine, "cpus")?) {
+        return Err("`machine.cpus` must be a non-negative integer".to_string());
+    }
+
+    let params = field(&doc, "params")?;
+    for (k, v) in params.as_obj().ok_or("`params` must be an object")? {
+        if v.as_str().is_none() {
+            return Err(format!("`params.{k}` must be a string"));
+        }
+    }
+
+    let samples = field(&doc, "samples")?
+        .as_arr()
+        .ok_or("`samples` must be an array")?;
+    for (i, s) in samples.iter().enumerate() {
+        for key in ["series", "label"] {
+            if field(s, key)
+                .map_err(|e| format!("samples[{i}]: {e}"))?
+                .as_str()
+                .is_none()
+            {
+                return Err(format!("`samples[{i}].{key}` must be a string"));
+            }
+        }
+        for key in ["seconds", "value"] {
+            match s.get(key) {
+                Some(Json::Null) | Some(Json::Num(_)) => {}
+                Some(other) => {
+                    return Err(format!(
+                        "`samples[{i}].{key}` must be a number or null, got {}",
+                        other.kind()
+                    ))
+                }
+                None => return Err(format!("`samples[{i}].{key}` is missing")),
+            }
+        }
+    }
+
+    let series = field(&doc, "series")?
+        .as_arr()
+        .ok_or("`series` must be an array")?;
+    for (i, s) in series.iter().enumerate() {
+        if field(s, "name")
+            .map_err(|e| format!("series[{i}]: {e}"))?
+            .as_str()
+            .is_none()
+        {
+            return Err(format!("`series[{i}].name` must be a string"));
+        }
+        if !is_count(field(s, "count").map_err(|e| format!("series[{i}]: {e}"))?) {
+            return Err(format!(
+                "`series[{i}].count` must be a non-negative integer"
+            ));
+        }
+        for key in [
+            "total_seconds",
+            "mean_seconds",
+            "min_seconds",
+            "max_seconds",
+            "per_second",
+        ] {
+            match s.get(key) {
+                Some(Json::Num(_)) | Some(Json::Null) => {}
+                _ => return Err(format!("`series[{i}].{key}` must be a number")),
+            }
+        }
+    }
+
+    let metrics = field(&doc, "metrics")?;
+    for key in ["counters", "gauges"] {
+        let map = field(metrics, key)?;
+        for (k, v) in map
+            .as_obj()
+            .ok_or_else(|| format!("`metrics.{key}` must be an object"))?
+        {
+            if !is_count(v) {
+                return Err(format!(
+                    "`metrics.{key}.{k}` must be a non-negative integer"
+                ));
+            }
+        }
+    }
+    let hists = field(metrics, "histograms")?
+        .as_obj()
+        .ok_or("`metrics.histograms` must be an object")?;
+    for (name, h) in hists {
+        for key in ["count", "sum"] {
+            if !is_count(field(h, key).map_err(|e| format!("histogram `{name}`: {e}"))?) {
+                return Err(format!(
+                    "`metrics.histograms.{name}.{key}` must be a non-negative integer"
+                ));
+            }
+        }
+        let buckets = field(h, "buckets")
+            .map_err(|e| format!("histogram `{name}`: {e}"))?
+            .as_arr()
+            .ok_or_else(|| format!("`metrics.histograms.{name}.buckets` must be an array"))?;
+        for b in buckets {
+            let pair = b.as_arr().unwrap_or(&[]);
+            if pair.len() != 2 || !pair.iter().all(is_count) {
+                return Err(format!(
+                    "`metrics.histograms.{name}.buckets` entries must be [upper, count] pairs"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// A JSON number that is a non-negative integer (within f64 exactness).
+fn is_count(v: &Json) -> bool {
+    matches!(v.as_num(), Some(n) if n >= 0.0 && n.fract() == 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args() -> Args {
+        Args::from_parts(Vec::new(), Vec::new())
+    }
+
+    #[test]
+    fn empty_harness_emits_schema_valid_json() {
+        let h = Harness::from_args("unit", &args(), None);
+        let text = h.to_json();
+        validate_bench_json(&text).expect("empty artifact validates");
+        assert!(text.contains("\"schema\":\"qirana-bench/v1\""));
+    }
+
+    #[test]
+    fn samples_and_series_round_trip() {
+        let mut h = Harness::from_args("unit", &args(), None);
+        h.param("support", 500);
+        let (out, secs) = h.time("quote", "h=1", || 41 + 1);
+        assert_eq!(out, 42);
+        assert!(secs >= 0.0);
+        h.time("quote", "h=2", || ());
+        h.record("price", "h=1", 12.5);
+        let text = h.to_json();
+        validate_bench_json(&text).expect("artifact validates");
+        let doc = parse(&text).expect("parses");
+        assert_eq!(doc.get("samples").unwrap().as_arr().unwrap().len(), 3);
+        let series = doc.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 1, "only timed samples aggregate");
+        assert_eq!(series[0].get("count").unwrap().as_num(), Some(2.0));
+        // The timed series also landed in the metrics histograms.
+        assert!(text.contains("bench_quote_ns"));
+    }
+
+    #[test]
+    fn telemetry_stage_metrics_flow_into_artifact() {
+        let h = Harness::from_args("unit", &args(), None);
+        let tel = h.telemetry();
+        tel.counter_add("neighbors_evaluated_total", 7);
+        let text = h.to_json();
+        validate_bench_json(&text).expect("artifact validates");
+        assert!(text.contains("\"neighbors_evaluated_total\":7"));
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let h = Harness::from_args("unit", &args(), None);
+        let good = h.to_json();
+        let bad_schema = good.replace("qirana-bench/v1", "qirana-bench/v0");
+        assert!(validate_bench_json(&bad_schema).is_err());
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json("not json").is_err());
+        let no_machine = good.replace("\"machine\"", "\"mach\"");
+        assert!(validate_bench_json(&no_machine).is_err());
+    }
+}

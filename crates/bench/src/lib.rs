@@ -19,9 +19,13 @@
 //! applicable) `--sf F` / `--rows N` / `--nodes N` to scale up toward the
 //! paper's exact parameters.
 
+pub mod harness;
+pub mod json;
+
+pub use harness::{validate_bench_json, Harness, SCHEMA};
+
 use qirana_core::{PricingFunction, Qirana, QiranaConfig, SupportConfig, SupportType};
 use qirana_sqlengine::Database;
-use std::time::Instant;
 
 /// Minimal flag parser: positional args plus `--name value` pairs.
 pub struct Args {
@@ -30,6 +34,11 @@ pub struct Args {
 }
 
 impl Args {
+    /// Builds args from explicit values (tests, programmatic drivers).
+    pub fn from_parts(positional: Vec<String>, flags: Vec<(String, String)>) -> Args {
+        Args { positional, flags }
+    }
+
     /// Parses `std::env::args`.
     pub fn parse() -> Args {
         let mut positional = Vec::new();
@@ -95,15 +104,6 @@ pub fn subset_db(db: &Database, names: &[&str]) -> Database {
     out
 }
 
-/// Times a closure in seconds.
-pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    // qirana-lint::allow(QL004): measuring wall-clock time is this bench
-    let t0 = Instant::now(); // helper's entire purpose
-
-    let out = f();
-    (out, t0.elapsed().as_secs_f64())
-}
-
 /// The 8 function × support combinations of Figure 2 / Figure 6, labeled
 /// as in the paper's legends.
 pub fn combos() -> Vec<(PricingFunction, SupportType, String)> {
@@ -144,8 +144,11 @@ mod tests {
     }
 
     #[test]
-    fn timing_is_positive() {
-        let (_, t) = time(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+    fn harness_timing_is_positive() {
+        let mut h = Harness::from_args("unit", &Args::from_parts(Vec::new(), Vec::new()), None);
+        let (_, t) = h.time("sleep", "2ms", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
         assert!(t > 0.0);
     }
 }

@@ -24,6 +24,7 @@ use crate::pricing::{coverage_price, partition_price, PricingError, PricingFunct
 use crate::support::{
     generate_uniform_worlds, try_generate_support, SupportConfig, SupportError, SupportSet,
 };
+use crate::telemetry::Stage;
 use crate::weights::{assign_weights_with, uniform_weights, PricePoint, WeightError};
 use qirana_solver::SolverOptions;
 use qirana_sqlengine::update::{apply_update_sql, apply_writes, CellWrite};
@@ -326,19 +327,26 @@ impl Qirana {
                 // double per attempt, capped at 8×.
                 support_cfg.size = cfg.support.size << attempt.saturating_sub(1).min(3);
             }
-            let support = match build_support(&db, &support_cfg, cfg.support_type) {
-                Ok(s) => s,
-                Err(e) => {
-                    last_err = Some(e.into());
-                    continue;
+            let support = {
+                let span = cfg.engine.telemetry.span(Stage::SupportGen);
+                match build_support(&db, &support_cfg, cfg.support_type) {
+                    Ok(s) => {
+                        span.count("instances", s.len() as u64);
+                        s
+                    }
+                    Err(e) => {
+                        last_err = Some(e.into());
+                        continue;
+                    }
                 }
             };
+            let _solve = cfg.engine.telemetry.span(Stage::Solve);
             match assign_weights_with(
                 &mut db,
                 &support,
                 cfg.total_price,
                 &cfg.price_points,
-                cfg.engine,
+                &cfg.engine,
                 &cfg.solver,
             ) {
                 Ok(weights) => return Ok(Self::assemble(db, cfg, support, weights, false)),
@@ -402,7 +410,9 @@ impl Qirana {
         ledger_cfg: LedgerConfig,
     ) -> Result<Self, BrokerError> {
         let mut broker = Self::new(db, cfg)?;
-        broker.ledger = Some(Ledger::create(ledger_cfg)?);
+        let mut led = Ledger::create(ledger_cfg)?;
+        led.set_telemetry(broker.cfg.engine.telemetry.clone());
+        broker.ledger = Some(led);
         Ok(broker)
     }
 
@@ -427,13 +437,25 @@ impl Qirana {
         ledger_cfg: LedgerConfig,
     ) -> Result<Self, BrokerError> {
         let mut broker = Self::new(db, cfg)?;
-        let (led, recovered) = ledger::recover_dir(&ledger_cfg)?;
+        let tel = broker.cfg.engine.telemetry.clone();
+        let recovery = tel.span(Stage::Recovery);
+        let (mut led, recovered) = ledger::recover_dir(&ledger_cfg)?;
+        led.set_telemetry(tel.clone());
         if let Some(snap) = &recovered.snapshot {
+            recovery.count("snapshot_buyers", snap.buyers.len() as u64);
             broker.restore_snapshot(snap)?;
         }
-        for (seq, ev) in &recovered.events {
-            broker.replay_event(*seq, ev)?;
+        {
+            let replay = tel.span(Stage::Replay);
+            replay.count("events", recovered.events.len() as u64);
+            for (seq, ev) in &recovered.events {
+                broker.replay_event(*seq, ev)?;
+            }
         }
+        tel.counter_add(
+            "recovery_events_replayed_total",
+            recovered.events.len() as u64,
+        );
         broker.ledger = Some(led);
         Ok(broker)
     }
@@ -612,12 +634,16 @@ impl Qirana {
 
     /// [`Qirana::quote_bundle`], with the degradation flag attached.
     pub fn quote_bundle_ex(&mut self, sqls: &[&str]) -> Result<Quote, BrokerError> {
-        let prepared: Vec<Prepared> = sqls
-            .iter()
-            .map(|s| prepare_query(&self.db, s))
-            .collect::<Result<_, _>>()?;
+        let prepared: Vec<Prepared> = {
+            let span = self.cfg.engine.telemetry.span(Stage::Prepare);
+            span.count("queries", sqls.len() as u64);
+            sqls.iter()
+                .map(|s| prepare_query(&self.db, s))
+                .collect::<Result<_, _>>()?
+        };
         let bundle: Vec<&Prepared> = prepared.iter().collect();
         let price = self.price_bundle(&bundle, None)?;
+        self.publish_gauges();
         Ok(Quote {
             price,
             degraded: self.degraded,
@@ -645,11 +671,11 @@ impl Qirana {
                     &mut self.db,
                     bundle,
                     &self.support,
-                    self.cfg.engine,
+                    &self.cfg.engine,
                     &mut self.cache,
                 )?
             } else {
-                bundle_partition(&mut self.db, bundle, &self.support, self.cfg.engine)?
+                bundle_partition(&mut self.db, bundle, &self.support, &self.cfg.engine)?
             };
             Ok(
                 partition_price(self.cfg.function, total, &self.weights, &partition)?
@@ -664,11 +690,11 @@ impl Qirana {
                     &mut self.db,
                     bundle,
                     &self.support,
-                    self.cfg.engine,
+                    &self.cfg.engine,
                     &mut self.cache,
                 )?
             } else {
-                bundle_disagreements(&mut self.db, bundle, &self.support, self.cfg.engine, skip)?
+                bundle_disagreements(&mut self.db, bundle, &self.support, &self.cfg.engine, skip)?
             };
             Ok(coverage_price(
                 self.cfg.function,
@@ -699,7 +725,10 @@ impl Qirana {
     /// is the recovery replay path itself.
     fn buy_inner(&mut self, buyer: &str, sql: &str, log: bool) -> Result<Purchase, BrokerError> {
         fault::check(fault::BROKER_BUY).map_err(BrokerError::Injected)?;
-        let prepared = Arc::new(prepare_query(&self.db, sql)?);
+        let prepared = {
+            let _span = self.cfg.engine.telemetry.span(Stage::Prepare);
+            Arc::new(prepare_query(&self.db, sql)?)
+        };
         let s = self.support.len();
         let use_cache = self.cfg.engine.cache.enabled;
 
@@ -731,11 +760,11 @@ impl Qirana {
                     &mut self.db,
                     &bundle,
                     &self.support,
-                    self.cfg.engine,
+                    &self.cfg.engine,
                     &mut self.cache,
                 )?
             } else {
-                bundle_partition(&mut self.db, &bundle, &self.support, self.cfg.engine)?
+                bundle_partition(&mut self.db, &bundle, &self.support, &self.cfg.engine)?
             };
             let total_now = partition_price(
                 self.cfg.function,
@@ -782,7 +811,7 @@ impl Qirana {
                     &mut self.db,
                     &prepared,
                     &self.support,
-                    self.cfg.engine,
+                    &self.cfg.engine,
                     &mut self.cache,
                 )?;
                 if full.len() != s {
@@ -797,7 +826,7 @@ impl Qirana {
                     &mut self.db,
                     &[&prepared],
                     &self.support,
-                    self.cfg.engine,
+                    &self.cfg.engine,
                     Some(&charged),
                 )?
             };
@@ -838,6 +867,7 @@ impl Qirana {
         // Phase 2: append-then-apply. The event must be durable before the
         // account mutates, so a crash can never leave a charged buyer the
         // log knows nothing about. On append failure nothing was applied.
+        let commit = self.cfg.engine.telemetry.span(Stage::BrokerCommit);
         if log {
             if let Some(led) = self.ledger.as_mut() {
                 led.append(&LedgerEvent::PurchaseCommitted {
@@ -874,6 +904,9 @@ impl Qirana {
         if log {
             self.maybe_snapshot()?;
         }
+        drop(commit);
+        self.cfg.engine.telemetry.counter_add("purchases_total", 1);
+        self.publish_gauges();
         Ok(purchase)
     }
 
@@ -917,7 +950,13 @@ impl Qirana {
     /// database, and history-aware accounting still never re-charges an
     /// instance a buyer has paid for.
     pub fn commit_update(&mut self, sql: &str) -> Result<usize, BrokerError> {
+        let span = self
+            .cfg
+            .engine
+            .telemetry
+            .span_with(Stage::BrokerCommit, "update".into());
         let undo = apply_update_sql(&mut self.db, sql)?;
+        span.count("cells_changed", undo.len() as u64);
         let changed = undo.len();
         if changed == 0 {
             return Ok(0);
@@ -936,6 +975,7 @@ impl Qirana {
         }
         self.after_commit();
         self.maybe_snapshot()?;
+        self.publish_gauges();
         Ok(changed)
     }
 
@@ -947,6 +987,12 @@ impl Qirana {
         if writes.is_empty() {
             return Ok(());
         }
+        let span = self
+            .cfg
+            .engine
+            .telemetry
+            .span_with(Stage::BrokerCommit, "writes".into());
+        span.count("cells_changed", writes.len() as u64);
         if let Some(led) = self.ledger.as_mut() {
             led.append(&LedgerEvent::WritesCommitted {
                 writes: writes.to_vec(),
@@ -955,6 +1001,7 @@ impl Qirana {
         apply_writes(&mut self.db, writes);
         self.after_commit();
         self.maybe_snapshot()?;
+        self.publish_gauges();
         Ok(())
     }
 
@@ -1003,6 +1050,36 @@ impl Qirana {
             generation: self.cache.generation(),
             tables: self.db.tables().iter().map(|t| t.rows.clone()).collect(),
             buyers,
+        }
+    }
+
+    /// Publishes cumulative cache counters and fault-injection trip counts
+    /// into the telemetry registry as gauges (they are monotone snapshots
+    /// of broker-owned state, not deltas, so gauges — set, never added —
+    /// keep re-publication idempotent). No-op when telemetry is disabled.
+    fn publish_gauges(&self) {
+        let tel = &self.cfg.engine.telemetry;
+        if !tel.is_enabled() {
+            return;
+        }
+        let s = self.cache.stats();
+        tel.gauge_set("cache_hits", s.hits);
+        tel.gauge_set("cache_misses", s.misses);
+        tel.gauge_set("cache_evictions", s.evictions);
+        tel.gauge_set("cache_invalidations", s.invalidations);
+        tel.gauge_set("cache_entries", self.cache.len() as u64);
+        for fp in [
+            fault::SUPPORT_GENERATE,
+            fault::WEIGHTS_ASSIGN,
+            fault::ENGINE_EXECUTE,
+            fault::BROKER_BUY,
+            fault::LEDGER_APPEND,
+            fault::LEDGER_SNAPSHOT,
+        ] {
+            let fired = fault::fired_count(fp);
+            if fired > 0 {
+                tel.gauge_set(&format!("fault_fired_{}", fp.replace("::", "_")), fired);
+            }
         }
     }
 

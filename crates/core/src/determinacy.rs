@@ -55,14 +55,14 @@ pub fn determines_prepared(
     q2: &Prepared,
 ) -> Result<Determinacy, EngineError> {
     let opts = EngineOptions::default();
-    let part1 = bundle_partition(db, &[q1], support, opts)?;
-    let part2 = bundle_partition(db, &[q2], support, opts)?;
+    let part1 = bundle_partition(db, &[q1], support, &opts)?;
+    let part2 = bundle_partition(db, &[q2], support, &opts)?;
 
     // Include agreement-with-D: an instance agreeing with D on Q1 must
     // agree on Q2 too, which partitions alone don't capture (the D-block
     // matters). Disagreement bits give exactly that.
-    let d1 = bundle_disagreements(db, &[q1], support, EngineOptions::default(), None)?;
-    let d2 = bundle_disagreements(db, &[q2], support, EngineOptions::default(), None)?;
+    let d1 = bundle_disagreements(db, &[q1], support, &opts, None)?;
+    let d2 = bundle_disagreements(db, &[q2], support, &opts, None)?;
 
     // Q1-agreeing instances (the D-block) must also be Q2-agreeing.
     for i in 0..support.len() {
@@ -248,9 +248,9 @@ mod tests {
                 Determinacy::Determines
             );
             let d1 =
-                bundle_disagreements(&mut db, &[&p1], &s, EngineOptions::default(), None).unwrap();
+                bundle_disagreements(&mut db, &[&p1], &s, &EngineOptions::default(), None).unwrap();
             let d2 =
-                bundle_disagreements(&mut db, &[&p2], &s, EngineOptions::default(), None).unwrap();
+                bundle_disagreements(&mut db, &[&p2], &s, &EngineOptions::default(), None).unwrap();
             assert!(weighted_coverage(&w, &d2) <= weighted_coverage(&w, &d1));
         }
     }

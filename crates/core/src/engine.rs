@@ -18,12 +18,16 @@ use crate::normal_form::{Prepared, Shape};
 use crate::optimized;
 use crate::parallel::{self, Parallelism};
 use crate::support::SupportSet;
+use crate::telemetry::{Stage, Telemetry};
 use qirana_sqlengine::{Database, EngineError, ExecBudget, Fingerprint, QueryOutput};
 use std::sync::Arc;
 
 /// Engine knobs mirroring the paper's evaluated configurations, plus the
 /// execution budget every pricing query runs under.
-#[derive(Debug, Clone, Copy)]
+///
+/// Carries the [`Telemetry`] handle, so the struct is `Clone` (an `Arc`
+/// bump) but no longer `Copy`; engine entry points take it by reference.
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Use the §4.1 static/dynamic disagreement checks instead of
     /// re-executing the query per support instance.
@@ -51,6 +55,11 @@ pub struct EngineOptions {
     /// accumulated bundle (O(H·S)). Prices are bitwise identical with the
     /// cache on or off; see [`crate::cache`].
     pub cache: CacheConfig,
+    /// Observability hooks (spans + metrics). Disabled by default; the
+    /// disabled path is a single branch on a null sink, and prices are
+    /// bitwise identical with telemetry on or off (see
+    /// [`crate::telemetry`]).
+    pub telemetry: Telemetry,
 }
 
 impl Default for EngineOptions {
@@ -62,6 +71,7 @@ impl Default for EngineOptions {
             budget: ExecBudget::UNLIMITED,
             parallelism: Parallelism::Sequential,
             cache: CacheConfig::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -103,6 +113,25 @@ impl EngineOptions {
         self.cache = cache;
         self
     }
+
+    /// Replaces the telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+/// Forwards an engine result, counting budget trips in the telemetry
+/// registry on the way through.
+fn meter_trips<T>(t: &Telemetry, r: Result<T, EngineError>) -> Result<T, EngineError> {
+    if t.is_enabled() {
+        if let Err(e) = &r {
+            if e.is_budget_exceeded() {
+                t.counter_add("budget_trips_total", 1);
+            }
+        }
+    }
+    r
 }
 
 /// Bag fingerprint of an output: display order ignored (see
@@ -136,7 +165,7 @@ pub fn bundle_disagreements(
     db: &mut Database,
     bundle: &[&Prepared],
     support: &SupportSet,
-    opts: EngineOptions,
+    opts: &EngineOptions,
     skip: Option<&[bool]>,
 ) -> Result<Vec<bool>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
@@ -145,6 +174,7 @@ pub fn bundle_disagreements(
     if let Some(s) = skip {
         assert_eq!(s.len(), n, "skip bitmap must cover the support set");
     }
+    let tel = &opts.telemetry;
     let mut disagree = vec![false; n];
     // active[i]: still needs evaluation for the remaining queries.
     let mut active: Vec<bool> = match skip {
@@ -153,53 +183,90 @@ pub fn bundle_disagreements(
     };
 
     for q in bundle {
-        let bits = match support {
-            SupportSet::Uniform(worlds) => {
-                let workers = opts.parallelism.workers(worlds.len());
-                if workers > 1 {
-                    parallel::disagreements_uniform(db, q, worlds, &active, opts.budget, workers)?
-                } else {
-                    naive::disagreements_uniform(db, q, worlds, &active, opts.budget)?
+        let span = if tel.is_enabled() {
+            let s = tel.span_with(Stage::Disagreement, "coverage".into());
+            // Deterministic per-query work measure: instances still active
+            // going into this member — identical sequential vs parallel.
+            s.count("neighbors", active.iter().filter(|&&a| a).count() as u64);
+            s
+        } else {
+            tel.span(Stage::Disagreement)
+        };
+        let bits = meter_trips(
+            tel,
+            match support {
+                SupportSet::Uniform(worlds) => {
+                    let workers = opts.parallelism.workers(worlds.len());
+                    if workers > 1 {
+                        parallel::disagreements_uniform(
+                            db,
+                            q,
+                            worlds,
+                            &active,
+                            opts.budget,
+                            workers,
+                            tel,
+                        )
+                    } else {
+                        naive::disagreements_uniform(db, q, worlds, &active, opts.budget)
+                    }
                 }
-            }
-            SupportSet::Neighborhood(updates) => {
-                let workers = opts.parallelism.workers(updates.len());
-                if opts.optimize {
-                    match &q.shape {
-                        Shape::Spj(s) => {
-                            optimized::spj_disagreements(db, s, updates, &active, opts)?
+                SupportSet::Neighborhood(updates) => {
+                    let workers = opts.parallelism.workers(updates.len());
+                    if opts.optimize {
+                        match &q.shape {
+                            Shape::Spj(s) => {
+                                optimized::spj_disagreements(db, s, updates, &active, opts)
+                            }
+                            Shape::Agg(s) => {
+                                optimized::agg_disagreements(db, q, s, updates, &active, opts)
+                            }
+                            Shape::Opaque { .. } if workers > 1 => parallel::disagreements_nbrs(
+                                db,
+                                q,
+                                updates,
+                                &active,
+                                opts.budget,
+                                workers,
+                                tel,
+                            ),
+                            Shape::Opaque { .. } => {
+                                naive::disagreements_nbrs(db, q, updates, &active, opts.budget)
+                            }
                         }
-                        Shape::Agg(s) => {
-                            optimized::agg_disagreements(db, q, s, updates, &active, opts)?
-                        }
-                        Shape::Opaque { .. } if workers > 1 => parallel::disagreements_nbrs(
+                    } else if opts.reduce && matches!(q.shape, Shape::Spj(_)) {
+                        naive::reduced_disagreements(db, q, updates, &active, opts.budget)
+                    } else if workers > 1 {
+                        parallel::disagreements_nbrs(
                             db,
                             q,
                             updates,
                             &active,
                             opts.budget,
                             workers,
-                        )?,
-                        Shape::Opaque { .. } => {
-                            naive::disagreements_nbrs(db, q, updates, &active, opts.budget)?
-                        }
+                            tel,
+                        )
+                    } else {
+                        naive::disagreements_nbrs(db, q, updates, &active, opts.budget)
                     }
-                } else if opts.reduce && matches!(q.shape, Shape::Spj(_)) {
-                    naive::reduced_disagreements(db, q, updates, &active, opts.budget)?
-                } else if workers > 1 {
-                    parallel::disagreements_nbrs(db, q, updates, &active, opts.budget, workers)?
-                } else {
-                    naive::disagreements_nbrs(db, q, updates, &active, opts.budget)?
                 }
-            }
-        };
+            },
+        )?;
+        let mut found = 0u64;
         for i in 0..n {
             if bits[i] {
                 disagree[i] = true;
                 // A later bundle member cannot change the verdict.
                 active[i] = false;
+                found += 1;
             }
         }
+        if tel.is_enabled() {
+            span.count("disagreements", found);
+            tel.counter_add("neighbors_evaluated_total", n as u64);
+            tel.counter_add("disagreements_found_total", found);
+        }
+        drop(span);
     }
     Ok(disagree)
 }
@@ -215,23 +282,38 @@ pub fn bundle_partition(
     db: &mut Database,
     bundle: &[&Prepared],
     support: &SupportSet,
-    opts: EngineOptions,
+    opts: &EngineOptions,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
         .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
-    let workers = opts.parallelism.workers(support.len());
-    match support {
-        SupportSet::Neighborhood(updates) if workers > 1 => {
-            parallel::partition_nbrs(db, bundle, updates, opts.budget, workers)
-        }
-        SupportSet::Neighborhood(updates) => {
-            naive::partition_nbrs(db, bundle, updates, opts.budget)
-        }
-        SupportSet::Uniform(worlds) if workers > 1 => {
-            parallel::partition_uniform(bundle, worlds, opts.budget, workers)
-        }
-        SupportSet::Uniform(worlds) => naive::partition_uniform(db, bundle, worlds, opts.budget),
-    }
+    let tel = &opts.telemetry;
+    let n = support.len();
+    let _span = if tel.is_enabled() {
+        let s = tel.span_with(Stage::Disagreement, "entropy".into());
+        s.count("neighbors", n as u64);
+        tel.counter_add("neighbors_evaluated_total", n as u64);
+        s
+    } else {
+        tel.span(Stage::Disagreement)
+    };
+    let workers = opts.parallelism.workers(n);
+    meter_trips(
+        tel,
+        match support {
+            SupportSet::Neighborhood(updates) if workers > 1 => {
+                parallel::partition_nbrs(db, bundle, updates, opts.budget, workers, tel)
+            }
+            SupportSet::Neighborhood(updates) => {
+                naive::partition_nbrs(db, bundle, updates, opts.budget)
+            }
+            SupportSet::Uniform(worlds) if workers > 1 => {
+                parallel::partition_uniform(bundle, worlds, opts.budget, workers, tel)
+            }
+            SupportSet::Uniform(worlds) => {
+                naive::partition_uniform(db, bundle, worlds, opts.budget)
+            }
+        },
+    )
 }
 
 /// A single query's full (unmasked) disagreement bitmap, memoized in
@@ -247,11 +329,17 @@ pub fn query_disagreements_cached(
     db: &mut Database,
     q: &Prepared,
     support: &SupportSet,
-    opts: EngineOptions,
+    opts: &EngineOptions,
     cache: &mut PricingCache,
 ) -> Result<Arc<Vec<bool>>, EngineError> {
-    if let Some(bits) = cache.get_bits(q.plan_fp) {
-        return Ok(bits);
+    let tel = &opts.telemetry;
+    {
+        let lookup = tel.span_with(Stage::CacheLookup, String::new());
+        if let Some(bits) = cache.get_bits(q.plan_fp) {
+            lookup.count("hit", 1);
+            return Ok(bits);
+        }
+        lookup.count("miss", 1);
     }
     let bits = Arc::new(bundle_disagreements(db, &[q], support, opts, None)?);
     cache.insert_bits(q.plan_fp, Arc::clone(&bits));
@@ -268,7 +356,7 @@ pub fn bundle_disagreements_cached(
     db: &mut Database,
     bundle: &[&Prepared],
     support: &SupportSet,
-    opts: EngineOptions,
+    opts: &EngineOptions,
     cache: &mut PricingCache,
 ) -> Result<Vec<bool>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
@@ -290,21 +378,34 @@ pub fn query_partition(
     db: &mut Database,
     q: &Prepared,
     support: &SupportSet,
-    opts: EngineOptions,
+    opts: &EngineOptions,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
         .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
-    let workers = opts.parallelism.workers(support.len());
-    match support {
-        SupportSet::Neighborhood(updates) if workers > 1 => {
-            parallel::query_fps_nbrs(db, q, updates, opts.budget, workers)
-        }
-        SupportSet::Neighborhood(updates) => naive::query_fps_nbrs(db, q, updates, opts.budget),
-        SupportSet::Uniform(worlds) if workers > 1 => {
-            parallel::query_fps_uniform(q, worlds, opts.budget, workers)
-        }
-        SupportSet::Uniform(worlds) => naive::query_fps_uniform(q, worlds, opts.budget),
-    }
+    let tel = &opts.telemetry;
+    let n = support.len();
+    let _span = if tel.is_enabled() {
+        let s = tel.span_with(Stage::Disagreement, "entropy".into());
+        s.count("neighbors", n as u64);
+        tel.counter_add("neighbors_evaluated_total", n as u64);
+        s
+    } else {
+        tel.span(Stage::Disagreement)
+    };
+    let workers = opts.parallelism.workers(n);
+    meter_trips(
+        tel,
+        match support {
+            SupportSet::Neighborhood(updates) if workers > 1 => {
+                parallel::query_fps_nbrs(db, q, updates, opts.budget, workers, tel)
+            }
+            SupportSet::Neighborhood(updates) => naive::query_fps_nbrs(db, q, updates, opts.budget),
+            SupportSet::Uniform(worlds) if workers > 1 => {
+                parallel::query_fps_uniform(q, worlds, opts.budget, workers, tel)
+            }
+            SupportSet::Uniform(worlds) => naive::query_fps_uniform(q, worlds, opts.budget),
+        },
+    )
 }
 
 /// [`query_partition`], memoized in `cache` under the query's plan
@@ -313,11 +414,17 @@ pub fn query_fingerprints_cached(
     db: &mut Database,
     q: &Prepared,
     support: &SupportSet,
-    opts: EngineOptions,
+    opts: &EngineOptions,
     cache: &mut PricingCache,
 ) -> Result<Arc<Vec<Fingerprint>>, EngineError> {
-    if let Some(fps) = cache.get_blocks(q.plan_fp) {
-        return Ok(fps);
+    let tel = &opts.telemetry;
+    {
+        let lookup = tel.span_with(Stage::CacheLookup, String::new());
+        if let Some(fps) = cache.get_blocks(q.plan_fp) {
+            lookup.count("hit", 1);
+            return Ok(fps);
+        }
+        lookup.count("miss", 1);
     }
     let fps = Arc::new(query_partition(db, q, support, opts)?);
     cache.insert_blocks(q.plan_fp, Arc::clone(&fps));
@@ -336,7 +443,7 @@ pub fn bundle_partition_cached(
     db: &mut Database,
     bundle: &[&Prepared],
     support: &SupportSet,
-    opts: EngineOptions,
+    opts: &EngineOptions,
     cache: &mut PricingCache,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
@@ -413,12 +520,12 @@ mod tests {
             &mut database,
             &bundle,
             &support,
-            EngineOptions::naive(),
+            &EngineOptions::naive(),
             None,
         )
         .unwrap();
         for opts in [EngineOptions::default(), EngineOptions::no_batching()] {
-            let got = bundle_disagreements(&mut database, &bundle, &support, opts, None).unwrap();
+            let got = bundle_disagreements(&mut database, &bundle, &support, &opts, None).unwrap();
             assert_eq!(got, naive, "mismatch under {opts:?}");
         }
     }
@@ -439,11 +546,11 @@ mod tests {
             &mut database,
             &[&q],
             &support,
-            EngineOptions::default(),
+            &EngineOptions::default(),
             None,
         )
         .unwrap();
-        bundle_partition(&mut database, &[&q], &support, EngineOptions::default()).unwrap();
+        bundle_partition(&mut database, &[&q], &support, &EngineOptions::default()).unwrap();
         assert_eq!(database.table("User").unwrap().rows, before);
     }
 
@@ -463,7 +570,7 @@ mod tests {
             &mut database,
             &[&q],
             &support,
-            EngineOptions::default(),
+            &EngineOptions::default(),
             Some(&skip),
         )
         .unwrap();
@@ -485,7 +592,7 @@ mod tests {
             &mut database,
             &[&q],
             &support,
-            EngineOptions::default(),
+            &EngineOptions::default(),
             None,
         )
         .unwrap();
@@ -521,7 +628,7 @@ mod tests {
             &mut database,
             &[&q],
             &support,
-            EngineOptions::default(),
+            &EngineOptions::default(),
             None,
         )
         .unwrap();
@@ -560,18 +667,18 @@ mod tests {
         let opts = EngineOptions::default();
         let mut cache = PricingCache::new(64);
 
-        let bits = bundle_disagreements(&mut database, &bundle, &support, opts, None).unwrap();
+        let bits = bundle_disagreements(&mut database, &bundle, &support, &opts, None).unwrap();
         // Cold (all misses) and warm (all hits) must both agree bitwise.
         for round in 0..2 {
             let cached =
-                bundle_disagreements_cached(&mut database, &bundle, &support, opts, &mut cache)
+                bundle_disagreements_cached(&mut database, &bundle, &support, &opts, &mut cache)
                     .unwrap();
             assert_eq!(cached, bits, "round {round}");
         }
-        let part = bundle_partition(&mut database, &bundle, &support, opts).unwrap();
+        let part = bundle_partition(&mut database, &bundle, &support, &opts).unwrap();
         for round in 0..2 {
             let cached =
-                bundle_partition_cached(&mut database, &bundle, &support, opts, &mut cache)
+                bundle_partition_cached(&mut database, &bundle, &support, &opts, &mut cache)
                     .unwrap();
             assert_eq!(cached, part, "round {round}");
         }

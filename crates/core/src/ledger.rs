@@ -50,6 +50,7 @@
 //! dying inside `write(2)`.
 
 use crate::fault;
+use crate::telemetry::{Stage, Telemetry};
 use qirana_sqlengine::{CellWrite, Value};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -792,6 +793,7 @@ pub struct Ledger {
     records_since_snapshot: u64,
     appends_since_sync: u32,
     poisoned: bool,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for Ledger {
@@ -840,7 +842,16 @@ impl Ledger {
             records_since_snapshot: 0,
             appends_since_sync: 0,
             poisoned: false,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: append/fsync latency histograms and
+    /// snapshot/compaction counters flow into its sink. The broker wires
+    /// this from its engine options on [`create`](Ledger::create) and
+    /// recovery; a detached ledger stays silent.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The ledger's configuration.
@@ -881,8 +892,10 @@ impl Ledger {
             return Err(LedgerError::Poisoned);
         }
         fault::check(fault::LEDGER_APPEND).map_err(LedgerError::Injected)?;
+        let span = self.telemetry.span(Stage::LedgerAppend);
         let seq = self.next_seq;
         let rec = encode_record(seq, ev)?;
+        span.count("bytes", rec.len() as u64);
         if let Some(n) = fault::ledger_write_quota(rec.len()) {
             if n < rec.len() {
                 // Simulated crash mid-write: the first `n` bytes reach
@@ -906,6 +919,7 @@ impl Ledger {
         if !matches!(ev, LedgerEvent::SnapshotTaken { .. }) {
             self.records_since_snapshot += 1;
         }
+        self.telemetry.counter_add("ledger_appends_total", 1);
         Ok(seq)
     }
 
@@ -931,9 +945,15 @@ impl Ledger {
 
     /// Forces an `fdatasync` of the log now, regardless of policy.
     pub fn sync(&mut self) -> Result<(), LedgerError> {
-        self.log
+        let _span = self.telemetry.span(Stage::LedgerFsync);
+        let out = self
+            .log
             .sync_data()
-            .map_err(|e| io_at(self.cfg.log_path(), e))
+            .map_err(|e| io_at(self.cfg.log_path(), e));
+        if out.is_ok() {
+            self.telemetry.counter_add("ledger_fsyncs_total", 1);
+        }
+        out
     }
 
     /// Writes `snap` atomically, appends the `SnapshotTaken` marker, and
@@ -985,6 +1005,8 @@ impl Ledger {
             .map_err(|e| io_at(path, e))?;
         self.records_since_snapshot = 0;
         self.appends_since_sync = 0;
+        self.telemetry.counter_add("ledger_snapshots_total", 1);
+        self.telemetry.counter_add("ledger_compactions_total", 1);
         Ok(())
     }
 }
@@ -1105,6 +1127,7 @@ pub fn recover_dir(cfg: &LedgerConfig) -> Result<(Ledger, Recovered), LedgerErro
             records_since_snapshot,
             appends_since_sync: 0,
             poisoned: false,
+            telemetry: Telemetry::disabled(),
         },
         Recovered {
             snapshot,

@@ -72,6 +72,7 @@ pub mod optimized;
 pub mod parallel;
 pub mod pricing;
 pub mod support;
+pub mod telemetry;
 pub mod update;
 pub mod weights;
 
@@ -90,5 +91,6 @@ pub use support::{
     generate_support, generate_uniform_worlds, try_generate_support, SupportConfig, SupportError,
     SupportSet,
 };
+pub use telemetry::{Clock, MonotonicClock, Stage, Telemetry, TelemetrySink, TestClock};
 pub use update::SupportUpdate;
 pub use weights::{assign_weights, assign_weights_with, uniform_weights, PricePoint, WeightError};

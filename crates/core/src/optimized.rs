@@ -153,7 +153,7 @@ pub fn spj_disagreements(
     shape: &SpjShape,
     updates: &[SupportUpdate],
     active: &[bool],
-    opts: EngineOptions,
+    opts: &EngineOptions,
 ) -> Result<Vec<bool>> {
     let n = updates.len();
     let mut bits = vec![false; n];
@@ -280,6 +280,7 @@ pub fn spj_disagreements(
                             Ok((*i, old_fp != new_fp))
                         }
                     },
+                    &opts.telemetry,
                 )?;
                 for (i, disagrees) in flags {
                     if disagrees {
@@ -328,7 +329,7 @@ pub fn agg_disagreements(
     shape: &AggShape,
     updates: &[SupportUpdate],
     active: &[bool],
-    opts: EngineOptions,
+    opts: &EngineOptions,
 ) -> Result<Vec<bool>> {
     let n = updates.len();
     let mut bits = vec![false; n];
@@ -485,6 +486,7 @@ pub fn agg_disagreements(
                         let rows: Vec<Row> = with_upid(rows, *i).collect();
                         run_probe(shared, rel, &rows, opts.budget)
                     },
+                    &opts.telemetry,
                 )?;
                 for out in outs {
                     apply_addition_analysis(shape, &group_cache, out, &mut bits);
@@ -524,6 +526,7 @@ pub fn agg_disagreements(
                     apply_writes(local, &undo);
                     Ok((i, fp? != base))
                 },
+                &opts.telemetry,
             )?;
             for (i, bit) in flags {
                 bits[i] = bit;

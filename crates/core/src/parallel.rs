@@ -33,6 +33,7 @@
 use crate::engine::bag_fp;
 use crate::naive::bundle_refs;
 use crate::normal_form::Prepared;
+use crate::telemetry::Telemetry;
 use crate::update::SupportUpdate;
 use qirana_sqlengine::update::apply_writes;
 use qirana_sqlengine::{execute, Database, EngineError, ExecBudget, ExecContext, Fingerprint};
@@ -89,6 +90,7 @@ pub(crate) fn run_indexed<C, T, M, F>(
     workers: usize,
     make_ctx: M,
     f: F,
+    tel: &Telemetry,
 ) -> Result<Vec<T>, EngineError>
 where
     C: Send,
@@ -99,6 +101,10 @@ where
     debug_assert!(workers > 1, "sequential callers skip the pool");
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
+    if tel.is_enabled() {
+        tel.counter_add("parallel_fanouts_total", 1);
+        tel.gauge_set("parallel_workers", workers as u64);
+    }
 
     let per_worker: Vec<WorkerResult<T>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -107,11 +113,13 @@ where
                     let mut ctx = make_ctx();
                     let mut out: Vec<(usize, T)> = Vec::with_capacity(n / workers + CHUNK);
                     let mut err: Option<(usize, EngineError)> = None;
+                    let mut chunks = 0u64;
                     'steal: while !stop.load(Ordering::Relaxed) {
                         let start = next.fetch_add(CHUNK, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
+                        chunks += 1;
                         for i in start..(start + CHUNK).min(n) {
                             match f(&mut ctx, i) {
                                 Ok(v) => out.push((i, v)),
@@ -122,6 +130,13 @@ where
                                 }
                             }
                         }
+                    }
+                    if tel.is_enabled() {
+                        // Error-free pools claim exactly ceil(n / CHUNK)
+                        // chunks in total; the per-worker split is the
+                        // load-balance picture.
+                        tel.counter_add("parallel_chunks_claimed_total", chunks);
+                        tel.observe("parallel_worker_chunks", chunks);
                     }
                     (out, err)
                 })
@@ -175,6 +190,7 @@ pub fn disagreements_nbrs(
     active: &[bool],
     budget: ExecBudget,
     workers: usize,
+    tel: &Telemetry,
 ) -> Result<Vec<bool>, EngineError> {
     let refs = q.referenced_tables();
     let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
@@ -191,6 +207,7 @@ pub fn disagreements_nbrs(
             apply_writes(local, &undo);
             Ok(fp? != base)
         },
+        tel,
     )
 }
 
@@ -203,6 +220,7 @@ pub fn disagreements_uniform(
     active: &[bool],
     budget: ExecBudget,
     workers: usize,
+    tel: &Telemetry,
 ) -> Result<Vec<bool>, EngineError> {
     let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
     run_indexed(
@@ -219,6 +237,7 @@ pub fn disagreements_uniform(
             )?);
             Ok(fp != base)
         },
+        tel,
     )
 }
 
@@ -231,6 +250,7 @@ pub fn partition_nbrs(
     updates: &[SupportUpdate],
     budget: ExecBudget,
     workers: usize,
+    tel: &Telemetry,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     let refs = bundle_refs(bundle);
     let base = if updates.iter().any(|u| !refs.contains(&u.table())) {
@@ -253,6 +273,7 @@ pub fn partition_nbrs(
             apply_writes(local, &undo);
             fps
         },
+        tel,
     )
 }
 
@@ -265,6 +286,7 @@ pub fn query_fps_nbrs(
     updates: &[SupportUpdate],
     budget: ExecBudget,
     workers: usize,
+    tel: &Telemetry,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     let refs = q.referenced_tables();
     let base = bag_fp(execute(&q.plan, &ExecContext::new(db).with_budget(budget))?);
@@ -281,6 +303,7 @@ pub fn query_fps_nbrs(
             apply_writes(local, &undo);
             fp
         },
+        tel,
     )
 }
 
@@ -290,6 +313,7 @@ pub fn query_fps_uniform(
     worlds: &[Database],
     budget: ExecBudget,
     workers: usize,
+    tel: &Telemetry,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     run_indexed(
         worlds.len(),
@@ -301,6 +325,7 @@ pub fn query_fps_uniform(
                 &ExecContext::new(&worlds[i]).with_budget(budget),
             )?))
         },
+        tel,
     )
 }
 
@@ -310,12 +335,14 @@ pub fn partition_uniform(
     worlds: &[Database],
     budget: ExecBudget,
     workers: usize,
+    tel: &Telemetry,
 ) -> Result<Vec<Fingerprint>, EngineError> {
     run_indexed(
         worlds.len(),
         workers,
         || (),
         |_, i| bundle_fps(&worlds[i], bundle, budget),
+        tel,
     )
 }
 
@@ -410,6 +437,7 @@ mod tests {
                     &active,
                     ExecBudget::UNLIMITED,
                     workers,
+                    &Telemetry::disabled(),
                 )
                 .unwrap();
                 assert_eq!(seq, par, "worker count {workers} changed bits for {sql}");
@@ -426,8 +454,16 @@ mod tests {
         let seq =
             naive::disagreements_uniform(&database, &q, &worlds, &active, ExecBudget::UNLIMITED)
                 .unwrap();
-        let par = disagreements_uniform(&database, &q, &worlds, &active, ExecBudget::UNLIMITED, 4)
-            .unwrap();
+        let par = disagreements_uniform(
+            &database,
+            &q,
+            &worlds,
+            &active,
+            ExecBudget::UNLIMITED,
+            4,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
         assert_eq!(seq, par);
     }
 
@@ -446,13 +482,28 @@ mod tests {
         let bundle = [&q1, &q2];
         let seq =
             naive::partition_nbrs(&mut database, &bundle, &updates, ExecBudget::UNLIMITED).unwrap();
-        let par = partition_nbrs(&database, &bundle, &updates, ExecBudget::UNLIMITED, 4).unwrap();
+        let par = partition_nbrs(
+            &database,
+            &bundle,
+            &updates,
+            ExecBudget::UNLIMITED,
+            4,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
         assert_eq!(seq, par);
 
         let worlds = generate_uniform_worlds(&database, 64, 5);
         let seq_u =
             naive::partition_uniform(&database, &bundle, &worlds, ExecBudget::UNLIMITED).unwrap();
-        let par_u = partition_uniform(&bundle, &worlds, ExecBudget::UNLIMITED, 4).unwrap();
+        let par_u = partition_uniform(
+            &bundle,
+            &worlds,
+            ExecBudget::UNLIMITED,
+            4,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
         assert_eq!(seq_u, par_u);
     }
 
@@ -470,14 +521,28 @@ mod tests {
         let seq =
             naive::query_fps_nbrs(&mut database, &q, &updates, ExecBudget::UNLIMITED).unwrap();
         for workers in [2, 4] {
-            let par =
-                query_fps_nbrs(&database, &q, &updates, ExecBudget::UNLIMITED, workers).unwrap();
+            let par = query_fps_nbrs(
+                &database,
+                &q,
+                &updates,
+                ExecBudget::UNLIMITED,
+                workers,
+                &Telemetry::disabled(),
+            )
+            .unwrap();
             assert_eq!(seq, par, "worker count {workers} changed fingerprints");
         }
 
         let worlds = generate_uniform_worlds(&database, 64, 5);
         let seq_u = naive::query_fps_uniform(&q, &worlds, ExecBudget::UNLIMITED).unwrap();
-        let par_u = query_fps_uniform(&q, &worlds, ExecBudget::UNLIMITED, 4).unwrap();
+        let par_u = query_fps_uniform(
+            &q,
+            &worlds,
+            ExecBudget::UNLIMITED,
+            4,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
         assert_eq!(seq_u, par_u);
     }
 
@@ -500,6 +565,7 @@ mod tests {
             &vec![true; updates.len()],
             ExecBudget::UNLIMITED,
             4,
+            &Telemetry::disabled(),
         )
         .unwrap();
         assert_eq!(database.table("T").unwrap().rows, before);
@@ -527,6 +593,7 @@ mod tests {
             &vec![true; updates.len()],
             budget,
             4,
+            &Telemetry::disabled(),
         )
         .unwrap_err();
         assert!(
@@ -551,6 +618,7 @@ mod tests {
                         Ok(i)
                     }
                 },
+                &Telemetry::disabled(),
             )
             .unwrap_err();
             // Index 7 is in the very first chunk, claimed before any

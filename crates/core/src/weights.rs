@@ -92,7 +92,7 @@ pub fn assign_weights(
     support: &SupportSet,
     total_price: f64,
     points: &[PricePoint],
-    opts: EngineOptions,
+    opts: &EngineOptions,
 ) -> Result<Vec<f64>, WeightError> {
     assign_weights_with(
         db,
@@ -112,7 +112,7 @@ pub fn assign_weights_with(
     support: &SupportSet,
     total_price: f64,
     points: &[PricePoint],
-    opts: EngineOptions,
+    opts: &EngineOptions,
     solver: &SolverOptions,
 ) -> Result<Vec<f64>, WeightError> {
     fault::check(fault::WEIGHTS_ASSIGN).map_err(|f| WeightError::Infeasible {
@@ -220,7 +220,7 @@ mod tests {
     fn no_points_gives_uniform() {
         let mut database = db();
         let s = support(&database, 50);
-        let w = assign_weights(&mut database, &s, 100.0, &[], EngineOptions::default()).unwrap();
+        let w = assign_weights(&mut database, &s, 100.0, &[], &EngineOptions::default()).unwrap();
         assert_eq!(w, vec![2.0; 50]);
     }
 
@@ -230,13 +230,13 @@ mod tests {
         let s = support(&database, 400);
         let points = [PricePoint::new("SELECT * FROM User", 70.0)];
         let w =
-            assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default()).unwrap();
+            assign_weights(&mut database, &s, 100.0, &points, &EngineOptions::default()).unwrap();
         assert_eq!(w.len(), 400);
         assert!((w.iter().sum::<f64>() - 100.0).abs() < 1e-5);
         // Re-derive the constraint: User-touching updates must carry 70.
         let q = prepare_query(&database, "SELECT * FROM User").unwrap();
-        let bits =
-            bundle_disagreements(&mut database, &[&q], &s, EngineOptions::default(), None).unwrap();
+        let bits = bundle_disagreements(&mut database, &[&q], &s, &EngineOptions::default(), None)
+            .unwrap();
         let user_mass: f64 = w
             .iter()
             .zip(&bits)
@@ -252,7 +252,7 @@ mod tests {
         let s = support(&database, 100);
         // A subset of the data priced above the whole dataset.
         let points = [PricePoint::new("SELECT * FROM User", 170.0)];
-        let err = assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default())
+        let err = assign_weights(&mut database, &s, 100.0, &points, &EngineOptions::default())
             .unwrap_err();
         assert!(matches!(err, WeightError::Infeasible { .. }), "{err}");
     }
@@ -262,7 +262,7 @@ mod tests {
         let mut database = db();
         let s = support(&database, 10);
         let points = [PricePoint::new("SELECT nope FROM User", 10.0)];
-        let err = assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default())
+        let err = assign_weights(&mut database, &s, 100.0, &points, &EngineOptions::default())
             .unwrap_err();
         assert!(matches!(err, WeightError::BadPricePoint { .. }));
     }
@@ -276,7 +276,7 @@ mod tests {
             PricePoint::new("SELECT * FROM User", 70.0),
         ];
         let w =
-            assign_weights(&mut database, &s, 100.0, &points, EngineOptions::default()).unwrap();
+            assign_weights(&mut database, &s, 100.0, &points, &EngineOptions::default()).unwrap();
         assert!((w.iter().sum::<f64>() - 100.0).abs() < 1e-5);
         assert!(w.iter().all(|&x| x >= -1e-12), "weights nonnegative");
     }

@@ -13,7 +13,7 @@ use qirana_core::{
     prepare_query,
     pricing::{shannon_entropy, weighted_coverage},
     uniform_weights, CacheConfig, EngineOptions, Parallelism, PricingFunction, Qirana,
-    QiranaConfig, SupportConfig, SupportSet, SupportUpdate,
+    QiranaConfig, SupportConfig, SupportSet, SupportUpdate, Telemetry, TestClock,
 };
 use qirana_sqlengine::{
     ColumnDef, DataType, Database, EngineError, ExecBudget, TableSchema, Value,
@@ -120,11 +120,11 @@ proptest! {
             EngineOptions::default().with_parallelism(PAR),
         ];
         let reference =
-            bundle_disagreements(&mut db, &[&q], &support, configs[0], None).unwrap();
+            bundle_disagreements(&mut db, &[&q], &support, &configs[0], None).unwrap();
         let weights = uniform_weights(support.len(), 100.0);
         let ref_price = weighted_coverage(&weights, &reference);
         for opts in &configs[1..] {
-            let bits = bundle_disagreements(&mut db, &[&q], &support, *opts, None).unwrap();
+            let bits = bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap();
             prop_assert_eq!(&bits, &reference, "bits diverge for {} under {:?}", sql, opts);
             prop_assert_eq!(
                 weighted_coverage(&weights, &bits).to_bits(),
@@ -152,12 +152,13 @@ proptest! {
             &SupportConfig { size: 96, seed, ..Default::default() },
         ));
 
-        let seq = bundle_partition(&mut db, &[&q], &support, EngineOptions::default()).unwrap();
+        let seq =
+            bundle_partition(&mut db, &[&q], &support, &EngineOptions::default()).unwrap();
         let par = bundle_partition(
             &mut db,
             &[&q],
             &support,
-            EngineOptions::default().with_parallelism(PAR),
+            &EngineOptions::default().with_parallelism(PAR),
         )
         .unwrap();
         prop_assert_eq!(&seq, &par, "partition diverges for {}", sql);
@@ -231,6 +232,80 @@ proptest! {
         prop_assert_eq!(variants[1].cache_stats().hits, 0, "disabled cache never hits");
     }
 
+    /// Telemetry is observationally free: with tracing and metrics enabled
+    /// versus disabled, under the sequential and the parallel executor, a
+    /// purchase session charges bitwise-identical prices for both pricing
+    /// families — and the deterministic engine counters
+    /// (`neighbors_evaluated_total`, `disagreements_found_total`) agree
+    /// between the sequential and parallel instrumented runs, so the
+    /// telemetry itself is reproducible, not just harmless.
+    #[test]
+    fn telemetry_on_off_sessions_are_bitwise_identical(
+        t_rows in prop::collection::vec((0u8..3, -40i16..40), 8..16),
+        u_rows in prop::collection::vec((any::<u8>(), -40i16..40), 4..10),
+        c in -40i16..40,
+        seed in any::<u64>(),
+        session in prop::collection::vec(0usize..7, 1..5),
+        entropy in any::<bool>(),
+    ) {
+        let function = if entropy {
+            PricingFunction::ShannonEntropy
+        } else {
+            PricingFunction::WeightedCoverage
+        };
+        let pool = query_pool(c);
+        let broker = |telemetry: Telemetry, parallelism: Parallelism| {
+            Qirana::new(
+                build_db(&t_rows, &u_rows),
+                QiranaConfig {
+                    function,
+                    support: SupportConfig { size: 96, seed, ..Default::default() },
+                    engine: EngineOptions::default()
+                        .with_telemetry(telemetry)
+                        .with_parallelism(parallelism),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let seq_tel = Telemetry::with_clock(Box::new(TestClock::stepping(10)));
+        let par_tel = Telemetry::with_clock(Box::new(TestClock::stepping(10)));
+        let mut variants = [
+            broker(Telemetry::disabled(), Parallelism::Sequential),
+            broker(seq_tel.clone(), Parallelism::Sequential),
+            broker(Telemetry::disabled(), PAR),
+            broker(par_tel.clone(), PAR),
+        ];
+        for &idx in &session {
+            let sql = &pool[idx];
+            let reference = variants[0].buy("p", sql).unwrap();
+            for (v, variant) in variants.iter_mut().enumerate().skip(1) {
+                let got = variant.buy("p", sql).unwrap();
+                prop_assert_eq!(
+                    got.price.to_bits(),
+                    reference.price.to_bits(),
+                    "variant {} diverges on {} ({:?})", v, sql, function
+                );
+                prop_assert_eq!(got.total_paid.to_bits(), reference.total_paid.to_bits());
+            }
+        }
+        // The instrumented runs recorded real work...
+        let seq_sink = seq_tel.sink().unwrap();
+        let par_sink = par_tel.sink().unwrap();
+        prop_assert_eq!(seq_sink.counter("purchases_total"), session.len() as u64);
+        prop_assert!(!seq_sink.spans().is_empty(), "enabled run must record spans");
+        // ...and the work counters are themselves deterministic: the
+        // parallel executor evaluates exactly the same neighbors and finds
+        // exactly the same disagreements as the sequential one.
+        for counter in ["neighbors_evaluated_total", "disagreements_found_total"] {
+            prop_assert_eq!(
+                seq_sink.counter(counter),
+                par_sink.counter(counter),
+                "{} differs between sequential and parallel runs", counter
+            );
+        }
+    }
+
     /// Uniform-world supports: the read-only shared-reference parallel path
     /// agrees with the sequential loop.
     #[test]
@@ -245,10 +320,10 @@ proptest! {
         let support = SupportSet::Uniform(generate_uniform_worlds(&db, 80, seed));
 
         let seq = bundle_disagreements(
-            &mut db, &[&q], &support, EngineOptions::default(), None,
+            &mut db, &[&q], &support, &EngineOptions::default(), None,
         ).unwrap();
         let par = bundle_disagreements(
-            &mut db, &[&q], &support, EngineOptions::default().with_parallelism(PAR), None,
+            &mut db, &[&q], &support, &EngineOptions::default().with_parallelism(PAR), None,
         ).unwrap();
         prop_assert_eq!(seq, par, "uniform bits diverge for {}", sql);
     }
@@ -286,7 +361,7 @@ fn pricing_detects_update_between_adjacent_large_ints() {
         changes: vec![(1, Value::Int(BIG + 1))],
     }]);
     for opts in [EngineOptions::naive(), EngineOptions::default()] {
-        let bits = bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap();
+        let bits = bundle_disagreements(&mut db, &[&q], &support, &opts, None).unwrap();
         assert_eq!(
             bits,
             vec![true],
@@ -312,7 +387,7 @@ fn budget_trip_propagates_through_parallel_path() {
     let opts = EngineOptions::naive()
         .with_parallelism(PAR)
         .with_budget(ExecBudget::default().with_timeout(Duration::ZERO));
-    let err = bundle_disagreements(&mut db, &[&q], &support, opts, None).unwrap_err();
+    let err = bundle_disagreements(&mut db, &[&q], &support, &opts, None).unwrap_err();
     assert!(
         matches!(err, EngineError::BudgetExceeded { .. }),
         "expected BudgetExceeded, got {err:?}"

@@ -100,6 +100,12 @@ impl FileContext {
     pub fn is_ledger_module(&self) -> bool {
         self.path.ends_with("/ledger.rs")
     }
+
+    /// True for the telemetry module, whose exporters are the sanctioned
+    /// diagnostic surface (QL006 does not apply).
+    pub fn is_telemetry_module(&self) -> bool {
+        self.path.ends_with("/telemetry.rs")
+    }
 }
 
 /// Parses `qirana-lint::allow(QL00x[, QL00y…]): reason` and

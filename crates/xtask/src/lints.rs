@@ -25,6 +25,12 @@
 //!   mutation must flow through the write-ahead log so crash recovery
 //!   sees it; a stray `fs::write` is state the ledger cannot replay.
 //!   Bins and tests are exempt.
+//! * **QL006** — `println!`/`eprintln!`/`dbg!` in library code outside
+//!   `core::telemetry`. Diagnostics belong in the telemetry sink (spans,
+//!   counters, exporters) where they are structured, deterministic under
+//!   the test clock, and silenceable; a stray print is an unstructured
+//!   side channel that corrupts bench JSON on stdout. Bins and tests are
+//!   exempt.
 //!
 //! All rules are waivable with an inline justification:
 //! `// qirana-lint::allow(QL00x): <why this site is sound>`.
@@ -42,6 +48,7 @@ pub enum Lint {
     Ql003,
     Ql004,
     Ql005,
+    Ql006,
 }
 
 impl Lint {
@@ -53,6 +60,7 @@ impl Lint {
             Lint::Ql003 => "QL003",
             Lint::Ql004 => "QL004",
             Lint::Ql005 => "QL005",
+            Lint::Ql006 => "QL006",
         }
     }
 
@@ -64,16 +72,18 @@ impl Lint {
             "QL003" => Some(Lint::Ql003),
             "QL004" => Some(Lint::Ql004),
             "QL005" => Some(Lint::Ql005),
+            "QL006" => Some(Lint::Ql006),
             _ => None,
         }
     }
 
-    pub const ALL: [Lint; 5] = [
+    pub const ALL: [Lint; 6] = [
         Lint::Ql001,
         Lint::Ql002,
         Lint::Ql003,
         Lint::Ql004,
         Lint::Ql005,
+        Lint::Ql006,
     ];
 }
 
@@ -107,6 +117,7 @@ pub fn lint_file(ctx: &FileContext) -> Vec<Diagnostic> {
     ql003_panicking_calls(ctx, &mut out);
     ql004_ambient_nondeterminism(ctx, &mut out);
     ql005_durability_bypass(ctx, &mut out);
+    ql006_stray_prints(ctx, &mut out);
     out.sort();
     out
 }
@@ -463,6 +474,45 @@ fn ql005_durability_bypass(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Macros that print straight to stdout/stderr, bypassing telemetry.
+const PRINT_MACROS: [&str; 3] = ["println", "eprintln", "dbg"];
+
+/// QL006: stray prints in library code. The telemetry module (the
+/// sanctioned diagnostic surface) and bins (whose whole job is printing)
+/// are exempt; tests are skipped. `print!`-without-ln is deliberately not
+/// matched: progressive output formatting lives in bins, and the `ln`
+/// variants are what debugging leaves behind.
+fn ql006_stray_prints(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.is_telemetry_module() || ctx.is_bin() {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let t = &code[i];
+        if t.kind == TokKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && (i == 0 || !code[i - 1].is_punct("."))
+        {
+            diag(
+                ctx,
+                i,
+                Lint::Ql006,
+                format!(
+                    "`{}!` in library code prints past the telemetry sink and corrupts \
+                     machine-readable output on stdout/stderr; record a span, counter, \
+                     or gauge on `core::telemetry` instead (or move this into a bin/test)",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +602,29 @@ mod tests {
     #[test]
     fn ql005_ignores_unrelated_create_and_write() {
         let src = "fn f(v: &mut Vec<u8>, w: &mut dyn std::io::Write) {\n  Builder::create(v);\n  w.write(b\"in-memory\").ok();\n  writer.write(buf).ok();\n}\n";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn ql006_flags_prints_in_lib_code() {
+        let src = "fn f(x: u32) -> u32 {\n  println!(\"x = {x}\");\n  eprintln!(\"warn\");\n  dbg!(x)\n}\n";
+        assert_eq!(codes(src), vec!["QL006", "QL006", "QL006"]);
+    }
+
+    #[test]
+    fn ql006_exempts_telemetry_module_bins_and_tests() {
+        let src = "fn f() { println!(\"report\"); }\n";
+        let tel = lint_file(&FileContext::new("crates/core/src/telemetry.rs", src));
+        assert!(tel.is_empty(), "{tel:?}");
+        let bin = lint_file(&FileContext::new("crates/bench/src/bin/fig2.rs", src));
+        assert!(bin.is_empty(), "{bin:?}");
+        let test_src = "#[cfg(test)]\nmod tests {\n  fn t() { println!(\"debug\"); }\n}\n";
+        assert!(codes(test_src).is_empty());
+    }
+
+    #[test]
+    fn ql006_ignores_method_calls_and_writeln() {
+        let src = "fn f(w: &mut String, obj: &T) {\n  writeln!(w, \"ok\").ok();\n  obj.dbg!();\n  let println = 1;\n  sink(println);\n}\n";
         assert!(codes(src).is_empty());
     }
 

@@ -1,7 +1,7 @@
 //! `cargo xtask` — workspace automation CLI.
 //!
 //! Subcommands:
-//! * `lint [FILE…]` — run the qirana-lint pass (QL001–QL005) over the
+//! * `lint [FILE…]` — run the qirana-lint pass (QL001–QL006) over the
 //!   whole workspace, or over the given files only. Exits nonzero when
 //!   any diagnostic is emitted.
 
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: cargo xtask lint [FILE…]\n\n\
-         Runs the qirana-lint determinism/correctness pass (QL001–QL005)\n\
+         Runs the qirana-lint determinism/correctness pass (QL001–QL006)\n\
          over every library source file in the workspace (default) or over\n\
          the listed files. Diagnostics are `path:line: [QLxxx] message`;\n\
          waive a site with `// qirana-lint::allow(QLxxx): <reason>`.\n\

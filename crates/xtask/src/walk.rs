@@ -3,7 +3,7 @@
 //! The pass covers every `src/**/*.rs` of every workspace crate (including
 //! this one — the linter must keep itself clean) plus the root facade's
 //! `src/`. Integration tests, benches, examples, fixtures, and the
-//! `vendor/` stand-ins are out of scope: QL001–QL005 guard *library code
+//! `vendor/` stand-ins are out of scope: QL001–QL006 guard *library code
 //! paths*, and vendored third-party stand-ins follow upstream's API, not
 //! our invariants.
 

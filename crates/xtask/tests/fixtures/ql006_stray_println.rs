@@ -1,0 +1,36 @@
+//! QL006 fixture: stray prints in library code that bypass telemetry.
+//! NOT compiled — parsed by the golden test against the `.expected` file.
+
+fn debug_print_left_behind(price: f64) {
+    println!("price = {price}");
+}
+
+fn stderr_diagnostic(detail: &str) {
+    eprintln!("warning: {detail}");
+}
+
+fn dbg_probe(n: usize) -> usize {
+    dbg!(n)
+}
+
+fn writeln_into_buffer_is_fine(out: &mut String, price: f64) {
+    use std::fmt::Write as _;
+    writeln!(out, "{price}").ok();
+}
+
+fn shadowed_name_is_fine(println: u32) -> u32 {
+    println + 1
+}
+
+fn annotated_operator_notice(msg: &str) {
+    // qirana-lint::allow(QL006): one-shot migration notice requested by the operator
+    eprintln!("{msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("test scaffolding output");
+    }
+}

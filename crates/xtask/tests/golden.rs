@@ -1,6 +1,6 @@
 //! Golden tests: every fixture under `tests/fixtures/` is linted and its
 //! diagnostics compared line-for-line against the committed `.expected`
-//! file. Each of QL001–QL005 is demonstrated firing, each waiver mechanism
+//! file. Each of QL001–QL006 is demonstrated firing, each waiver mechanism
 //! is demonstrated suppressing, and `clean.rs` pins the zero-diagnostic
 //! case. Regenerate an expectation after an intentional lint change with
 //! `cargo xtask lint crates/xtask/tests/fixtures/<f>.rs > …/<f>.expected`.
@@ -71,6 +71,14 @@ fn ql005_durability_bypass_golden() {
     assert!(!got.is_empty(), "QL005 fixture must fire");
     assert!(got.iter().all(|d| d.contains("[QL005]")));
     check("ql005_durability_bypass.rs");
+}
+
+#[test]
+fn ql006_stray_println_golden() {
+    let got = lint_fixture("ql006_stray_println.rs");
+    assert!(!got.is_empty(), "QL006 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL006]")));
+    check("ql006_stray_println.rs");
 }
 
 #[test]

@@ -7,6 +7,8 @@
 //! buy <sql>        history-aware purchase: pay for new information, see rows
 //! answer <sql>     run a query without pricing (seller-side debugging)
 //! balance          cumulative spend and dataset coverage
+//! :metrics         dump the telemetry registry (Prometheus text format)
+//! :flame           dump collapsed stacks (pipe to flamegraph.pl / speedscope)
 //! help | quit
 //! ```
 //!
@@ -22,7 +24,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use qirana::datagen::{carcrash, dblp, ssb, tpch, world};
-use qirana::{Qirana, QiranaConfig, SupportConfig};
+use qirana::{EngineOptions, Qirana, QiranaConfig, SupportConfig, Telemetry};
 use std::io::{self, BufRead, Write};
 
 fn load(name: &str) -> Option<qirana::Database> {
@@ -49,6 +51,7 @@ fn main() {
         .collect();
 
     println!("loading {dataset} and building the support set...");
+    let telemetry = Telemetry::enabled();
     let mut broker = Qirana::new(
         db,
         QiranaConfig {
@@ -57,6 +60,7 @@ fn main() {
                 size: 2_000,
                 ..Default::default()
             },
+            engine: EngineOptions::default().with_telemetry(telemetry.clone()),
             ..Default::default()
         },
     )
@@ -67,7 +71,9 @@ fn main() {
         tables.join(", "),
         broker.support_size()
     );
-    println!("commands: quote <sql> | buy <sql> | answer <sql> | balance | quit");
+    println!(
+        "commands: quote <sql> | buy <sql> | answer <sql> | balance | :metrics | :flame | quit"
+    );
 
     let stdin = io::stdin();
     let buyer = "you";
@@ -87,7 +93,22 @@ fn main() {
         match cmd.to_ascii_lowercase().as_str() {
             "quit" | "exit" => break,
             "help" => {
-                println!("quote <sql> | buy <sql> | answer <sql> | balance | quit")
+                println!(
+                    "quote <sql> | buy <sql> | answer <sql> | balance | :metrics | :flame | quit"
+                )
+            }
+            ":metrics" => {
+                let sink = telemetry.sink().expect("repl telemetry is enabled");
+                print!("{}", sink.prometheus_text());
+            }
+            ":flame" => {
+                let sink = telemetry.sink().expect("repl telemetry is enabled");
+                let stacks = sink.collapsed_stacks();
+                if stacks.is_empty() {
+                    println!("(no spans recorded yet — quote or buy something first)");
+                } else {
+                    print!("{stacks}");
+                }
             }
             "balance" => {
                 println!(

@@ -47,6 +47,6 @@ pub use qirana_sqlengine as sqlengine;
 pub use qirana_core::{
     BrokerError, CacheConfig, CacheStats, EngineOptions, FsyncPolicy, Ledger, LedgerConfig,
     LedgerError, LedgerEvent, Parallelism, PricePoint, PricingFunction, Purchase, Qirana,
-    QiranaConfig, Quote, RetryPolicy, SupportConfig, SupportType,
+    QiranaConfig, Quote, RetryPolicy, SupportConfig, SupportType, Telemetry, TelemetrySink,
 };
 pub use qirana_sqlengine::{Database, ExecBudget, QueryOutput, Value};

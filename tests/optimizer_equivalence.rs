@@ -108,7 +108,7 @@ fn check_all_configs(db: &mut Database, support: &SupportSet) {
     for q in &prepared {
         let bundle = [q];
         let naive =
-            bundle_disagreements(db, &bundle, support, EngineOptions::naive(), None).unwrap();
+            bundle_disagreements(db, &bundle, support, &EngineOptions::naive(), None).unwrap();
         for opts in [
             EngineOptions::default(),
             EngineOptions::no_batching(),
@@ -119,14 +119,14 @@ fn check_all_configs(db: &mut Database, support: &SupportSet) {
                 ..Default::default()
             },
         ] {
-            let got = bundle_disagreements(db, &bundle, support, opts, None).unwrap();
+            let got = bundle_disagreements(db, &bundle, support, &opts, None).unwrap();
             assert_eq!(got, naive, "engine mismatch for {:?} under {opts:?}", q.sql);
         }
     }
     // Whole pool as one bundle, too.
     let bundle: Vec<&Prepared> = prepared.iter().collect();
-    let naive = bundle_disagreements(db, &bundle, support, EngineOptions::naive(), None).unwrap();
-    let opt = bundle_disagreements(db, &bundle, support, EngineOptions::default(), None).unwrap();
+    let naive = bundle_disagreements(db, &bundle, support, &EngineOptions::naive(), None).unwrap();
+    let opt = bundle_disagreements(db, &bundle, support, &EngineOptions::default(), None).unwrap();
     assert_eq!(opt, naive, "bundle mismatch");
 }
 
@@ -197,13 +197,13 @@ fn skip_bitmap_consistency() {
     ));
     let q = prepare_query(&db, "select gender, avg(age) from User group by gender").unwrap();
     let full =
-        bundle_disagreements(&mut db, &[&q], &support, EngineOptions::default(), None).unwrap();
+        bundle_disagreements(&mut db, &[&q], &support, &EngineOptions::default(), None).unwrap();
     let skip: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
     let masked = bundle_disagreements(
         &mut db,
         &[&q],
         &support,
-        EngineOptions::default(),
+        &EngineOptions::default(),
         Some(&skip),
     )
     .unwrap();

@@ -7,11 +7,14 @@
 //!   (Algorithm 1 / 3). This is where §4's optimizations apply.
 //! * [`bundle_partition`] — for the entropy-family functions: the bundle
 //!   output fingerprint per instance (Algorithm 2). This inherently
-//!   requires executing the queries per instance, so it always runs the
-//!   naive path — the paper's reason weighted coverage is the recommended
-//!   default.
+//!   requires the queries' outputs per instance — the paper's reason
+//!   weighted coverage is the recommended default — but the incremental
+//!   evaluator ([`crate::delta`]) now derives those outputs from memoized
+//!   base state for SPJ/aggregate shapes instead of re-executing, falling
+//!   back to full per-instance execution everywhere else.
 
 use crate::cache::{CacheConfig, PricingCache};
+use crate::delta::{self, DeltaState, ProbeStats};
 use crate::fault;
 use crate::naive;
 use crate::normal_form::{Prepared, Shape};
@@ -19,6 +22,7 @@ use crate::optimized;
 use crate::parallel::{self, Parallelism};
 use crate::support::SupportSet;
 use crate::telemetry::{Stage, Telemetry};
+use crate::update::SupportUpdate;
 use qirana_sqlengine::{Database, EngineError, ExecBudget, Fingerprint, QueryOutput};
 use std::sync::Arc;
 
@@ -39,6 +43,14 @@ pub struct EngineOptions {
     /// (Appendix A's instance reduction). Only used when `optimize` is off
     /// and the query is SPJ-shaped.
     pub reduce: bool,
+    /// Incremental (delta) support evaluation: execute the plan once on
+    /// the base instance, materialize per-operator state, and answer each
+    /// neighbor as a delta ([`crate::delta`]). The default path for
+    /// SPJ/aggregate shapes over neighborhood supports; opaque shapes,
+    /// uniform supports, budget-limited runs, and any neighbor that trips
+    /// a delta guard fall back to full execution. Prices are bitwise
+    /// identical with the flag on or off.
+    pub delta: bool,
     /// Execution budget applied to every query the pricing engine runs
     /// (base executions, per-instance re-executions, batched probes).
     /// Trips surface as [`EngineError::BudgetExceeded`]. Unlimited by
@@ -68,6 +80,7 @@ impl Default for EngineOptions {
             optimize: true,
             batch: true,
             reduce: false,
+            delta: true,
             budget: ExecBudget::UNLIMITED,
             parallelism: Parallelism::Sequential,
             cache: CacheConfig::default(),
@@ -83,6 +96,7 @@ impl EngineOptions {
         EngineOptions {
             optimize: true,
             batch: false,
+            delta: false,
             ..Default::default()
         }
     }
@@ -92,8 +106,15 @@ impl EngineOptions {
         EngineOptions {
             optimize: false,
             batch: false,
+            delta: false,
             ..Default::default()
         }
+    }
+
+    /// Toggles the incremental (delta) evaluation path.
+    pub fn with_delta(mut self, delta: bool) -> Self {
+        self.delta = delta;
+        self
     }
 
     /// Replaces the execution budget.
@@ -151,6 +172,51 @@ pub fn combine_bundle(fps: &[Fingerprint]) -> Fingerprint {
     Fingerprint(acc)
 }
 
+/// True when the delta evaluator may serve this query: the flag is on, no
+/// execution budget is in force (delta probes skip whole executions, so
+/// budget trips could not fire deterministically), and the shape has delta
+/// rules. Support-set kind is checked at the call sites (neighborhood
+/// arms only).
+fn delta_applies(q: &Prepared, opts: &EngineOptions) -> bool {
+    opts.delta && opts.budget.is_unlimited() && matches!(q.shape, Shape::Spj(_) | Shape::Agg(_))
+}
+
+/// Obtains the query's delta state: from the pricing cache when one is
+/// supplied (keyed by plan fingerprint + database generation, like every
+/// other artifact), building — and memoizing — it otherwise. Build errors
+/// are base-execution errors, which every full path reproduces.
+fn delta_state_for(
+    db: &Database,
+    q: &Prepared,
+    opts: &EngineOptions,
+    cache: Option<&mut PricingCache>,
+) -> Result<Arc<DeltaState>, EngineError> {
+    let tel = &opts.telemetry;
+    let mut cache = cache;
+    if let Some(c) = &mut cache {
+        if let Some(state) = c.get_delta(q.plan_fp) {
+            return Ok(state);
+        }
+    }
+    let span = tel.span(Stage::DeltaBuild);
+    let state = Arc::new(delta::build(db, q)?);
+    drop(span);
+    tel.counter_add("delta_builds_total", 1);
+    if let Some(c) = &mut cache {
+        c.insert_delta(q.plan_fp, Arc::clone(&state));
+    }
+    Ok(state)
+}
+
+/// Folds one delta probe sweep's tallies into the metrics registry.
+fn record_probe_stats(tel: &Telemetry, stats: ProbeStats) {
+    if tel.is_enabled() {
+        tel.counter_add("delta_probes_total", stats.probes);
+        tel.counter_add("delta_short_circuits_total", stats.short_circuits);
+        tel.counter_add("delta_fallbacks_total", stats.fallbacks);
+    }
+}
+
 /// Computes, for every support instance, whether the bundle's output on it
 /// differs from the output on the stored database.
 ///
@@ -167,6 +233,20 @@ pub fn bundle_disagreements(
     support: &SupportSet,
     opts: &EngineOptions,
     skip: Option<&[bool]>,
+) -> Result<Vec<bool>, EngineError> {
+    bundle_disagreements_impl(db, bundle, support, opts, skip, None)
+}
+
+/// [`bundle_disagreements`] with an optional pricing cache for delta-state
+/// reuse across purchases (the cached entry points thread theirs through;
+/// the uncached public path builds per call).
+fn bundle_disagreements_impl(
+    db: &mut Database,
+    bundle: &[&Prepared],
+    support: &SupportSet,
+    opts: &EngineOptions,
+    skip: Option<&[bool]>,
+    mut cache: Option<&mut PricingCache>,
 ) -> Result<Vec<bool>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
         .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
@@ -213,7 +293,29 @@ pub fn bundle_disagreements(
                 }
                 SupportSet::Neighborhood(updates) => {
                     let workers = opts.parallelism.workers(updates.len());
-                    if opts.optimize {
+                    let delta_bits = if delta_applies(q, opts) {
+                        let state = delta_state_for(db, q, opts, cache.as_deref_mut())?;
+                        if state.is_usable() {
+                            let probe_span = tel.span_with(Stage::DeltaProbe, "coverage".into());
+                            let (bits, stats) = delta::disagreements_nbrs(
+                                db, q, &state, updates, &active, workers, tel,
+                            )?;
+                            if tel.is_enabled() {
+                                probe_span.count("probes", stats.probes);
+                                probe_span.count("short_circuits", stats.short_circuits);
+                                probe_span.count("fallbacks", stats.fallbacks);
+                            }
+                            record_probe_stats(tel, stats);
+                            Some(Ok(bits))
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    };
+                    if let Some(bits) = delta_bits {
+                        bits
+                    } else if opts.optimize {
                         match &q.shape {
                             Shape::Spj(s) => {
                                 optimized::spj_disagreements(db, s, updates, &active, opts)
@@ -284,6 +386,53 @@ pub fn bundle_partition(
     support: &SupportSet,
     opts: &EngineOptions,
 ) -> Result<Vec<Fingerprint>, EngineError> {
+    bundle_partition_impl(db, bundle, support, opts, None)
+}
+
+/// One query's per-neighbor output fingerprints, served by the delta
+/// evaluator when it applies and by full per-instance execution otherwise.
+fn query_fps_neighborhood(
+    db: &mut Database,
+    q: &Prepared,
+    updates: &[SupportUpdate],
+    opts: &EngineOptions,
+    cache: Option<&mut PricingCache>,
+) -> Result<Vec<Fingerprint>, EngineError> {
+    let tel = &opts.telemetry;
+    let workers = opts.parallelism.workers(updates.len());
+    if delta_applies(q, opts) {
+        let state = delta_state_for(db, q, opts, cache)?;
+        if state.is_usable() {
+            let probe_span = tel.span_with(Stage::DeltaProbe, "entropy".into());
+            let (fps, stats) = delta::query_fps_nbrs(db, q, &state, updates, workers, tel)?;
+            if tel.is_enabled() {
+                probe_span.count("probes", stats.probes);
+                probe_span.count("short_circuits", stats.short_circuits);
+                probe_span.count("fallbacks", stats.fallbacks);
+            }
+            record_probe_stats(tel, stats);
+            return Ok(fps);
+        }
+    }
+    meter_trips(
+        tel,
+        if workers > 1 {
+            parallel::query_fps_nbrs(db, q, updates, opts.budget, workers, tel)
+        } else {
+            naive::query_fps_nbrs(db, q, updates, opts.budget)
+        },
+    )
+}
+
+/// [`bundle_partition`] with an optional pricing cache for delta-state
+/// reuse.
+fn bundle_partition_impl(
+    db: &mut Database,
+    bundle: &[&Prepared],
+    support: &SupportSet,
+    opts: &EngineOptions,
+    mut cache: Option<&mut PricingCache>,
+) -> Result<Vec<Fingerprint>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
         .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
     let tel = &opts.telemetry;
@@ -296,6 +445,33 @@ pub fn bundle_partition(
     } else {
         tel.span(Stage::Disagreement)
     };
+    // Delta-eligible members price per query and fold with the same
+    // order-sensitive combiner the monolithic path applies per instance —
+    // bitwise identical by the combiner's definition (the differential
+    // suite pins this equivalence).
+    if let SupportSet::Neighborhood(updates) = support {
+        if bundle.iter().any(|q| delta_applies(q, opts)) {
+            let mut per_query = Vec::with_capacity(bundle.len());
+            for q in bundle {
+                per_query.push(query_fps_neighborhood(
+                    db,
+                    q,
+                    updates,
+                    opts,
+                    cache.as_deref_mut(),
+                )?);
+            }
+            let mut row = vec![Fingerprint(0); bundle.len()];
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                for (slot, fps) in row.iter_mut().zip(&per_query) {
+                    *slot = fps[i];
+                }
+                out.push(combine_bundle(&row));
+            }
+            return Ok(out);
+        }
+    }
     let workers = opts.parallelism.workers(n);
     meter_trips(
         tel,
@@ -341,7 +517,14 @@ pub fn query_disagreements_cached(
         }
         lookup.count("miss", 1);
     }
-    let bits = Arc::new(bundle_disagreements(db, &[q], support, opts, None)?);
+    let bits = Arc::new(bundle_disagreements_impl(
+        db,
+        &[q],
+        support,
+        opts,
+        None,
+        Some(cache),
+    )?);
     cache.insert_bits(q.plan_fp, Arc::clone(&bits));
     Ok(bits)
 }
@@ -380,6 +563,18 @@ pub fn query_partition(
     support: &SupportSet,
     opts: &EngineOptions,
 ) -> Result<Vec<Fingerprint>, EngineError> {
+    query_partition_impl(db, q, support, opts, None)
+}
+
+/// [`query_partition`] with an optional pricing cache for delta-state
+/// reuse.
+fn query_partition_impl(
+    db: &mut Database,
+    q: &Prepared,
+    support: &SupportSet,
+    opts: &EngineOptions,
+    cache: Option<&mut PricingCache>,
+) -> Result<Vec<Fingerprint>, EngineError> {
     fault::check(fault::ENGINE_EXECUTE)
         .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
     let tel = &opts.telemetry;
@@ -393,19 +588,16 @@ pub fn query_partition(
         tel.span(Stage::Disagreement)
     };
     let workers = opts.parallelism.workers(n);
-    meter_trips(
-        tel,
-        match support {
-            SupportSet::Neighborhood(updates) if workers > 1 => {
-                parallel::query_fps_nbrs(db, q, updates, opts.budget, workers, tel)
-            }
-            SupportSet::Neighborhood(updates) => naive::query_fps_nbrs(db, q, updates, opts.budget),
-            SupportSet::Uniform(worlds) if workers > 1 => {
-                parallel::query_fps_uniform(q, worlds, opts.budget, workers, tel)
-            }
-            SupportSet::Uniform(worlds) => naive::query_fps_uniform(q, worlds, opts.budget),
-        },
-    )
+    match support {
+        SupportSet::Neighborhood(updates) => query_fps_neighborhood(db, q, updates, opts, cache),
+        SupportSet::Uniform(worlds) if workers > 1 => meter_trips(
+            tel,
+            parallel::query_fps_uniform(q, worlds, opts.budget, workers, tel),
+        ),
+        SupportSet::Uniform(worlds) => {
+            meter_trips(tel, naive::query_fps_uniform(q, worlds, opts.budget))
+        }
+    }
 }
 
 /// [`query_partition`], memoized in `cache` under the query's plan
@@ -426,7 +618,7 @@ pub fn query_fingerprints_cached(
         }
         lookup.count("miss", 1);
     }
-    let fps = Arc::new(query_partition(db, q, support, opts)?);
+    let fps = Arc::new(query_partition_impl(db, q, support, opts, Some(cache))?);
     cache.insert_blocks(q.plan_fp, Arc::clone(&fps));
     Ok(fps)
 }
@@ -685,6 +877,91 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 6, "3 bitmap + 3 blocks cold misses");
         assert_eq!(s.hits, 6, "warm rounds are pure hits");
+    }
+
+    /// The delta evaluator is a pure accelerator: both families must be
+    /// bitwise identical with it on or off, sequentially and in parallel,
+    /// cached and uncached.
+    #[test]
+    fn delta_paths_match_full_bitwise() {
+        let mut database = db();
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 250,
+                ..Default::default()
+            },
+        ));
+        let queries = [
+            "select count(*) from User where gender = 'f'",
+            "select gender from User where age > 18",
+            "select gender, avg(age) from User group by gender",
+            "select distinct gender from User", // opaque: per-neighbor fallback path
+        ];
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| prepare_query(&database, q).unwrap())
+            .collect();
+        let bundle: Vec<&Prepared> = prepared.iter().collect();
+
+        let off = EngineOptions::default().with_delta(false);
+        let bits_full = bundle_disagreements(&mut database, &bundle, &support, &off, None).unwrap();
+        let part_full = bundle_partition(&mut database, &bundle, &support, &off).unwrap();
+
+        for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let on = EngineOptions::default().with_parallelism(par);
+            let bits = bundle_disagreements(&mut database, &bundle, &support, &on, None).unwrap();
+            assert_eq!(bits, bits_full, "coverage mismatch under {par:?}");
+            let part = bundle_partition(&mut database, &bundle, &support, &on).unwrap();
+            assert_eq!(part, part_full, "entropy mismatch under {par:?}");
+
+            let mut cache = PricingCache::new(64);
+            for round in 0..2 {
+                let cached =
+                    bundle_disagreements_cached(&mut database, &bundle, &support, &on, &mut cache)
+                        .unwrap();
+                assert_eq!(cached, bits_full, "cached coverage, round {round}");
+                let cached =
+                    bundle_partition_cached(&mut database, &bundle, &support, &on, &mut cache)
+                        .unwrap();
+                assert_eq!(cached, part_full, "cached entropy, round {round}");
+            }
+        }
+    }
+
+    /// The delta telemetry counters move, and cached delta states are
+    /// built once per plan rather than once per purchase.
+    #[test]
+    fn delta_counters_and_cached_builds() {
+        let mut database = db();
+        let support = SupportSet::Neighborhood(generate_support(
+            &database,
+            &SupportConfig {
+                size: 120,
+                ..Default::default()
+            },
+        ));
+        let q = prepare_query(&database, "select gender from User where age > 18").unwrap();
+        let opts = EngineOptions::default().with_telemetry(Telemetry::enabled());
+        let mut cache = PricingCache::new(16);
+        for _ in 0..3 {
+            query_disagreements_cached(&mut database, &q, &support, &opts, &mut cache).unwrap();
+        }
+        let sink = opts.telemetry.sink().map(Arc::clone).unwrap();
+        assert_eq!(
+            sink.counter("delta_builds_total"),
+            1,
+            "state reused from the cache after the first build"
+        );
+        assert_eq!(sink.counter("delta_probes_total"), 120);
+        assert!(
+            sink.counter("delta_short_circuits_total") + sink.counter("delta_fallbacks_total")
+                <= sink.counter("delta_probes_total")
+        );
+        // The delta artifact is counter-quiet: the three rounds above are
+        // 1 bitmap miss + 2 bitmap hits, exactly as without delta.
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
     }
 
     #[test]

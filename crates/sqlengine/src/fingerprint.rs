@@ -124,6 +124,16 @@ fn row_hash(row: &[Value]) -> u128 {
     h.finish()
 }
 
+/// The per-row hash an unordered [`fingerprint`] sums: exposed so the
+/// pricing layer's incremental (delta) evaluator can adjust a cached bag
+/// fingerprint by adding/removing individual row contributions instead of
+/// re-hashing the whole output. Uses the same lossless value
+/// canonicalization as [`fingerprint`], so `sql_eq`-equal rows hash
+/// equally.
+pub fn output_row_hash(row: &[Value]) -> u128 {
+    row_hash(row)
+}
+
 /// Fingerprints a query output (bag-equality for unordered results,
 /// sequence-equality for ordered ones).
 pub fn fingerprint(out: &QueryOutput) -> Fingerprint {

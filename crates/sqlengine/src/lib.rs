@@ -63,7 +63,7 @@ pub use ast::{SelectStmt, Statement};
 pub use database::Database;
 pub use error::{BudgetResource, EngineError, Result};
 pub use exec::{execute, ExecBudget, ExecContext, QueryOutput};
-pub use fingerprint::{fingerprint, fingerprint_bundle, Fingerprint};
+pub use fingerprint::{fingerprint, fingerprint_bundle, output_row_hash, Fingerprint};
 pub use parser::{parse_select, parse_statement};
 pub use plan::{plan_select, PExpr, PRelation, ResolvedSelect};
 pub use schema::{ColumnDef, DataType, Domain, ForeignKey, TableSchema};

@@ -20,6 +20,11 @@
 //!   budget/fault modules. Support generation, weights, and fault
 //!   injection are all seed-driven so every price is replayable; an
 //!   unseeded RNG or ambient clock read reintroduces nondeterminism.
+//!   Also flags `DefaultHasher`/`RandomState`: their output is only
+//!   stable within one compiler release, so any persisted or replayed
+//!   artifact derived from them (update signatures, dedup keys) silently
+//!   changes across toolchains — the PR 8 `SupportUpdate::signature`
+//!   bug. Hash through `qirana_sqlengine::fingerprint` instead.
 //! * **QL005** — direct filesystem writes (`std::fs::write`,
 //!   `File::create`) outside the ledger module. Every durable market
 //!   mutation must flow through the write-ahead log so crash recovery
@@ -394,6 +399,19 @@ fn ql004_ambient_nondeterminism(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
                     .to_string(),
                 out,
             );
+        } else if t.is_ident("DefaultHasher") || t.is_ident("RandomState") {
+            diag(
+                ctx,
+                i,
+                Lint::Ql004,
+                format!(
+                    "`{}` output is only stable within one compiler release: a persisted \
+                     signature or replayed dedup key silently changes across toolchains; \
+                     hash through `qirana_sqlengine::fingerprint` (e.g. `output_row_hash`)",
+                    t.text
+                ),
+                out,
+            );
         } else if (t.is_ident("Instant") || t.is_ident("SystemTime"))
             && code.get(i + 1).is_some_and(|t| t.is_punct(":"))
             && code.get(i + 2).is_some_and(|t| t.is_punct(":"))
@@ -579,6 +597,19 @@ mod tests {
     fn ql004_flags_clock_and_entropy() {
         let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
         assert_eq!(codes(src), vec!["QL004", "QL004"]);
+    }
+
+    #[test]
+    fn ql004_flags_unstable_hashers() {
+        let src = "use std::collections::hash_map::DefaultHasher;\nfn f() -> u64 {\n  let mut h = DefaultHasher::new();\n  7u64.hash(&mut h);\n  h.finish()\n}\nfn g() { let s = RandomState::new(); sink(s); }\n";
+        // The `use` line and the construction site both flag (line 1, 3, 7).
+        assert_eq!(codes(src), vec!["QL004", "QL004", "QL004"]);
+    }
+
+    #[test]
+    fn ql004_hasher_waivable_and_test_exempt() {
+        let src = "fn f() -> u64 {\n  // qirana-lint::allow(QL004): transient in-process memo, never persisted\n  let h = DefaultHasher::new();\n  h.finish()\n}\n#[cfg(test)]\nmod tests {\n  fn t() { let _ = DefaultHasher::new(); }\n}\n";
+        assert!(codes(src).is_empty());
     }
 
     #[test]

@@ -25,6 +25,17 @@ fn wall_clock_stamp() -> SystemTime {
     SystemTime::now()
 }
 
+fn unstable_hash_signature(x: u64) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write_u64(x);
+    h.finish()
+}
+
+fn unstable_hash_state() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
 fn seeded_is_fine(seed: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(seed)
 }

@@ -88,7 +88,7 @@ pub fn broker(
             ..Default::default()
         },
     )
-    .expect("broker construction")
+    .expect("broker construction") // qirana-lint::allow(QL007): bench harness constructs a known-good broker
 }
 
 /// Builds a database containing only the named tables of `db` (used by the
@@ -98,7 +98,7 @@ pub fn subset_db(db: &Database, names: &[&str]) -> Database {
     let mut out = Database::new();
     for name in names {
         #[allow(clippy::expect_used)] // harness passes known table names
-        let t = db.table(name).expect("table exists");
+        let t = db.table(name).expect("table exists"); // qirana-lint::allow(QL007): harness passes known table names
         out.add_table(t.schema.clone(), t.rows.iter().cloned());
     }
     out

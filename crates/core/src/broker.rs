@@ -955,6 +955,7 @@ impl Qirana {
             .engine
             .telemetry
             .span_with(Stage::BrokerCommit, "update".into());
+        // qirana-lint::allow(QL009): the changed-cell count is only known after applying; an append failure rolls the database back via the undo batch
         let undo = apply_update_sql(&mut self.db, sql)?;
         span.count("cells_changed", undo.len() as u64);
         let changed = undo.len();

@@ -370,7 +370,7 @@ fn local_conditions(plan: &ResolvedSelect) -> Vec<Vec<PExpr>> {
         }
         // `offsets` always contains 0, so every slot has a home relation.
         #[allow(clippy::unwrap_used)]
-        let rel_of = |s: usize| plan.offsets.iter().rposition(|&o| o <= s).unwrap();
+        let rel_of = |s: usize| plan.offsets.iter().rposition(|&o| o <= s).unwrap(); // qirana-lint::allow(QL007): offsets[0] == 0 gives every slot a home
         let first = rel_of(slots[0]);
         if slots.iter().all(|&s| rel_of(s) == first) {
             let mut local = c.clone();
@@ -406,7 +406,7 @@ fn rel_shapes(
     if let Some(f) = plan.filter.clone() {
         // `offsets` always contains 0, so every slot has a home relation.
         #[allow(clippy::unwrap_used)]
-        let rel_of = |s: usize| plan.offsets.iter().rposition(|&o| o <= s).unwrap();
+        let rel_of = |s: usize| plan.offsets.iter().rposition(|&o| o <= s).unwrap(); // qirana-lint::allow(QL007): offsets[0] == 0 gives every slot a home
         for c in f.conjuncts() {
             if c.has_subquery() {
                 continue;

@@ -117,20 +117,19 @@ fn run_probe(
 
 /// Groups probe output rows by their trailing `upid` column and bag-
 /// fingerprints each group.
-fn per_upid_fps(out: QueryOutput) -> BTreeMap<i64, Fingerprint> {
+fn per_upid_fps(out: QueryOutput) -> Result<BTreeMap<i64, Fingerprint>> {
     let ncols = out.columns.len();
     // BTreeMap: the map is iterated below, and per-update fingerprints
     // must be produced in upid order for the pass to be deterministic.
     let mut groups: BTreeMap<i64, Vec<Row>> = BTreeMap::new();
     for row in out.rows {
         // The probe plan appends upid as an integer literal column.
-        #[allow(clippy::expect_used)]
         let upid = row[ncols - 1]
             .as_i64()
-            .expect("upid column must be an integer");
+            .ok_or_else(|| EngineError::internal("probe upid column was not an integer"))?;
         groups.entry(upid).or_default().push(row);
     }
-    groups
+    Ok(groups
         .into_iter()
         .map(|(upid, rows)| {
             let fp = bag_fp(QueryOutput {
@@ -140,7 +139,7 @@ fn per_upid_fps(out: QueryOutput) -> BTreeMap<i64, Fingerprint> {
             });
             (upid, fp)
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -231,8 +230,9 @@ pub fn spj_disagreements(
                 let ncols = out.columns.len();
                 for row in &out.rows {
                     // The probe plan appends upid as an integer column.
-                    #[allow(clippy::expect_used)]
-                    let upid = row[ncols - 1].as_i64().expect("integer upid") as usize;
+                    let upid = row[ncols - 1].as_i64().ok_or_else(|| {
+                        EngineError::internal("probe upid column was not an integer")
+                    })? as usize;
                     bits[upid] = true;
                 }
             }
@@ -245,8 +245,8 @@ pub fn spj_disagreements(
                     .iter()
                     .flat_map(|(i, _, new)| with_upid(new, *i))
                     .collect();
-                let old_fps = per_upid_fps(run_probe(db, rel, &old_rows, opts.budget)?);
-                let new_fps = per_upid_fps(run_probe(db, rel, &new_rows, opts.budget)?);
+                let old_fps = per_upid_fps(run_probe(db, rel, &old_rows, opts.budget)?)?;
+                let new_fps = per_upid_fps(run_probe(db, rel, &new_rows, opts.budget)?)?;
                 for (i, _, _) in cmps {
                     let key = *i as i64;
                     if old_fps.get(&key) != new_fps.get(&key) {
@@ -472,7 +472,7 @@ pub fn agg_disagreements(
                 .flat_map(|(i, rows)| with_upid(rows, *i))
                 .collect();
             let out = run_probe(db, rel, &rows, opts.budget)?;
-            apply_addition_analysis(shape, &group_cache, out, &mut bits);
+            apply_addition_analysis(shape, &group_cache, out, &mut bits)?;
         } else {
             let workers = opts.parallelism.workers(news.len());
             if workers > 1 {
@@ -489,13 +489,13 @@ pub fn agg_disagreements(
                     &opts.telemetry,
                 )?;
                 for out in outs {
-                    apply_addition_analysis(shape, &group_cache, out, &mut bits);
+                    apply_addition_analysis(shape, &group_cache, out, &mut bits)?;
                 }
             } else {
                 for (i, rows) in news {
                     let rows: Vec<Row> = with_upid(rows, *i).collect();
                     let out = run_probe(db, rel, &rows, opts.budget)?;
-                    apply_addition_analysis(shape, &group_cache, out, &mut bits);
+                    apply_addition_analysis(shape, &group_cache, out, &mut bits)?;
                 }
             }
         }
@@ -652,10 +652,11 @@ fn single_relation_delta(
 ) -> Result<Delta> {
     // `single_relation_delta` is only entered for relations whose local
     // group keys were precomputed by `analyze_spja`.
-    #[allow(clippy::expect_used)]
     let gexprs = shape.local_group_exprs[rel.rel_idx]
         .as_ref()
-        .expect("caller checked local group keys");
+        .ok_or_else(|| {
+            EngineError::internal("single_relation_delta entered without local group keys")
+        })?;
     // Localize the visible aggregates' argument expressions.
     let in_rel = |s: usize| s >= rel.offset && s < rel.offset + rel.arity;
     let mut arg_local: Vec<Option<PExpr>> = Vec::with_capacity(plan.aggregates.len());
@@ -889,7 +890,7 @@ fn apply_addition_analysis(
     group_cache: &HashMap<Vec<Value>, Vec<Value>>,
     out: QueryOutput,
     bits: &mut [bool],
-) {
+) -> Result<()> {
     let g = shape.num_group_keys;
     let ncols = out.columns.len();
     // upid -> (group key -> arg rows). BTreeMaps: both levels are
@@ -898,8 +899,9 @@ fn apply_addition_analysis(
     let mut per_update: BTreeMap<i64, BTreeMap<Vec<Value>, Vec<Vec<Value>>>> = BTreeMap::new();
     for row in out.rows {
         // The probe plan appends upid as an integer literal column.
-        #[allow(clippy::expect_used)]
-        let upid = row[ncols - 1].as_i64().expect("integer upid");
+        let upid = row[ncols - 1]
+            .as_i64()
+            .ok_or_else(|| EngineError::internal("probe upid column was not an integer"))?;
         let key = row[..g].to_vec();
         let args = row[g..ncols - 1].to_vec();
         per_update
@@ -975,4 +977,5 @@ fn apply_addition_analysis(
             bits[upid as usize] = true;
         }
     }
+    Ok(())
 }

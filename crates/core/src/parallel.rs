@@ -170,13 +170,13 @@ where
     }
     // Every index in 0..n is claimed exactly once by the chunked atomic
     // counter (the loom model in crates/core/tests/loom.rs exercises this
-    // invariant under perturbed schedules), so every slot is filled.
-    #[allow(clippy::expect_used)]
-    let vals: Vec<T> = slots
+    // invariant under perturbed schedules), so every slot is filled — and
+    // if that invariant ever breaks, the broker degrades instead of
+    // aborting mid-purchase.
+    slots
         .into_iter()
-        .map(|s| s.expect("worker pool covered every index"))
-        .collect();
-    Ok(vals)
+        .map(|s| s.ok_or_else(|| EngineError::internal("worker pool left a result slot unfilled")))
+        .collect()
 }
 
 type WorkerResult<T> = (Vec<(usize, T)>, Option<(usize, EngineError)>);

@@ -176,7 +176,7 @@ impl ColumnSampler {
 /// Use [`try_generate_support`] to handle those conditions as errors.
 #[allow(clippy::panic)] // documented panicking wrapper over try_generate_support
 pub fn generate_support(db: &Database, cfg: &SupportConfig) -> Vec<SupportUpdate> {
-    try_generate_support(db, cfg).unwrap_or_else(|e| panic!("{e}"))
+    try_generate_support(db, cfg).unwrap_or_else(|e| panic!("{e}")) // qirana-lint::allow(QL007): documented panicking wrapper over try_generate_support
 }
 
 /// Fallible form of [`generate_support`]: returns [`SupportError`] instead

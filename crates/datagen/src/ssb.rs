@@ -254,7 +254,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
         (&["lo_orderdate"][..], "dwdate"),
     ] {
         #[allow(clippy::unwrap_used)] // parent table added above
-        let parent_schema = db.table(parent).unwrap().schema.clone();
+        let parent_schema = db.table(parent).unwrap().schema.clone(); // qirana-lint::allow(QL007): parent table added above
         let parent_pk: Vec<&str> = parent_schema
             .primary_key
             .iter()

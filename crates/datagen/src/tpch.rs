@@ -124,7 +124,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     nation_schema.add_foreign_key(
         &["n_regionkey"],
         "region",
-        &db.table("region").unwrap().schema,
+        &db.table("region").unwrap().schema, // qirana-lint::allow(QL007): parent table added above
         &["r_regionkey"],
     );
     let nation_rows: Vec<Row> = NATIONS
@@ -159,7 +159,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     supplier_schema.add_foreign_key(
         &["s_nationkey"],
         "nation",
-        &db.table("nation").unwrap().schema,
+        &db.table("nation").unwrap().schema, // qirana-lint::allow(QL007): parent table added above
         &["n_nationkey"],
     );
     let supplier_rows: Vec<Row> = (1..=n_supplier as i64)
@@ -196,7 +196,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     customer_schema.add_foreign_key(
         &["c_nationkey"],
         "nation",
-        &db.table("nation").unwrap().schema,
+        &db.table("nation").unwrap().schema, // qirana-lint::allow(QL007): parent table added above
         &["n_nationkey"],
     );
     let customer_rows: Vec<Row> = (1..=n_customer as i64)
@@ -275,14 +275,14 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     ps_schema.add_foreign_key(
         &["ps_partkey"],
         "part",
-        &db.table("part").unwrap().schema,
+        &db.table("part").unwrap().schema, // qirana-lint::allow(QL007): parent table added above
         &["p_partkey"],
     );
     #[allow(clippy::unwrap_used)] // parent table added above
     ps_schema.add_foreign_key(
         &["ps_suppkey"],
         "supplier",
-        &db.table("supplier").unwrap().schema,
+        &db.table("supplier").unwrap().schema, // qirana-lint::allow(QL007): parent table added above
         &["s_suppkey"],
     );
     let mut ps_rows: Vec<Row> = Vec::with_capacity(n_part * 4);
@@ -325,7 +325,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     orders_schema.add_foreign_key(
         &["o_custkey"],
         "customer",
-        &db.table("customer").unwrap().schema,
+        &db.table("customer").unwrap().schema, // qirana-lint::allow(QL007): parent table added above
         &["c_custkey"],
     );
     let mut li_schema = TableSchema::new(

@@ -47,6 +47,10 @@ pub enum EngineError {
         resource: BudgetResource,
         limit: u64,
     },
+    /// An internal invariant did not hold. Replaces panics on paths
+    /// reachable from public API (qirana-lint QL007): the broker must
+    /// degrade a purchase, not abort, when an engine invariant breaks.
+    Internal(String),
 }
 
 impl EngineError {
@@ -64,6 +68,13 @@ impl EngineError {
 
     pub(crate) fn schema(message: impl Into<String>) -> Self {
         EngineError::Schema(message.into())
+    }
+
+    /// Internal-invariant failure. Public (unlike the other constructors)
+    /// so downstream crates (`core::optimized`, `core::parallel`) can
+    /// surface their own broken invariants through the same channel.
+    pub fn internal(message: impl Into<String>) -> Self {
+        EngineError::Internal(message.into())
     }
 
     /// True when this error is a budget trip (as opposed to a genuine
@@ -86,6 +97,7 @@ impl fmt::Display for EngineError {
             EngineError::BudgetExceeded { resource, limit } => {
                 write!(f, "execution budget exceeded: {resource} limit {limit}")
             }
+            EngineError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }

@@ -562,7 +562,7 @@ impl Accum {
         if let Accum::Count { n } = self {
             *n += 1;
         } else {
-            // qirana-lint::allow(QL003): the planner rejects other arg-less
+            // qirana-lint::allow(QL003, QL007): the planner rejects other arg-less
             unreachable!("only COUNT may have no argument"); // aggregates
         }
     }
@@ -641,7 +641,7 @@ impl Accum {
                         Value::Float(s / vals.len() as f64)
                     }
                 }
-                // qirana-lint::allow(QL003): Accum::new maps MIN/MAX to MinMax
+                // qirana-lint::allow(QL003, QL007): Accum::new maps MIN/MAX to MinMax
                 AggFunc::Min | AggFunc::Max => unreachable!("MIN/MAX use MinMax"),
             },
             Accum::Sum {
@@ -717,7 +717,7 @@ fn rels_of(e: &PExpr, plan: &ResolvedSelect) -> u64 {
             .offsets
             .iter()
             .rposition(|&o| o <= s)
-            .expect("slot below first offset");
+            .expect("slot below first offset"); // qirana-lint::allow(QL007): offsets[0] == 0
         mask |= 1 << rel;
     }
     mask
@@ -857,10 +857,9 @@ fn run_from(
     // Greedy join: start from the smallest relation, repeatedly hash-join a
     // connected relation (falling back to cartesian product).
     // The planner rejects SELECTs with an empty FROM list, so n >= 1.
-    #[allow(clippy::expect_used)]
     let start = (0..n)
         .min_by_key(|&i| sources[i].as_slice().len())
-        .expect("n >= 1");
+        .ok_or_else(|| EngineError::internal("greedy join started with an empty FROM list"))?;
     let mut bound: u64 = 1 << start;
     let width = plan.width;
     let start_rows = sources[start].as_slice();
@@ -971,11 +970,12 @@ fn run_from(
             None => {
                 // Cartesian product with the smallest unbound relation.
                 // The loop runs only while some relation is unbound.
-                #[allow(clippy::expect_used)]
                 let r = (0..n)
                     .filter(|&i| bound & (1 << i) == 0)
                     .min_by_key(|&i| sources[i].as_slice().len())
-                    .expect("unbound relation exists");
+                    .ok_or_else(|| {
+                        EngineError::internal("greedy join loop ran with every relation bound")
+                    })?;
                 let offset = plan.offsets[r];
                 let rows_r = sources[r].as_slice();
                 let mut next = Vec::with_capacity(inter.len() * rows_r.len().max(1));

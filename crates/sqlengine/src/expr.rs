@@ -35,7 +35,7 @@ pub fn binary_op(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                 LtEq => ord.is_le(),
                 Gt => ord.is_gt(),
                 GtEq => ord.is_ge(),
-                // qirana-lint::allow(QL003): outer match covers the rest
+                // qirana-lint::allow(QL003, QL007): outer match covers the rest
                 _ => unreachable!(),
             };
             Ok(Value::Bool(b))
@@ -95,7 +95,7 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                     Value::Int(a % b)
                 }
             }
-            // qirana-lint::allow(QL003): outer match covers the rest
+            // qirana-lint::allow(QL003, QL007): outer match covers the rest
             _ => unreachable!(),
         }),
         _ => {
@@ -125,7 +125,7 @@ fn arith(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                         Value::Float(a % b)
                     }
                 }
-                // qirana-lint::allow(QL003): outer match covers the rest
+                // qirana-lint::allow(QL003, QL007): outer match covers the rest
                 _ => unreachable!(),
             })
         }

@@ -132,7 +132,7 @@ impl Parser {
         match self.peek() {
             Some(Token::Ident(_)) => match self.advance() {
                 Some(Token::Ident(s)) => Ok(s),
-                // qirana-lint::allow(QL003): peek() just saw this token
+                // qirana-lint::allow(QL003, QL007): peek() just saw this token
                 _ => unreachable!(),
             },
             _ => Err(self.err("expected identifier")),
@@ -143,7 +143,7 @@ impl Parser {
         match self.peek() {
             Some(Token::Str(_)) => match self.advance() {
                 Some(Token::Str(s)) => Ok(s),
-                // qirana-lint::allow(QL003): peek() just saw this token
+                // qirana-lint::allow(QL003, QL007): peek() just saw this token
                 _ => unreachable!(),
             },
             _ => Err(self.err("expected string literal")),

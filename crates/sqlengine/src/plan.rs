@@ -295,7 +295,7 @@ impl PExpr {
                 }
             }
             PExpr::InSubquery { .. } | PExpr::Exists { .. } | PExpr::ScalarSubquery(_) => {
-                panic!("map_slots on an expression containing a subquery")
+                panic!("map_slots on an expression containing a subquery") // qirana-lint::allow(QL007): documented contract; planners strip subqueries before slot mapping
             }
             PExpr::Case {
                 operand,

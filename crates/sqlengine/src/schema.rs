@@ -122,6 +122,7 @@ impl TableSchema {
     /// [`TableSchema::try_new`] instead.
     #[allow(clippy::panic)] // documented panicking wrapper over try_new
     pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: &[&str]) -> Self {
+        // qirana-lint::allow(QL007): documented panicking wrapper; fallible callers use try_new
         Self::try_new(name, columns, primary_key).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -169,12 +170,12 @@ impl TableSchema {
         #[allow(clippy::expect_used)]
         let cols = columns
             .iter()
-            .map(|c| self.column_index(c).expect("fk column not found"))
+            .map(|c| self.column_index(c).expect("fk column not found")) // qirana-lint::allow(QL007): fixture programming error, not data
             .collect();
         #[allow(clippy::expect_used)]
         let pcols = parent_columns
             .iter()
-            .map(|c| parent.column_index(c).expect("fk parent column not found"))
+            .map(|c| parent.column_index(c).expect("fk parent column not found")) // qirana-lint::allow(QL007): fixture programming error, not data
             .collect();
         self.foreign_keys.push(ForeignKey {
             columns: cols,

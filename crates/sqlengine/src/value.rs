@@ -371,7 +371,7 @@ fn days_in_month(y: i32, m: u32) -> u32 {
                 28
             }
         }
-        // qirana-lint::allow(QL003): caller clamps m to 1..=12
+        // qirana-lint::allow(QL003, QL007): caller clamps m to 1..=12
         _ => unreachable!("month out of range: {m}"),
     }
 }

@@ -8,10 +8,21 @@
 //! crate turns those bug classes into machine-checked, allow-listable
 //! lints with `file:line` diagnostics; see [`lints`] for the rules and
 //! DESIGN.md §6 for the motivating history.
+//!
+//! Since PR 9 the engine is **interprocedural**: [`parser`] lifts each
+//! file's token stream to `fn` items and call expressions, [`graph`] and
+//! [`resolve`] assemble a workspace-wide call graph (also exported by
+//! `cargo xtask graph` as deterministic DOT/JSON), and three graph-powered
+//! lints — QL007 panic-reachability, QL008 determinism taint, QL009 WAL
+//! discipline — check whole-program properties the per-file passes cannot
+//! see (DESIGN.md §10).
 
 pub mod analysis;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
+pub mod resolve;
 pub mod walk;
 
 use analysis::FileContext;
@@ -19,19 +30,54 @@ use lints::Diagnostic;
 use std::io;
 use std::path::Path;
 
-/// Lints one file's source text (entry point for tests and tools).
+/// Lints one file's source text with the per-file passes (QL001–QL006)
+/// only (entry point for tests and tools).
 pub fn lint_source(display_path: &str, src: &str) -> Vec<Diagnostic> {
     lints::lint_file(&FileContext::new(display_path, src))
 }
 
-/// Lints the whole workspace rooted at `root`; diagnostics come back
-/// sorted by (path, line, rule).
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+/// Runs the interprocedural passes (QL007–QL009) over a call graph built
+/// from this one file (entry point for graph-lint fixtures, where the
+/// whole "workspace" is a single self-contained file).
+pub fn lint_graph_source(display_path: &str, src: &str) -> Vec<Diagnostic> {
+    let g = graph::build(vec![(display_path.to_string(), src.to_string())]);
+    lints::lint_graph(&g)
+}
+
+/// Lints a set of `(display_path, source)` files: every per-file pass on
+/// each file, plus the interprocedural passes over the call graph built
+/// from all of them. Diagnostics come back sorted by (path, line, rule).
+pub fn lint_sources(sources: Vec<(String, String)>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    for (path, src) in &sources {
+        out.extend(lint_source(path, src));
+    }
+    let g = graph::build(sources);
+    out.extend(lints::lint_graph(&g));
+    out.sort();
+    out
+}
+
+/// Reads every lintable source file under `root` as `(display_path, src)`
+/// pairs, sorted by path (public for the parser round-trip self-check).
+pub fn read_workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut sources = Vec::new();
     for file in walk::workspace_sources(root)? {
         let src = std::fs::read_to_string(&file)?;
-        out.extend(lint_source(&walk::display_path(root, &file), &src));
+        sources.push((walk::display_path(root, &file), src));
     }
-    out.sort();
-    Ok(out)
+    Ok(sources)
+}
+
+/// Lints the whole workspace rooted at `root` — per-file passes QL001–
+/// QL006 plus graph passes QL007–QL009; diagnostics come back sorted by
+/// (path, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(lint_sources(read_workspace_sources(root)?))
+}
+
+/// Builds the workspace call graph (entry point for `cargo xtask graph`
+/// and the determinism self-checks).
+pub fn build_workspace_graph(root: &Path) -> io::Result<graph::WorkspaceGraph> {
+    Ok(graph::build(read_workspace_sources(root)?))
 }

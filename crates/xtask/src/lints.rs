@@ -37,12 +37,35 @@
 //!   side channel that corrupts bench JSON on stdout. Bins and tests are
 //!   exempt.
 //!
+//! Three further rules are **interprocedural**: they run over the
+//! workspace call graph ([`crate::graph`]) instead of one file at a time
+//! (see DESIGN.md §10):
+//!
+//! * **QL007** — transitive panic-reachability. The closure of QL003: a
+//!   public library function that *transitively* reaches an
+//!   `unwrap`/`expect`/`panic!` site can abort a buyer's purchase three
+//!   calls deep, where the per-file pass is blind. A QL003 waiver does
+//!   not silence QL007 — a site may be locally justified yet still
+//!   poison the public contract; waive QL007 at the panic site or at the
+//!   entry point's `fn` declaration.
+//! * **QL008** — determinism taint. Hash-order iteration (the QL001
+//!   pattern) inside any function that a fingerprint- or price-producing
+//!   function (`sqlengine::fingerprint`, `core::engine`) transitively
+//!   calls can leak per-process iteration order into prices.
+//! * **QL009** — WAL discipline. Broker account/database mutation sites
+//!   reachable from a `Broker` commit entry point (`buy`, `commit*`)
+//!   without a dominating `ledger.append` call earlier on the path
+//!   violate PR 6's append-then-apply rule: a crash between mutation and
+//!   logging strands state the ledger cannot replay.
+//!
 //! All rules are waivable with an inline justification:
 //! `// qirana-lint::allow(QL00x): <why this site is sound>`.
 
 use crate::analysis::FileContext;
+use crate::graph::WorkspaceGraph;
 use crate::lexer::{Tok, TokKind};
-use std::collections::BTreeSet;
+use crate::parser::Vis;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 /// The lint rules, in diagnostic-code order.
@@ -54,6 +77,9 @@ pub enum Lint {
     Ql004,
     Ql005,
     Ql006,
+    Ql007,
+    Ql008,
+    Ql009,
 }
 
 impl Lint {
@@ -66,6 +92,9 @@ impl Lint {
             Lint::Ql004 => "QL004",
             Lint::Ql005 => "QL005",
             Lint::Ql006 => "QL006",
+            Lint::Ql007 => "QL007",
+            Lint::Ql008 => "QL008",
+            Lint::Ql009 => "QL009",
         }
     }
 
@@ -78,18 +107,142 @@ impl Lint {
             "QL004" => Some(Lint::Ql004),
             "QL005" => Some(Lint::Ql005),
             "QL006" => Some(Lint::Ql006),
+            "QL007" => Some(Lint::Ql007),
+            "QL008" => Some(Lint::Ql008),
+            "QL009" => Some(Lint::Ql009),
             _ => None,
         }
     }
 
-    pub const ALL: [Lint; 6] = [
+    pub const ALL: [Lint; 9] = [
         Lint::Ql001,
         Lint::Ql002,
         Lint::Ql003,
         Lint::Ql004,
         Lint::Ql005,
         Lint::Ql006,
+        Lint::Ql007,
+        Lint::Ql008,
+        Lint::Ql009,
     ];
+
+    /// Long-form rationale, example, and waiver syntax for
+    /// `cargo xtask lint --explain QLxxx`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Lint::Ql001 => {
+                "QL001 — nondeterministic HashMap/HashSet iteration\n\n\
+                 Float accumulation is not associative, so iterating a hash map while\n\
+                 summing prices or entropy makes the result depend on per-process hash\n\
+                 order (the PR 3 entropy-pricing bug: two prices of the same partition\n\
+                 differed in the last ulp).\n\n\
+                 Example violation:   for (k, v) in weights.iter() { total += v; }\n\
+                 Fix:                 iterate a BTreeMap, a sorted Vec, or\n\
+                                      first-appearance indexing.\n\
+                 Waiver:              // qirana-lint::allow(QL001): <why order cannot leak>"
+            }
+            Lint::Ql002 => {
+                "QL002 — lossy `as f64` casts of possibly-64-bit integers\n\n\
+                 `i64 as f64` silently collapses distinct integers beyond 2^53; the\n\
+                 PR 3 fingerprint bug priced 2^53 and 2^53 + 1 identically. A cast\n\
+                 passes only when the source is provably <= 32 bits at the token level\n\
+                 (`x as u32 as f64`, a declared-small name, a small literal).\n\n\
+                 Example violation:   let w = row_count as f64;   // row_count: u64\n\
+                 Fix:                 qirana_sqlengine::value::lossless_f64, or cast\n\
+                                      through u32/i32 when the range is known.\n\
+                 Waiver:              // qirana-lint::allow(QL002): <why the value fits>"
+            }
+            Lint::Ql003 => {
+                "QL003 — panicking calls in library code\n\n\
+                 `unwrap()`, `expect()`, and the `panic!` macro family abort the broker\n\
+                 instead of surfacing a typed error (`EngineError`, `PricingError`,\n\
+                 `SupportError`, `WeightError`). Bins and test code are exempt;\n\
+                 `#[allow(clippy::unwrap_used)]`-family attributes also waive the\n\
+                 annotated item.\n\n\
+                 Example violation:   let plan = parse(sql).unwrap();\n\
+                 Fix:                 let plan = parse(sql).map_err(EngineError::parse)?;\n\
+                 Waiver:              // qirana-lint::allow(QL003): <invariant making this unreachable>"
+            }
+            Lint::Ql004 => {
+                "QL004 — ambient nondeterminism (entropy, wall clock, unstable hashers)\n\n\
+                 Support sets, weights, and prices must replay from an explicit seed.\n\
+                 `thread_rng`/`from_entropy`/`rand::random` seed from the environment;\n\
+                 `Instant::now`/`SystemTime::now` read the ambient clock; `DefaultHasher`/\n\
+                 `RandomState` output changes across compiler releases (the PR 8\n\
+                 SupportUpdate::signature bug). The fault module is exempt.\n\n\
+                 Example violation:   let mut rng = thread_rng();\n\
+                 Fix:                 SeedableRng::seed_from_u64(cfg.seed); hash through\n\
+                                      qirana_sqlengine::fingerprint.\n\
+                 Waiver:              // qirana-lint::allow(QL004): <why this site is replayable>"
+            }
+            Lint::Ql005 => {
+                "QL005 — durable writes bypassing the ledger\n\n\
+                 The market's only durable artifacts are the write-ahead log and its\n\
+                 snapshots, owned by core::ledger. A direct `fs::write`/`File::create`\n\
+                 elsewhere creates state crash recovery cannot see or replay. Bins and\n\
+                 tests are exempt.\n\n\
+                 Example violation:   std::fs::write(\"balances.json\", data)?;\n\
+                 Fix:                 persist through the ledger (or move into a bin).\n\
+                 Waiver:              // qirana-lint::allow(QL005): <why this bypass is sound>"
+            }
+            Lint::Ql006 => {
+                "QL006 — stray prints in library code\n\n\
+                 `println!`/`eprintln!`/`dbg!` bypass the telemetry sink and corrupt\n\
+                 machine-readable output on stdout (bench JSON). core::telemetry and\n\
+                 bins are exempt.\n\n\
+                 Example violation:   println!(\"price = {p}\");\n\
+                 Fix:                 record a span/counter/gauge on core::telemetry.\n\
+                 Waiver:              // qirana-lint::allow(QL006): <why this print must stay>"
+            }
+            Lint::Ql007 => {
+                "QL007 — transitive panic-reachability from public API (interprocedural)\n\n\
+                 The closure of QL003 over the workspace call graph: a `pub` library\n\
+                 function that transitively reaches an `unwrap`/`expect`/`panic!` site\n\
+                 can abort a buyer's purchase several calls deep. QL003 waivers do NOT\n\
+                 silence QL007: a site may be locally justified (checked invariant) yet\n\
+                 still poison the public contract, so the interprocedural waiver is\n\
+                 separate. The diagnostic shows one example call path from the public\n\
+                 entry to the panic site.\n\n\
+                 Example violation:   pub fn quote(..) -> f64 { helper() } where\n\
+                                      helper() calls slots.expect(\"populated\")\n\
+                 Fix:                 thread a typed error (`EngineError::internal`) up\n\
+                                      to the entry, or prove + document the invariant.\n\
+                 Waiver:              // qirana-lint::allow(QL007): <reason> at the panic\n\
+                                      site or at the entry `fn` declaration line."
+            }
+            Lint::Ql008 => {
+                "QL008 — determinism taint into fingerprint/price producers (interprocedural)\n\n\
+                 Hash-order iteration (the QL001 pattern) inside any function that a\n\
+                 fingerprint- or price-producing function (module `fingerprint` or\n\
+                 `engine`) transitively calls lets per-process hash order leak into\n\
+                 published prices — even when the iteration lives in a helper far from\n\
+                 the pricing surface. The diagnostic shows the call path from the\n\
+                 tainted producer to the iteration site.\n\n\
+                 Example violation:   core::engine::price -> util::fold_weights, where\n\
+                                      fold_weights sums over weights.values()\n\
+                 Fix:                 iterate a BTreeMap/sorted Vec in the helper.\n\
+                 Waiver:              // qirana-lint::allow(QL008): <why order cannot\n\
+                                      reach the producer's output> at the iteration site."
+            }
+            Lint::Ql009 => {
+                "QL009 — WAL discipline on broker commit paths (interprocedural)\n\n\
+                 PR 6's append-then-apply rule: on every path from a broker commit\n\
+                 entry point (`buy`, `commit*`) to an account/database mutation\n\
+                 (buyers map, paid/charged fields, history, apply_update_sql/\n\
+                 apply_writes), a `ledger.append(..)` must come first — otherwise a\n\
+                 crash between mutation and logging strands state the WAL cannot\n\
+                 replay. The pass walks only call edges not preceded by an append in\n\
+                 the caller's body and flags mutation sites with no earlier append in\n\
+                 their own body.\n\n\
+                 Example violation:   pub fn commit_x(&mut self) { self.buyers.insert(..);\n\
+                                      self.log()?; }   // mutate before append\n\
+                 Fix:                 append the event first, then apply it (rollback on\n\
+                                      append failure if the apply already happened).\n\
+                 Waiver:              // qirana-lint::allow(QL009): <compensating\n\
+                                      mechanism, e.g. undo-rollback> at the mutation site."
+            }
+        }
+    }
 }
 
 /// One finding: file, line, rule, and a human explanation.
@@ -524,6 +677,259 @@ fn ql006_stray_prints(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
                      machine-readable output on stdout/stderr; record a span, counter, \
                      or gauge on `core::telemetry` instead (or move this into a bin/test)",
                     t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural passes (QL007–QL009) over the workspace call graph.
+// ---------------------------------------------------------------------------
+
+/// Runs the graph-powered passes. Per-file passes stay in [`lint_file`];
+/// this entry point exists separately so fixtures can pin each layer's
+/// diagnostics in isolation.
+pub fn lint_graph(g: &WorkspaceGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    ql007_panic_reachability(g, &mut out);
+    ql008_determinism_taint(g, &mut out);
+    ql009_wal_discipline(g, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Reachability state from a multi-source BFS: for each reached node, the
+/// entry it traces to and its BFS parent (for one example path). Nodes are
+/// seeded and expanded in index order, so example paths are deterministic.
+struct Reach {
+    reached: Vec<bool>,
+    origin: Vec<usize>,
+    parent: Vec<usize>,
+}
+
+const NO_NODE: usize = usize::MAX;
+
+fn reach_from(g: &WorkspaceGraph, starts: &[usize]) -> Reach {
+    let n = g.nodes.len();
+    let mut r = Reach {
+        reached: vec![false; n],
+        origin: vec![NO_NODE; n],
+        parent: vec![NO_NODE; n],
+    };
+    let mut queue = VecDeque::new();
+    for &s in starts {
+        if !r.reached[s] {
+            r.reached[s] = true;
+            r.origin[s] = s;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &ei in &g.adj[u] {
+            let v = g.edges[ei].to;
+            if !r.reached[v] {
+                r.reached[v] = true;
+                r.origin[v] = r.origin[u];
+                r.parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    r
+}
+
+/// ` (call path: a -> b -> c)` from the BFS entry down to `v`, or empty
+/// when `v` is itself the entry.
+fn call_path(g: &WorkspaceGraph, r: &Reach, v: usize) -> String {
+    if r.parent[v] == NO_NODE {
+        return String::new();
+    }
+    let mut chain = vec![v];
+    let mut cur = v;
+    while r.parent[cur] != NO_NODE {
+        cur = r.parent[cur];
+        chain.push(cur);
+    }
+    chain.reverse();
+    let names: Vec<&str> = chain.iter().map(|&i| g.nodes[i].fqn.as_str()).collect();
+    format!(" (call path: {})", names.join(" -> "))
+}
+
+fn graph_diag(
+    g: &WorkspaceGraph,
+    node: usize,
+    tok: usize,
+    lint: Lint,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let ctx = &g.files[g.nodes[node].file].ctx;
+    if !ctx.allowed(lint, tok) {
+        out.push(Diagnostic {
+            path: ctx.path.clone(),
+            line: ctx.code[tok].line,
+            lint,
+            message,
+        });
+    }
+}
+
+/// QL007: panic sites transitively reachable from public library API.
+/// Entries are `pub` fns outside bins/tests whose declaration line carries
+/// no QL007 waiver; sites are the QL003 token patterns (QL003's own
+/// waivers deliberately don't transfer — see the module docs).
+fn ql007_panic_reachability(g: &WorkspaceGraph, out: &mut Vec<Diagnostic>) {
+    let entries: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            let ctx = &g.files[n.file].ctx;
+            n.vis == Vis::Pub
+                && !ctx.is_bin()
+                && !ctx.in_test(n.decl)
+                && !ctx.allowed(Lint::Ql007, n.decl)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let r = reach_from(g, &entries);
+    for (i, n) in g.nodes.iter().enumerate() {
+        if !r.reached[i] || g.files[n.file].ctx.is_bin() {
+            continue;
+        }
+        for site in &n.panic_sites {
+            graph_diag(
+                g,
+                i,
+                site.tok,
+                Lint::Ql007,
+                format!(
+                    "`{}` can panic and is reachable from public API `{}`{}; thread a \
+                     typed error to the entry or waive QL007 at this site or the \
+                     entry `fn`",
+                    site.what,
+                    g.nodes[r.origin[i]].fqn,
+                    call_path(g, &r, i)
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// QL008: hash-order iteration sites inside functions that a fingerprint-
+/// or price-producing function (module segment `fingerprint` or `engine`)
+/// transitively calls.
+fn ql008_determinism_taint(g: &WorkspaceGraph, out: &mut Vec<Diagnostic>) {
+    let sinks: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            let ctx = &g.files[n.file].ctx;
+            (n.in_module(&g.files, "fingerprint") || n.in_module(&g.files, "engine"))
+                && !ctx.in_test(n.decl)
+                && !ctx.allowed(Lint::Ql008, n.decl)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let r = reach_from(g, &sinks);
+    for (i, n) in g.nodes.iter().enumerate() {
+        if !r.reached[i] {
+            continue;
+        }
+        for site in &n.hash_sites {
+            graph_diag(
+                g,
+                i,
+                site.tok,
+                Lint::Ql008,
+                format!(
+                    "`{}` iterates in per-process hash order and can taint the \
+                     deterministic output of `{}`{}; iterate a BTreeMap or sorted Vec",
+                    site.what,
+                    g.nodes[r.origin[i]].fqn,
+                    call_path(g, &r, i)
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// QL009: broker mutation sites reachable from a commit entry point with
+/// no `ledger.append` earlier on the path. An edge is *protected* (not
+/// walked) when the caller appends before making the call; a mutation
+/// site is *covered* when its own body appends earlier.
+fn ql009_wal_discipline(g: &WorkspaceGraph, out: &mut Vec<Diagnostic>) {
+    let entries: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            let ctx = &g.files[n.file].ctx;
+            let name = g.files[n.file].parsed.items[n.item].name.as_str();
+            n.in_module(&g.files, "broker")
+                && n.vis == Vis::Pub
+                && (name == "buy" || name.starts_with("commit"))
+                && !ctx.is_bin()
+                && !ctx.in_test(n.decl)
+                && !ctx.allowed(Lint::Ql009, n.decl)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    // BFS over unprotected edges only: once a caller has appended, every
+    // callee after that call inherits the WAL entry.
+    let n = g.nodes.len();
+    let mut r = Reach {
+        reached: vec![false; n],
+        origin: vec![NO_NODE; n],
+        parent: vec![NO_NODE; n],
+    };
+    let mut queue = VecDeque::new();
+    for &s in &entries {
+        if !r.reached[s] {
+            r.reached[s] = true;
+            r.origin[s] = s;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &ei in &g.adj[u] {
+            let e = g.edges[ei];
+            let protected = g.nodes[u].append_sites.iter().any(|&a| a < e.call_tok);
+            if protected || r.reached[e.to] {
+                continue;
+            }
+            r.reached[e.to] = true;
+            r.origin[e.to] = r.origin[u];
+            r.parent[e.to] = u;
+            queue.push_back(e.to);
+        }
+    }
+    for (i, node) in g.nodes.iter().enumerate() {
+        if !r.reached[i] {
+            continue;
+        }
+        for site in &node.mutation_sites {
+            if node.append_sites.iter().any(|&a| a < site.tok) {
+                continue;
+            }
+            graph_diag(
+                g,
+                i,
+                site.tok,
+                Lint::Ql009,
+                format!(
+                    "broker state mutation `{}` executes with no preceding \
+                     `ledger.append` on the path from commit entry `{}`{}; log the \
+                     event before applying it (append-then-apply)",
+                    site.what,
+                    g.nodes[r.origin[i]].fqn,
+                    call_path(g, &r, i)
                 ),
                 out,
             );

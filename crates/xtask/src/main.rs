@@ -1,9 +1,14 @@
 //! `cargo xtask` — workspace automation CLI.
 //!
 //! Subcommands:
-//! * `lint [FILE…]` — run the qirana-lint pass (QL001–QL006) over the
+//! * `lint [FILE…]` — run the qirana-lint pass (QL001–QL009) over the
 //!   whole workspace, or over the given files only. Exits nonzero when
 //!   any diagnostic is emitted.
+//! * `lint --explain QLxxx` — print one lint's rationale, example, and
+//!   waiver syntax.
+//! * `graph [OUT_DIR]` — build the workspace call graph and write
+//!   deterministic `graph.dot` + `graph.json` artifacts (default
+//!   `target/qirana-graph`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -12,6 +17,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("graph") => graph(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`\n");
             usage();
@@ -26,18 +32,27 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask lint [FILE…]\n\n\
-         Runs the qirana-lint determinism/correctness pass (QL001–QL006)\n\
-         over every library source file in the workspace (default) or over\n\
-         the listed files. Diagnostics are `path:line: [QLxxx] message`;\n\
+        "usage: cargo xtask lint [FILE…]\n\
+         \x20      cargo xtask lint --explain QLxxx\n\
+         \x20      cargo xtask graph [OUT_DIR]\n\n\
+         `lint` runs the qirana-lint determinism/correctness passes —\n\
+         per-file QL001–QL006 plus the interprocedural QL007–QL009 over the\n\
+         workspace call graph — on every library source file (default) or\n\
+         on the listed files. Diagnostics are `path:line: [QLxxx] message`;\n\
          waive a site with `// qirana-lint::allow(QLxxx): <reason>`.\n\
-         See DESIGN.md §6."
+         `lint --explain QLxxx` prints one rule's rationale and waiver\n\
+         syntax. `graph` emits the call graph as deterministic DOT + JSON\n\
+         artifacts (default `target/qirana-graph`).\n\
+         See DESIGN.md §6 (per-file rules) and §10 (interprocedural)."
     );
 }
 
-fn lint(files: &[String]) -> ExitCode {
+fn lint(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("--explain") {
+        return explain(args.get(1).map(String::as_str));
+    }
     let root = workspace_root();
-    let diags = if files.is_empty() {
+    let diags = if args.is_empty() {
         match xtask::lint_workspace(&root) {
             Ok(d) => d,
             Err(e) => {
@@ -46,22 +61,18 @@ fn lint(files: &[String]) -> ExitCode {
             }
         }
     } else {
-        let mut out = Vec::new();
-        for f in files {
+        let mut sources = Vec::new();
+        for f in args {
             let path = PathBuf::from(f);
             match std::fs::read_to_string(&path) {
-                Ok(src) => out.extend(xtask::lint_source(
-                    &xtask::walk::display_path(&root, &path),
-                    &src,
-                )),
+                Ok(src) => sources.push((xtask::walk::display_path(&root, &path), src)),
                 Err(e) => {
                     eprintln!("xtask lint: cannot read {f}: {e}");
                     return ExitCode::from(2);
                 }
             }
         }
-        out.sort();
-        out
+        xtask::lint_sources(sources)
     };
 
     for d in &diags {
@@ -74,6 +85,58 @@ fn lint(files: &[String]) -> ExitCode {
         eprintln!("qirana-lint: {} violation(s)", diags.len());
         ExitCode::FAILURE
     }
+}
+
+fn explain(code: Option<&str>) -> ExitCode {
+    match code.and_then(xtask::lints::Lint::parse) {
+        Some(lint) => {
+            println!("{}", lint.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = xtask::lints::Lint::ALL.iter().map(|l| l.code()).collect();
+            eprintln!(
+                "xtask lint --explain: expected a lint code ({})",
+                known.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn graph(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let out_dir = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("target/qirana-graph"));
+    let g = match xtask::build_workspace_graph(&root) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("xtask graph: cannot build workspace graph: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("xtask graph: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+    let dot = out_dir.join("graph.dot");
+    let json = out_dir.join("graph.json");
+    if let Err(e) =
+        std::fs::write(&dot, g.to_dot()).and_then(|()| std::fs::write(&json, g.to_json()))
+    {
+        eprintln!("xtask graph: cannot write artifacts: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "qirana-graph: {} nodes, {} edges -> {} + {}",
+        g.nodes.len(),
+        g.edges.len(),
+        dot.display(),
+        json.display()
+    );
+    ExitCode::SUCCESS
 }
 
 /// The workspace root: two levels above this crate's manifest dir.

@@ -1,0 +1,646 @@
+//! Item-level Rust parser on top of the lossless lexer.
+//!
+//! The interprocedural lints (QL007–QL009) need more than a token stream:
+//! they need to know *which function* a token belongs to, how that
+//! function is addressed (`crate::module::Type::name`), whether it is
+//! public, and which other functions it calls. This module extracts
+//! exactly that — a flat list of [`FnItem`]s per file, each carrying its
+//! enclosing module/impl/trait scope, visibility, body token range, and
+//! outgoing [`Call`] sites — and deliberately nothing more: expressions,
+//! types, generics, and trait bounds are skipped over structurally (brace/
+//! paren/angle matching) but never interpreted.
+//!
+//! The parser is a single linear pass over the non-comment token stream
+//! with an explicit scope stack, so it is lossless in the sense that
+//! matters for analysis: every `fn` item in the file — nested functions,
+//! trait method signatures, functions inside `#[cfg(test)]` modules —
+//! becomes exactly one [`FnItem`] (the round-trip test in
+//! `tests/self_check.rs` pins this against the raw token stream for every
+//! workspace source file).
+
+use crate::analysis::FileContext;
+use crate::lexer::{Tok, TokKind};
+use std::ops::Range;
+
+/// Item visibility, as far as the call-graph lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Vis {
+    /// `pub` with no restriction: part of the crate's public API surface.
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`: visible but not API.
+    Scoped,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CallKind {
+    /// `f(…)` — a bare name, resolved through the enclosing scopes.
+    Bare,
+    /// `a::b::f(…)` — a path; the last qualifier segment is kept.
+    Path,
+    /// `recv.f(…)` — a method; resolved conservatively by name.
+    Method,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The called name (last path segment).
+    pub name: String,
+    /// For [`CallKind::Path`], the segment before the name (`b` in
+    /// `a::b::f`); `Self` is preserved verbatim.
+    pub qualifier: Option<String>,
+    pub kind: CallKind,
+    /// Code-token index of the name token.
+    pub tok: usize,
+    pub line: u32,
+}
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing in-file scope segments, outermost first: inline `mod`
+    /// names, `impl` self-type names, `trait` names, and enclosing `fn`
+    /// names (for nested functions).
+    pub scope: Vec<String>,
+    pub vis: Vis,
+    /// Code-token index of the `fn` keyword.
+    pub decl: usize,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// True when the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Code-token range of the body between its braces; `None` for a
+    /// bodyless trait-method signature.
+    pub body: Option<Range<usize>>,
+    /// Call expressions lexically inside this function's own body
+    /// (excluding those inside nested `fn` items, which own theirs).
+    pub calls: Vec<Call>,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub items: Vec<FnItem>,
+}
+
+/// Keywords that look like calls when followed by `(` but never are.
+const NON_CALL_KEYWORDS: [&str; 24] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "move",
+    "ref", "mut", "where", "impl", "dyn", "use", "pub", "mod", "struct", "enum", "trait", "break",
+];
+
+#[derive(Debug)]
+enum ScopeKind {
+    /// `mod name { … }` — contributes a scope segment.
+    Named(String),
+    /// The body of the fn item at this index in `items`.
+    Fn(usize),
+    /// A brace construct we track only for nesting (e.g. `trait` with an
+    /// unnamed header we could not interpret).
+    Opaque,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth of the tokens *inside* this scope's body.
+    body_depth: usize,
+}
+
+/// A scope whose opening `{` lies ahead at token index `open_tok`.
+struct Pending {
+    open_tok: usize,
+    kind: ScopeKind,
+}
+
+/// Parses one analyzed file into its `fn` items and call sites.
+pub fn parse_file(ctx: &FileContext) -> ParsedFile {
+    Parser {
+        code: &ctx.code,
+        items: Vec::new(),
+        scopes: Vec::new(),
+        pending: Vec::new(),
+        depth: 0,
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    code: &'a [Tok],
+    items: Vec<FnItem>,
+    scopes: Vec<Scope>,
+    pending: Vec<Pending>,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn run(mut self) -> ParsedFile {
+        let code = self.code;
+        let mut i = 0;
+        while i < code.len() {
+            let t = &code[i];
+            if t.is_punct("{") {
+                self.depth += 1;
+                if let Some(pos) = self.pending.iter().position(|p| p.open_tok == i) {
+                    let p = self.pending.remove(pos);
+                    self.scopes.push(Scope {
+                        kind: p.kind,
+                        body_depth: self.depth,
+                    });
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_punct("}") {
+                self.depth = self.depth.saturating_sub(1);
+                while self
+                    .scopes
+                    .last()
+                    .is_some_and(|s| self.depth < s.body_depth)
+                {
+                    let closed = match self.scopes.pop() {
+                        Some(s) => s,
+                        None => break,
+                    };
+                    if let ScopeKind::Fn(item) = closed.kind {
+                        // Close the body range at this `}` token.
+                        if let Some(body) = &mut self.items[item].body {
+                            body.end = i;
+                        }
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_ident("mod")
+                && code.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident)
+                && code.get(i + 2).is_some_and(|n| n.is_punct("{"))
+            {
+                self.pending.push(Pending {
+                    open_tok: i + 2,
+                    kind: ScopeKind::Named(code[i + 1].text.clone()),
+                });
+                i += 2; // land on the `{`
+                continue;
+            }
+            if t.is_ident("impl") {
+                i = self.open_impl_or_trait(i, true);
+                continue;
+            }
+            if t.is_ident("trait") && code.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident) {
+                i = self.open_impl_or_trait(i, false);
+                continue;
+            }
+            if t.is_ident("fn") && code.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident) {
+                i = self.fn_item(i);
+                continue;
+            }
+            // A possible call site, attributed to the innermost open fn.
+            if t.kind == TokKind::Ident
+                && code.get(i + 1).is_some_and(|n| n.is_punct("("))
+                && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            {
+                if let Some(call) = self.classify_call(i) {
+                    if let Some(item) = self.innermost_fn() {
+                        self.items[item].calls.push(call);
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Unterminated scopes (malformed input): close bodies at EOF so
+        // downstream passes see a consistent view instead of panicking.
+        while let Some(s) = self.scopes.pop() {
+            if let ScopeKind::Fn(item) = s.kind {
+                if let Some(body) = &mut self.items[item].body {
+                    body.end = code.len();
+                }
+            }
+        }
+        ParsedFile { items: self.items }
+    }
+
+    /// Index of the innermost enclosing fn item, if any.
+    fn innermost_fn(&self) -> Option<usize> {
+        self.scopes.iter().rev().find_map(|s| match s.kind {
+            ScopeKind::Fn(item) => Some(item),
+            _ => None,
+        })
+    }
+
+    /// Current scope segments (module/impl/trait/fn names), outermost first.
+    fn scope_path(&self) -> Vec<String> {
+        self.scopes
+            .iter()
+            .filter_map(|s| match &s.kind {
+                ScopeKind::Named(n) => Some(n.clone()),
+                ScopeKind::Fn(item) => Some(self.items[*item].name.clone()),
+                ScopeKind::Opaque => None,
+            })
+            .collect()
+    }
+
+    /// Handles an `impl`/`trait` header starting at `i`; registers the
+    /// pending scope at the body `{` and returns the index to resume from.
+    fn open_impl_or_trait(&mut self, i: usize, is_impl: bool) -> usize {
+        let code = self.code;
+        // Scan the header to its body `{` at bracket depth 0 (generics use
+        // `<`/`>`, which the scan tracks so `Foo<{N}>`-free headers parse;
+        // a `;` first means `impl Trait for Type;`-style nothing we track).
+        let mut angle = 0i32;
+        let mut j = i + 1;
+        let mut self_ty: Option<String> = None;
+        let mut after_for = false;
+        let mut last_ident_at_top: Option<String> = None;
+        while j < code.len() {
+            let t = &code[j];
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle == 0 {
+                if t.is_punct("{") {
+                    break;
+                }
+                if t.is_punct(";") {
+                    return j + 1;
+                }
+                if t.is_ident("for") {
+                    after_for = true;
+                    last_ident_at_top = None;
+                } else if t.is_ident("where") {
+                    // Bounds follow; the self type is already known.
+                    if self_ty.is_none() {
+                        self_ty = last_ident_at_top.take();
+                    }
+                } else if t.kind == TokKind::Ident {
+                    last_ident_at_top = Some(t.text.clone());
+                    if after_for {
+                        // First path: keep updating so `a::b::Type` ends on
+                        // `Type`; `for` resets, so trait names are skipped.
+                    }
+                }
+            }
+            j += 1;
+        }
+        if self_ty.is_none() {
+            self_ty = last_ident_at_top;
+        }
+        if j >= code.len() {
+            return code.len();
+        }
+        let kind = match self_ty {
+            Some(name) if is_impl || !name.is_empty() => ScopeKind::Named(name),
+            _ => ScopeKind::Opaque,
+        };
+        self.pending.push(Pending { open_tok: j, kind });
+        j // resume at the `{` so the main loop opens the scope
+    }
+
+    /// Handles a `fn` item starting at the `fn` keyword; records the item,
+    /// registers its body scope, and returns the index to resume from.
+    fn fn_item(&mut self, i: usize) -> usize {
+        let code = self.code;
+        let name = code[i + 1].text.clone();
+        let vis = self.visibility_before(i);
+        // Skip generics to the parameter list.
+        let mut j = i + 2;
+        if code.get(j).is_some_and(|t| t.is_punct("<")) {
+            let mut angle = 0i32;
+            while j < code.len() {
+                if code[j].is_punct("<") {
+                    angle += 1;
+                } else if code[j].is_punct(">") {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Parameter list: match parens; detect a `self` receiver.
+        let mut has_self = false;
+        if code.get(j).is_some_and(|t| t.is_punct("(")) {
+            let mut paren = 0i32;
+            let open = j;
+            while j < code.len() {
+                if code[j].is_punct("(") {
+                    paren += 1;
+                } else if code[j].is_punct(")") {
+                    paren -= 1;
+                    if paren == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            // First parameter: skip `&`, lifetimes, and `mut`.
+            let mut k = open + 1;
+            while code.get(k).is_some_and(|t| {
+                t.is_punct("&") || t.is_ident("mut") || t.kind == TokKind::Lifetime
+            }) {
+                k += 1;
+            }
+            has_self = k <= j && code.get(k).is_some_and(|t| t.is_ident("self"));
+            j += 1; // past the `)`
+        }
+        // Return type / where clause up to the body `{` or a `;`.
+        let mut paren = 0i32;
+        while j < code.len() {
+            let t = &code[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                paren += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct("{") {
+                break;
+            } else if paren == 0 && t.is_punct(";") {
+                // Bodyless signature (trait method / extern decl).
+                self.items.push(FnItem {
+                    name,
+                    scope: self.scope_path(),
+                    vis,
+                    decl: i,
+                    line: code[i].line,
+                    has_self,
+                    body: None,
+                    calls: Vec::new(),
+                });
+                return j + 1;
+            }
+            j += 1;
+        }
+        let item = self.items.len();
+        self.items.push(FnItem {
+            name,
+            scope: self.scope_path(),
+            vis,
+            decl: i,
+            line: code[i].line,
+            has_self,
+            // The end is patched when the scope closes (EOF-tolerant).
+            body: Some(j + 1..code.len()),
+            calls: Vec::new(),
+        });
+        if j < code.len() {
+            self.pending.push(Pending {
+                open_tok: j,
+                kind: ScopeKind::Fn(item),
+            });
+        }
+        j // resume at the `{`
+    }
+
+    /// Visibility of the item whose defining keyword sits at `i`, read
+    /// backwards over `const`/`async`/`unsafe`/`extern "C"` qualifiers.
+    fn visibility_before(&self, i: usize) -> Vis {
+        let code = self.code;
+        let mut j = i;
+        while j > 0 {
+            let prev = &code[j - 1];
+            if prev.is_ident("const")
+                || prev.is_ident("async")
+                || prev.is_ident("unsafe")
+                || prev.is_ident("extern")
+                || prev.kind == TokKind::Str
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j == 0 {
+            return Vis::Private;
+        }
+        if code[j - 1].is_ident("pub") {
+            return Vis::Pub;
+        }
+        // `pub ( crate ) fn` — walk back over the parenthesized restriction.
+        if code[j - 1].is_punct(")") {
+            let mut k = j - 1;
+            let mut paren = 0i32;
+            loop {
+                if code[k].is_punct(")") {
+                    paren += 1;
+                } else if code[k].is_punct("(") {
+                    paren -= 1;
+                    if paren == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return Vis::Private;
+                }
+                k -= 1;
+            }
+            if k > 0 && code[k - 1].is_ident("pub") {
+                return Vis::Scoped;
+            }
+        }
+        Vis::Private
+    }
+
+    /// Classifies the identifier-before-`(` at `i` as a call site, or
+    /// `None` for macro invocations (`name!(…)`, where the `!` follows the
+    /// name — those are not calls) and struct-ish uses we cannot see.
+    fn classify_call(&self, i: usize) -> Option<Call> {
+        let code = self.code;
+        let prev = i.checked_sub(1).map(|p| &code[p]);
+        let name = code[i].text.clone();
+        let line = code[i].line;
+        match prev {
+            Some(p) if p.is_punct(".") => Some(Call {
+                name,
+                qualifier: None,
+                kind: CallKind::Method,
+                tok: i,
+                line,
+            }),
+            Some(p) if p.is_punct(":") && i >= 2 && code[i - 2].is_punct(":") => {
+                let qualifier = i
+                    .checked_sub(3)
+                    .map(|q| &code[q])
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                Some(Call {
+                    name,
+                    qualifier,
+                    kind: CallKind::Path,
+                    tok: i,
+                    line,
+                })
+            }
+            Some(p) if p.is_punct("!") => None, // tail of `name!`? cannot happen; guard anyway
+            _ => {
+                // `name!(…)` macro invocations have the `!` *after* the
+                // name, so they never reach here (the `(`-check fails);
+                // this arm is plain `f(…)`.
+                Some(Call {
+                    name,
+                    qualifier: None,
+                    kind: CallKind::Bare,
+                    tok: i,
+                    line,
+                })
+            }
+        }
+    }
+}
+
+/// Counts the `fn`-item tokens in a code view: every `fn` keyword directly
+/// followed by an identifier (function-pointer types are `fn (`, closures
+/// have no `fn`). The round-trip test compares this against
+/// [`ParsedFile::items`] for every workspace file.
+pub fn count_fn_tokens(code: &[Tok]) -> usize {
+    code.iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            t.is_ident("fn") && code.get(i + 1).map(|n| n.kind) == Some(TokKind::Ident)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&FileContext::new("crates/demo/src/lib.rs", src))
+    }
+
+    #[test]
+    fn extracts_free_fns_with_visibility() {
+        let p = parse(
+            "pub fn api() { helper(); }\nfn helper() {}\npub(crate) fn mid() {}\n\
+             pub const fn c() {}\n",
+        );
+        let names: Vec<(&str, Vis)> = p.items.iter().map(|f| (f.name.as_str(), f.vis)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("api", Vis::Pub),
+                ("helper", Vis::Private),
+                ("mid", Vis::Scoped),
+                ("c", Vis::Pub),
+            ]
+        );
+    }
+
+    #[test]
+    fn records_scope_for_mods_impls_and_traits() {
+        let p = parse(
+            "mod inner {\n  pub struct T;\n  impl T { pub fn m(&self) {} }\n  \
+             trait Tr { fn sig(&self); fn with_default(&self) { self.sig(); } }\n}\n",
+        );
+        let m = &p.items[0];
+        assert_eq!(m.name, "m");
+        assert_eq!(m.scope, vec!["inner".to_string(), "T".to_string()]);
+        assert!(m.has_self);
+        let sig = &p.items[1];
+        assert_eq!(sig.name, "sig");
+        assert!(sig.body.is_none(), "trait signature has no body");
+        assert_eq!(sig.scope, vec!["inner".to_string(), "Tr".to_string()]);
+        let wd = &p.items[2];
+        assert_eq!(wd.name, "with_default");
+        assert!(wd.body.is_some());
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type_name() {
+        let p = parse("impl std::fmt::Debug for Broker { fn fmt(&self) { render(); } }\n");
+        assert_eq!(p.items[0].scope, vec!["Broker".to_string()]);
+        let p2 = parse("impl<'a> Lexer<'a> { fn next_tok(&mut self) {} }\n");
+        assert_eq!(p2.items[0].scope, vec!["Lexer".to_string()]);
+    }
+
+    #[test]
+    fn classifies_bare_path_and_method_calls() {
+        let p = parse(
+            "fn f(x: T) {\n  helper(x);\n  module::helper2(x);\n  Type::assoc(x);\n  \
+             x.method();\n  macro_like!(x);\n}\n",
+        );
+        let calls: Vec<(&str, CallKind, Option<&str>)> = p.items[0]
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.kind, c.qualifier.as_deref()))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                ("helper", CallKind::Bare, None),
+                ("helper2", CallKind::Path, Some("module")),
+                ("assoc", CallKind::Path, Some("Type")),
+                ("method", CallKind::Method, None),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fns_own_their_calls() {
+        let p = parse("fn outer() {\n  fn inner() { deep(); }\n  shallow();\n}\n");
+        assert_eq!(p.items.len(), 2);
+        let outer = p
+            .items
+            .iter()
+            .find(|f| f.name == "outer")
+            .map(|f| f.calls.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+        let inner = p
+            .items
+            .iter()
+            .find(|f| f.name == "inner")
+            .map(|f| f.calls.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+        assert_eq!(outer, Some(vec!["shallow".to_string()]));
+        assert_eq!(inner, Some(vec!["deep".to_string()]));
+        // And the nested fn's scope includes the outer fn.
+        let i = p.items.iter().find(|f| f.name == "inner");
+        assert_eq!(i.map(|f| f.scope.clone()), Some(vec!["outer".to_string()]));
+    }
+
+    #[test]
+    fn body_ranges_cover_exactly_the_braced_tokens() {
+        let src = "fn f() { a(); }\nfn g() { b(); }\n";
+        let ctx = FileContext::new("crates/demo/src/lib.rs", src);
+        let p = parse_file(&ctx);
+        for item in &p.items {
+            let body = item.body.clone().map(|r| r.start..r.end);
+            let r = match body {
+                Some(r) => r,
+                None => continue,
+            };
+            assert!(r.start <= r.end && r.end <= ctx.code.len());
+            for c in &item.calls {
+                assert!(r.contains(&c.tok), "call token inside body range");
+            }
+        }
+    }
+
+    #[test]
+    fn fn_pointer_types_and_generics_do_not_confuse() {
+        let p = parse(
+            "fn takes(cb: fn(u32) -> u32) -> Vec<u32> { cb(1); Vec::new() }\n\
+             fn generic<T: Clone>(t: T) where T: Send { t.clone(); }\n",
+        );
+        assert_eq!(p.items.len(), 2);
+        assert_eq!(p.items[0].name, "takes");
+        assert_eq!(p.items[1].name, "generic");
+        assert_eq!(
+            count_fn_tokens(&FileContext::new("x.rs", "fn a() {} fn(b) fn c();").code),
+            2
+        );
+    }
+
+    #[test]
+    fn self_receiver_detection() {
+        let p = parse(
+            "impl T {\n  fn by_ref(&self) {}\n  fn by_mut(&mut self) {}\n  \
+             fn by_val(self) {}\n  fn lifetimed<'a>(&'a self) {}\n  fn free(x: u32) {}\n}\n",
+        );
+        let selfs: Vec<bool> = p.items.iter().map(|f| f.has_self).collect();
+        assert_eq!(selfs, vec![true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Path-insensitive name resolution: call expressions → graph edges.
+//!
+//! Full Rust name resolution needs type inference; the lint graph
+//! deliberately settles for a conservative over-approximation that can
+//! only err toward *more* edges (a lint that walks extra edges reports a
+//! superset, never a miss):
+//!
+//! * **Bare calls** `f(…)` resolve in narrowing tiers — same file, then
+//!   same crate, then whole workspace — to every non-method `fn` named
+//!   `f` in the first non-empty tier. Imports are not chased; the crate
+//!   tier covers the overwhelmingly common `use crate::…` case.
+//! * **Path calls** `q::f(…)` keep only the last qualifier segment and
+//!   match it against a candidate's impl/trait scope, file module, or
+//!   crate name (`Self`/`self` resolve within the caller's own impl
+//!   scope, `crate::` within the caller's crate). Same-crate candidates
+//!   win over cross-crate ones when both match.
+//! * **Method calls** `recv.f(…)` have no receiver type available, so
+//!   they resolve to **every** workspace method named `f` that takes
+//!   `self`. This is the big over-approximation; DESIGN.md §10 discusses
+//!   the tradeoff.
+//!
+//! Calls that match nothing (std/vendored callees) produce no edge.
+
+use crate::graph::{AnalyzedFile, Edge, FnNode};
+use crate::parser::CallKind;
+use std::collections::BTreeMap;
+
+/// Resolves every call in every node to zero or more edges.
+pub fn resolve_calls(files: &[AnalyzedFile], nodes: &[FnNode]) -> Vec<Edge> {
+    // Name → node indices, in node order (deterministic).
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name
+            .entry(files[n.file].parsed.items[n.item].name.as_str())
+            .or_default()
+            .push(i);
+    }
+
+    let mut edges = Vec::new();
+    for (from, n) in nodes.iter().enumerate() {
+        let item = &files[n.file].parsed.items[n.item];
+        for call in &item.calls {
+            let candidates = by_name
+                .get(call.name.as_str())
+                .map_or(&[][..], Vec::as_slice);
+            let resolved: Vec<usize> = match call.kind {
+                CallKind::Method => candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| nodes[c].has_self)
+                    .collect(),
+                CallKind::Path => {
+                    resolve_path(files, nodes, from, call.qualifier.as_deref(), candidates)
+                }
+                CallKind::Bare => resolve_bare(nodes, from, candidates),
+            };
+            for to in resolved {
+                edges.push(Edge {
+                    from,
+                    to,
+                    call_tok: call.tok,
+                    line: call.line,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// `q::f(…)`: match the qualifier against scope/module/crate names.
+fn resolve_path(
+    files: &[AnalyzedFile],
+    nodes: &[FnNode],
+    from: usize,
+    qualifier: Option<&str>,
+    candidates: &[usize],
+) -> Vec<usize> {
+    let caller = &nodes[from];
+    let q = match qualifier {
+        Some(q) => q,
+        // A leading-`::` or macro-mangled path: fall back to bare rules.
+        None => return resolve_bare(nodes, from, candidates),
+    };
+    if q == "Self" || q == "self" {
+        // Associated call within the caller's own impl/trait scope.
+        let caller_scope = &files[caller.file].parsed.items[caller.item].scope;
+        return candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                nodes[c].file == caller.file
+                    && &files[nodes[c].file].parsed.items[nodes[c].item].scope == caller_scope
+            })
+            .collect();
+    }
+    let matched: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let node = &nodes[c];
+            if q == "crate" {
+                return node.krate == caller.krate;
+            }
+            let scope = &files[node.file].parsed.items[node.item].scope;
+            scope.last().is_some_and(|s| s == q)
+                || node.module.last().is_some_and(|s| s == q)
+                || node.krate == q
+                || qualifier_names_crate(q, &node.krate)
+        })
+        .collect();
+    // Same-crate candidates shadow cross-crate ones.
+    let local: Vec<usize> = matched
+        .iter()
+        .copied()
+        .filter(|&c| nodes[c].krate == caller.krate)
+        .collect();
+    if local.is_empty() {
+        matched
+    } else {
+        local
+    }
+}
+
+/// True when path qualifier `q` is the package-style name of crate
+/// directory `krate` (`qirana_core` names `crates/core`).
+fn qualifier_names_crate(q: &str, krate: &str) -> bool {
+    q.strip_prefix("qirana_")
+        .is_some_and(|rest| rest == krate || rest.replace('_', "-") == krate)
+}
+
+/// `f(…)`: same file, then same crate, then workspace; methods excluded.
+fn resolve_bare(nodes: &[FnNode], from: usize, candidates: &[usize]) -> Vec<usize> {
+    let caller = &nodes[from];
+    let free: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| !nodes[c].has_self)
+        .collect();
+    let same_file: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&c| nodes[c].file == caller.file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&c| nodes[c].krate == caller.krate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    free
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::build;
+
+    fn edge_fqns(g: &crate::graph::WorkspaceGraph) -> Vec<(String, String)> {
+        g.edges
+            .iter()
+            .map(|e| (g.nodes[e.from].fqn.clone(), g.nodes[e.to].fqn.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file_then_crate() {
+        let g = build(vec![
+            (
+                "crates/core/src/a.rs".to_string(),
+                "pub fn caller() { helper(); }\nfn helper() {}\n".to_string(),
+            ),
+            (
+                "crates/core/src/b.rs".to_string(),
+                "pub fn helper() {}\n".to_string(),
+            ),
+        ]);
+        assert_eq!(
+            edge_fqns(&g),
+            vec![("core::a::caller".to_string(), "core::a::helper".to_string())]
+        );
+    }
+
+    #[test]
+    fn bare_calls_fall_through_to_other_crates() {
+        let g = build(vec![
+            (
+                "crates/core/src/a.rs".to_string(),
+                "pub fn caller() { shared(); }\n".to_string(),
+            ),
+            (
+                "crates/sqlengine/src/b.rs".to_string(),
+                "pub fn shared() {}\n".to_string(),
+            ),
+        ]);
+        assert_eq!(
+            edge_fqns(&g),
+            vec![(
+                "core::a::caller".to_string(),
+                "sqlengine::b::shared".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn path_qualifier_selects_module_and_crate() {
+        let g = build(vec![
+            (
+                "crates/core/src/a.rs".to_string(),
+                "pub fn caller() { ledger::open(); qirana_sqlengine::run(); }\n".to_string(),
+            ),
+            (
+                "crates/core/src/ledger.rs".to_string(),
+                "pub fn open() {}\n".to_string(),
+            ),
+            (
+                "crates/sqlengine/src/lib.rs".to_string(),
+                "pub fn run() {}\npub fn open() {}\n".to_string(),
+            ),
+        ]);
+        assert_eq!(
+            edge_fqns(&g),
+            vec![
+                (
+                    "core::a::caller".to_string(),
+                    "core::ledger::open".to_string()
+                ),
+                ("core::a::caller".to_string(), "sqlengine::run".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_paths_stay_in_the_impl_scope() {
+        let src = "impl A { pub fn f(&self) { Self::g(); } fn g() {} }\n\
+                   impl B { fn g() {} }\n";
+        let g = build(vec![("crates/core/src/a.rs".to_string(), src.to_string())]);
+        assert_eq!(
+            edge_fqns(&g),
+            vec![("core::a::A::f".to_string(), "core::a::A::g".to_string())]
+        );
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let src = "impl A { pub fn run(&self) { self.step(); } fn step(&self) {} }\n\
+                   impl B { fn step(&self) {} }\nfn step() {}\n";
+        let g = build(vec![("crates/core/src/a.rs".to_string(), src.to_string())]);
+        // Both `A::step` and `B::step` (self-taking) are candidates; the
+        // free fn `step` is not.
+        assert_eq!(
+            edge_fqns(&g),
+            vec![
+                (
+                    "core::a::A::run".to_string(),
+                    "core::a::A::step".to_string()
+                ),
+                (
+                    "core::a::A::run".to_string(),
+                    "core::a::B::step".to_string()
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn unresolved_std_calls_produce_no_edges() {
+        let g = build(vec![(
+            "crates/core/src/a.rs".to_string(),
+            "pub fn f() { Vec::new(); format(); }\n".to_string(),
+        )]);
+        assert!(g.edges.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! QL007 fixture: a private helper's panic site is transitively reachable
+//! from a public library entry point two calls up.
+
+fn inner_step(v: &[i64]) -> i64 {
+    v.iter().copied().max().expect("non-empty batch")
+}
+
+fn mid_step(v: &[i64]) -> i64 {
+    inner_step(v)
+}
+
+pub fn price_batch(v: &[i64]) -> i64 {
+    mid_step(v)
+}

@@ -1,0 +1,29 @@
+//! QL007 fixture: the same reachable panics as `ql007_panic_reachable.rs`,
+//! silenced through both waiver channels — at the panic site and at the
+//! public entry point.
+
+fn inner_step(v: &[i64]) -> i64 {
+    // qirana-lint::allow(QL003, QL007): harness batches are never empty
+    v.iter().copied().max().expect("non-empty batch")
+}
+
+pub fn price_batch(v: &[i64]) -> i64 {
+    inner_step(v)
+}
+
+fn boot_invariant() {
+    // qirana-lint::allow(QL003): exercised by every constructor test
+    assert!(!std::env::args().next().is_none(), "argv0 missing");
+    let _ = 0usize;
+    unreachable_helper();
+}
+
+fn unreachable_helper() {
+    // qirana-lint::allow(QL003): startup-only invariant
+    panic!("boot invariant violated")
+}
+
+// qirana-lint::allow(QL007): startup invariant; callers run it once before serving
+pub fn boot() {
+    boot_invariant();
+}

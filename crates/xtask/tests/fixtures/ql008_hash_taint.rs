@@ -1,0 +1,24 @@
+//! QL008 fixture: a fingerprint producer (module segment `engine`)
+//! transitively calls a helper that iterates a HashMap in per-process
+//! order, tainting the deterministic output.
+
+use std::collections::HashMap;
+
+fn tally(rows: &[(String, i64)]) -> Vec<(String, i64)> {
+    let mut acc: HashMap<String, i64> = HashMap::new();
+    for (k, v) in rows {
+        *acc.entry(k.clone()).or_default() += v;
+    }
+    let mut out = Vec::new();
+    for (k, v) in &acc {
+        out.push((k.clone(), *v));
+    }
+    out
+}
+
+pub mod engine {
+    pub fn fingerprint_rows(rows: &[(String, i64)]) -> usize {
+        let grouped = crate::tally(rows);
+        grouped.len()
+    }
+}

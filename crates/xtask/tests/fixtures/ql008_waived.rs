@@ -1,0 +1,25 @@
+//! QL008 fixture: the same hash iteration feeding an `engine` sink, waived
+//! at the iteration site (keys are sorted before they reach the output).
+
+use std::collections::HashMap;
+
+fn tally(rows: &[(String, i64)]) -> Vec<(String, i64)> {
+    let mut acc: HashMap<String, i64> = HashMap::new();
+    for (k, v) in rows {
+        *acc.entry(k.clone()).or_default() += v;
+    }
+    let mut out = Vec::new();
+    // qirana-lint::allow(QL001, QL008): `out` is sorted before use below
+    for (k, v) in &acc {
+        out.push((k.clone(), *v));
+    }
+    out.sort();
+    out
+}
+
+pub mod engine {
+    pub fn fingerprint_rows(rows: &[(String, i64)]) -> usize {
+        let grouped = crate::tally(rows);
+        grouped.len()
+    }
+}

@@ -1,0 +1,27 @@
+//! QL009 fixture: the same broker mutation shapes, silenced two ways —
+//! append-then-apply ordering (the fix QL009 asks for) and an explicit
+//! waiver on an apply-first path with a documented rollback.
+
+pub mod broker {
+    pub struct Ledger;
+
+    impl Ledger {
+        pub fn append(&mut self, _event: &str) {}
+    }
+
+    pub struct Market {
+        pub buyers: std::collections::BTreeMap<String, i64>,
+        pub ledger: Ledger,
+    }
+
+    pub fn commit_purchase(m: &mut Market, buyer: String, paid: i64) {
+        m.ledger.append("purchase");
+        m.buyers.insert(buyer, paid);
+    }
+
+    pub fn commit_refund(m: &mut Market, buyer: String) {
+        // qirana-lint::allow(QL009): refund size is only known after removal;
+        m.buyers.remove(&buyer);
+        m.ledger.append("refund");
+    }
+}

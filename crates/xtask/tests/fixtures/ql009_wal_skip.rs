@@ -1,0 +1,21 @@
+//! QL009 fixture: a broker commit entry point mutates buyer accounts
+//! before (and without) logging the event to the ledger, both directly
+//! and through a helper call.
+
+pub mod broker {
+    pub struct Market {
+        pub buyers: std::collections::BTreeMap<String, i64>,
+        pub ledger: Option<Vec<String>>,
+    }
+
+    fn apply_account(m: &mut Market, buyer: String, paid: i64) {
+        m.buyers.insert(buyer, paid);
+    }
+
+    pub fn commit_purchase(m: &mut Market, buyer: String, paid: i64) {
+        apply_account(m, buyer, paid);
+        if let Some(led) = m.ledger.as_mut() {
+            led.push(format!("{paid}"));
+        }
+    }
+}

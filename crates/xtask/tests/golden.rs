@@ -4,6 +4,11 @@
 //! is demonstrated suppressing, and `clean.rs` pins the zero-diagnostic
 //! case. Regenerate an expectation after an intentional lint change with
 //! `cargo xtask lint crates/xtask/tests/fixtures/<f>.rs > …/<f>.expected`.
+//!
+//! `ql007_*`/`ql008_*`/`ql009_*` fixtures exercise the interprocedural
+//! graph lints through `xtask::lint_graph_source` (graph diagnostics only,
+//! so a fixture's deliberate per-file QL001/QL003 bait stays out of the
+//! golden). Each graph lint has a firing fixture and a fully waived twin.
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::path::{Path, PathBuf};
@@ -31,6 +36,22 @@ fn expected(name: &str) -> Vec<String> {
 
 fn check(name: &str) {
     assert_eq!(lint_fixture(name), expected(name), "diagnostics for {name}");
+}
+
+fn lint_graph_fixture(name: &str) -> Vec<String> {
+    let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture exists");
+    xtask::lint_graph_source(name, &src)
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+fn check_graph(name: &str) {
+    assert_eq!(
+        lint_graph_fixture(name),
+        expected(name),
+        "graph diagnostics for {name}"
+    );
 }
 
 #[test]
@@ -79,6 +100,52 @@ fn ql006_stray_println_golden() {
     assert!(!got.is_empty(), "QL006 fixture must fire");
     assert!(got.iter().all(|d| d.contains("[QL006]")));
     check("ql006_stray_println.rs");
+}
+
+#[test]
+fn ql007_panic_reachability_golden() {
+    let got = lint_graph_fixture("ql007_panic_reachable.rs");
+    assert!(!got.is_empty(), "QL007 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL007]")));
+    assert!(
+        got.iter().all(|d| d.contains("call path:")),
+        "QL007 diagnostics must show the example call path"
+    );
+    check_graph("ql007_panic_reachable.rs");
+}
+
+#[test]
+fn ql007_waivers_suppress_at_site_and_entry() {
+    assert_eq!(lint_graph_fixture("ql007_waived.rs"), Vec::<String>::new());
+    check_graph("ql007_waived.rs");
+}
+
+#[test]
+fn ql008_determinism_taint_golden() {
+    let got = lint_graph_fixture("ql008_hash_taint.rs");
+    assert!(!got.is_empty(), "QL008 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL008]")));
+    check_graph("ql008_hash_taint.rs");
+}
+
+#[test]
+fn ql008_waiver_suppresses_at_iteration_site() {
+    assert_eq!(lint_graph_fixture("ql008_waived.rs"), Vec::<String>::new());
+    check_graph("ql008_waived.rs");
+}
+
+#[test]
+fn ql009_wal_discipline_golden() {
+    let got = lint_graph_fixture("ql009_wal_skip.rs");
+    assert!(!got.is_empty(), "QL009 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL009]")));
+    check_graph("ql009_wal_skip.rs");
+}
+
+#[test]
+fn ql009_append_then_apply_and_waiver_are_clean() {
+    assert_eq!(lint_graph_fixture("ql009_waived.rs"), Vec::<String>::new());
+    check_graph("ql009_waived.rs");
 }
 
 #[test]

@@ -1,20 +1,85 @@
 //! The shipped workspace must be qirana-lint-clean: the same invariant CI
 //! enforces with `cargo xtask lint`, kept in `cargo test` so a violation
-//! cannot land through a path that skips the lint step.
+//! cannot land through a path that skips the lint step. Alongside it:
+//! the item parser must account for every `fn` token in the workspace
+//! (round-trip smoke) and the call-graph artifacts must be byte-identical
+//! across rebuilds (the CI `graph` lane's determinism contract).
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
 
 #[test]
 fn workspace_is_lint_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("xtask lives two levels under the workspace root");
-    let diags = xtask::lint_workspace(root).expect("workspace walk");
+    let diags = xtask::lint_workspace(&workspace_root()).expect("workspace walk");
     assert!(
         diags.is_empty(),
         "qirana-lint violations in the workspace:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Every `fn` keyword that introduces a named item must surface as a
+/// parsed `FnItem` — if the parser silently drops a function, its calls
+/// and panic sites vanish from the graph and QL007–QL009 under-report.
+#[test]
+fn parser_accounts_for_every_fn_in_the_workspace() {
+    let sources = xtask::read_workspace_sources(&workspace_root()).expect("workspace walk");
+    assert!(!sources.is_empty(), "workspace walk found no sources");
+    for (path, src) in &sources {
+        let ctx = xtask::analysis::FileContext::new(path, src);
+        let parsed = xtask::parser::parse_file(&ctx);
+        let expected = xtask::parser::count_fn_tokens(&ctx.code);
+        assert_eq!(
+            parsed.items.len(),
+            expected,
+            "{path}: parser found {} fn items but the token stream has {}",
+            parsed.items.len(),
+            expected
+        );
+    }
+}
+
+/// Two builds over the same sources must render identical DOT and JSON —
+/// the byte-for-byte contract CI checks by running `cargo xtask graph`
+/// twice and comparing the artifacts.
+#[test]
+fn graph_artifacts_are_deterministic_across_builds() {
+    let root = workspace_root();
+    let a = xtask::build_workspace_graph(&root).expect("first build");
+    let b = xtask::build_workspace_graph(&root).expect("second build");
+    assert!(!a.nodes.is_empty(), "workspace graph has no nodes");
+    assert!(!a.edges.is_empty(), "workspace graph has no edges");
+    assert_eq!(a.to_dot(), b.to_dot(), "DOT artifact must be deterministic");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "JSON artifact must be deterministic"
+    );
+}
+
+/// The graph lints specifically (not just the union with per-file lints)
+/// sweep the workspace clean: every panic reachable from public API is
+/// typed or waived, no hash iteration taints a fingerprint/price producer,
+/// and every broker commit path appends before applying.
+#[test]
+fn workspace_graph_lints_are_clean() {
+    let g = xtask::build_workspace_graph(&workspace_root()).expect("workspace graph");
+    let diags = xtask::lints::lint_graph(&g);
+    assert!(
+        diags.is_empty(),
+        "interprocedural lint violations:\n{}",
         diags
             .iter()
             .map(|d| d.to_string())

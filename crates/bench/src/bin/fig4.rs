@@ -100,7 +100,7 @@ fn fig4a(args: &Args) {
     }
     println!();
     for size in [10usize, 100, 1000] {
-        let mut b = bench_broker(db.clone(), size, args.get("seed", 1));
+        let b = bench_broker(db.clone(), size, args.get("seed", 1));
         print!("{size:<10}");
         for u in us {
             let p = b.quote(&q_sigma(u)).unwrap();
@@ -110,7 +110,7 @@ fn fig4a(args: &Args) {
     }
     // Scale-free ideal: price proportional to selected fraction, anchored
     // at Qσ_240 = full Country price measured at the largest S.
-    let mut b = bench_broker(db, 1000, args.get("seed", 1));
+    let b = bench_broker(db, 1000, args.get("seed", 1));
     let full = b.quote(&q_sigma(240)).unwrap();
     print!("{:<10}", "ideal");
     for u in us {
@@ -132,7 +132,7 @@ fn fig4b(args: &Args) {
     println!();
     let mut full13 = 0.0;
     for size in [10usize, 100, 1000] {
-        let mut b = bench_broker(db.clone(), size, args.get("seed", 1));
+        let b = bench_broker(db.clone(), size, args.get("seed", 1));
         print!("{size:<10}");
         for &u in &us {
             let p = b.quote(&q_pi(u)).unwrap();
@@ -169,7 +169,7 @@ fn fig4c(args: &Args) {
     let support: usize = args.get("support", 1000);
     println!("{:<8} {:>8} {:>8}", "swap%", "Qr1", "Qr2");
     for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let mut b = Qirana::new(
+        let b = Qirana::new(
             db.clone(),
             QiranaConfig {
                 total_price: 200.0,
@@ -206,7 +206,7 @@ fn fig4d(args: &Args, h: &mut Harness) {
     }
     println!();
     for size in [10usize, 200, 400, 1000] {
-        let mut b = broker(
+        let b = broker(
             db.clone(),
             PricingFunction::WeightedCoverage,
             SupportType::Neighborhood,
@@ -239,7 +239,7 @@ fn fig4ef(args: &Args, h: &mut Harness, runtimes: bool) {
         if runtimes { "runtime (s)" } else { "price ($)" },
     );
     let db = ssb::generate(sf, 9);
-    let mut oblivious = broker(
+    let oblivious = broker(
         db.clone(),
         PricingFunction::WeightedCoverage,
         SupportType::Neighborhood,
@@ -283,7 +283,7 @@ fn fig4g(args: &Args) {
     let support: usize = args.get("support", 1000);
     println!("== Figure 4g: 25 parameterized Q1.1 instances (SSB sf={sf}) ==");
     let db = ssb::generate(sf, 9);
-    let mut oblivious = broker(
+    let oblivious = broker(
         db.clone(),
         PricingFunction::WeightedCoverage,
         SupportType::Neighborhood,

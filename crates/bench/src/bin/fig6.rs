@@ -32,7 +32,7 @@ fn main() {
         (SupportType::Neighborhood, "nbrs", support),
         (SupportType::Uniform, "uniform", uniform_support),
     ] {
-        let mut b = broker(
+        let b = broker(
             db.clone(),
             PricingFunction::WeightedCoverage,
             ty,
@@ -55,7 +55,7 @@ fn main() {
         } else {
             support
         };
-        let mut b = broker(db.clone(), f, SupportType::Neighborhood, size, seed);
+        let b = broker(db.clone(), f, SupportType::Neighborhood, size, seed);
         let prices: Vec<f64> = WORLD_QUERIES
             .iter()
             .map(|q| b.quote(q).expect("price"))
@@ -67,7 +67,7 @@ fn main() {
     // 6c: all four functions with the uniform support set.
     println!("\n== Figure 6c: uniform support set, all pricing functions ==");
     for f in PricingFunction::ALL {
-        let mut b = broker(db.clone(), f, SupportType::Uniform, uniform_support, seed);
+        let b = broker(db.clone(), f, SupportType::Uniform, uniform_support, seed);
         let prices: Vec<f64> = WORLD_QUERIES
             .iter()
             .map(|q| b.quote(q).expect("price"))
@@ -78,7 +78,7 @@ fn main() {
 
     // Full per-query dump for the appendix-style table.
     println!("\n== per-query prices (weighted coverage + nbrs) ==");
-    let mut b = broker(
+    let b = broker(
         db,
         PricingFunction::WeightedCoverage,
         SupportType::Neighborhood,

@@ -37,14 +37,14 @@ fn main() {
     // ---- DBLP ----
     let dblp_db = dblp::generate(nodes, seed);
     let dqs = dblp_queries(nodes);
-    let mut wc = broker(
+    let wc = broker(
         dblp_db.clone(),
         PricingFunction::WeightedCoverage,
         SupportType::Neighborhood,
         support,
         seed,
     );
-    let mut sh = broker(
+    let sh = broker(
         dblp_db,
         PricingFunction::ShannonEntropy,
         SupportType::Neighborhood,
@@ -62,14 +62,14 @@ fn main() {
 
     // ---- US car crash ----
     let crash_db = carcrash::generate(rows, seed);
-    let mut wc = broker(
+    let wc = broker(
         crash_db.clone(),
         PricingFunction::WeightedCoverage,
         SupportType::Neighborhood,
         support,
         seed,
     );
-    let mut sh = broker(
+    let sh = broker(
         crash_db,
         PricingFunction::ShannonEntropy,
         SupportType::Neighborhood,

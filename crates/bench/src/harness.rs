@@ -262,11 +262,15 @@ struct SeriesAgg {
 }
 
 /// Finite floats render as JSON numbers; absent/non-finite as `null`.
+/// Delegates to [`crate::json::write_f64`], the one serializer whose
+/// byte-stability the round-trip proptest pins.
 fn json_f64(v: Option<f64>) -> String {
+    let mut out = String::new();
     match v {
-        Some(x) if x.is_finite() => format!("{x}"),
-        _ => "null".to_string(),
+        Some(x) => crate::json::write_f64(&mut out, x),
+        None => out.push_str("null"),
     }
+    out
 }
 
 /// Checks a `BENCH_*.json` document against the `qirana-bench/v1` schema.

@@ -1,12 +1,24 @@
-//! A minimal JSON reader for validating bench artifacts.
+//! A minimal JSON reader and writer for bench artifacts.
 //!
-//! The harness *emits* JSON by hand (deterministic field order, no
-//! dependency); this module is the matching reader so the schema check in
-//! [`crate::harness::validate_bench_json`] and the CI smoke step can parse
-//! what was written without pulling in a serde stack. It accepts exactly
-//! RFC 8259 JSON — no comments, no trailing commas.
+//! The harness emits JSON by hand (deterministic field order, no
+//! dependency); this module holds the matching reader — so the schema
+//! check in [`crate::harness::validate_bench_json`] and the CI smoke step
+//! can parse what was written without pulling in a serde stack — and the
+//! one number serializer every emitter must share, [`write_f64`]. The
+//! reader accepts exactly RFC 8259 JSON — no comments, no trailing
+//! commas.
+//!
+//! Numbers are the round-trip-critical piece: `BENCH_*.json` artifacts
+//! feed the perf trajectory, so a value written, validated, and rewritten
+//! must stay byte-identical. [`write_f64`] leans on Rust's shortest-
+//! round-trip `Display` (never exponent form, always re-parses to the
+//! same bits) and the reader's `str::parse::<f64>` (correctly rounded),
+//! which together make serialize → parse → serialize a fixpoint for
+//! every finite `f64`; `render` + [`parse`] extend that to whole
+//! documents. The proptest in this module pins the invariant.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A parsed JSON value. Objects keep their key order (the emitter's order
 /// is deterministic, so golden comparisons stay stable).
@@ -80,6 +92,61 @@ pub struct ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "json error at byte {}: {}", self.offset, self.detail)
+    }
+}
+
+/// Serializes a finite `f64` as a JSON number, `null` otherwise (JSON has
+/// no NaN/Infinity). Rust's `Display` is shortest-round-trip and never
+/// uses exponent form, so the emitted text re-parses to the identical
+/// bits and re-serializes to the identical bytes — including `-0.0`
+/// (`"-0"`). Every harness emitter funnels floats through here.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Serializes one value compactly (no whitespace), the writer-side twin
+/// of [`parse`]: `parse(&render(v))` reproduces `v` exactly (modulo
+/// non-finite numbers, which JSON cannot carry and `write_f64` maps to
+/// `null`), and `render(&parse(s)?)` is a fixpoint.
+pub fn render(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
+fn write_value(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_f64(out, *n),
+        Json::Str(s) => out.push_str(&qirana_core::telemetry::json_string(s)),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&qirana_core::telemetry::json_string(k));
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
     }
 }
 
@@ -332,5 +399,93 @@ mod tests {
     fn round_trips_escapes() {
         let v = parse(r#""tab\there A""#).unwrap();
         assert_eq!(v.as_str(), Some("tab\there A"));
+    }
+
+    #[test]
+    fn renders_documents_parse_back_exactly() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("qirana-bench/v1".into())),
+            (
+                "samples".into(),
+                Json::Arr(vec![
+                    Json::Num(1.5),
+                    Json::Num(-0.0),
+                    Json::Num(f64::NAN),
+                    Json::Bool(true),
+                    Json::Null,
+                ]),
+            ),
+            ("note".into(), Json::Str("tab\th \"q\" \\ \u{1}".into())),
+        ]);
+        let text = render(&doc);
+        let back = parse(&text).unwrap();
+        // NaN cannot survive (JSON has no NaN) — it becomes null; every
+        // other leaf round-trips exactly, and the rendering is a fixpoint.
+        assert_eq!(render(&back), text);
+        assert_eq!(
+            back.get("samples").unwrap().as_arr().unwrap()[2],
+            Json::Null
+        );
+        assert_eq!(
+            back.get("note").unwrap().as_str(),
+            doc.get("note").unwrap().as_str()
+        );
+    }
+
+    /// The satellite audit's checker: serialize → parse must reproduce
+    /// the exact bits, and re-serializing must reproduce the exact bytes.
+    fn check_f64_round_trip(x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let mut s1 = String::new();
+        write_f64(&mut s1, x);
+        let back = match parse(&s1) {
+            Ok(Json::Num(n)) => n,
+            other => panic!("`{s1}` did not parse back as a number: {other:?}"),
+        };
+        assert_eq!(back.to_bits(), x.to_bits(), "bits drifted through `{s1}`");
+        let mut s2 = String::new();
+        write_f64(&mut s2, back);
+        assert_eq!(s1, s2, "serialization is not a fixpoint");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4096, ..ProptestConfig::default() })]
+        /// Serialize → parse → serialize is byte-stable for *all* finite
+        /// `f64` — uniform bit patterns cover subnormals, extremes, and
+        /// ulp neighbors, not just round values.
+        #[test]
+        fn f64_round_trip_is_byte_stable_for_uniform_bits(bits in any::<u64>()) {
+            check_f64_round_trip(f64::from_bits(bits));
+        }
+
+        /// Same invariant over the generator's mixed magnitudes/specials.
+        #[test]
+        fn f64_round_trip_is_byte_stable_for_mixed_magnitudes(x in any::<f64>()) {
+            check_f64_round_trip(x);
+        }
+    }
+
+    /// The boundary cases worth naming, checked unconditionally.
+    #[test]
+    fn f64_round_trip_boundary_cases() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),                     // smallest subnormal
+            f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest subnormal
+            1e300,
+            -1e-300,
+            2.0f64.powi(53) + 2.0,
+        ] {
+            check_f64_round_trip(x);
+        }
     }
 }

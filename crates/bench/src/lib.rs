@@ -128,7 +128,7 @@ mod tests {
 
     #[test]
     fn broker_helper_builds() {
-        let mut b = broker(
+        let b = broker(
             world::generate(1),
             PricingFunction::WeightedCoverage,
             SupportType::Neighborhood,

@@ -12,8 +12,8 @@
 
 use crate::cache::{CacheStats, PricingCache};
 use crate::engine::{
-    bundle_disagreements, bundle_disagreements_cached, bundle_partition, bundle_partition_cached,
-    query_disagreements_cached, EngineOptions,
+    bundle_disagreements, bundle_partition, bundle_partition_cached, combine_bundle,
+    query_disagreements_cached, query_partition, EngineOptions,
 };
 use crate::fault;
 use crate::ledger::{
@@ -28,10 +28,10 @@ use crate::telemetry::Stage;
 use crate::weights::{assign_weights_with, uniform_weights, PricePoint, WeightError};
 use qirana_solver::SolverOptions;
 use qirana_sqlengine::update::{apply_update_sql, apply_writes, CellWrite};
-use qirana_sqlengine::{execute, Database, EngineError, ExecContext, QueryOutput};
+use qirana_sqlengine::{execute, Database, EngineError, ExecContext, Fingerprint, QueryOutput};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Which support-set construction the broker uses (§2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,7 +269,21 @@ pub struct Qirana {
     /// the database generation counter on every committed update. Shared
     /// across buyers: the artifacts depend only on the query and the
     /// support set, never on the account.
-    cache: PricingCache,
+    ///
+    /// Behind a `Mutex` so the `&self` quote path can peek concurrently
+    /// (read-only: no recency ticks, no inserts — see
+    /// [`PricingCache::peek_bits`]); every `&mut self` commit path goes
+    /// through `Mutex::get_mut`, which is lock-free by the aliasing rules.
+    cache: Mutex<PricingCache>,
+    /// Pool of scratch database replicas backing concurrent `&self`
+    /// quotes: the engine primitives take `&mut Database` (the naive and
+    /// fallback paths apply each support update in place and roll it
+    /// back), so each in-flight quote checks a replica out, prices
+    /// against it, and returns it on success. A replica that saw an error
+    /// is dropped — a failed evaluation may have died mid-rollback — and
+    /// the whole pool is discarded whenever a commit changes the stored
+    /// database.
+    scratch: Mutex<Vec<Database>>,
     /// Durable write-ahead log of market events. `None` for an in-memory
     /// broker ([`Qirana::new`]); set by [`Qirana::open`] and
     /// [`Qirana::recover`]. Every purchase and commit is appended (and
@@ -394,9 +408,43 @@ impl Qirana {
             shannon_factor,
             tsallis_factor,
             degraded,
-            cache,
+            cache: Mutex::new(cache),
+            scratch: Mutex::new(Vec::new()),
             ledger: None,
         }
+    }
+
+    /// Locks the pricing cache for a read-side peek. Contention is
+    /// bounded: quote-path critical sections are a `BTreeMap` lookup plus
+    /// an `Arc` clone, never an engine evaluation. A poisoned mutex is
+    /// recovered — the cache is a memo whose worst corruption is a wrong
+    /// recency tick, never a wrong price.
+    fn cache_guard(&self) -> MutexGuard<'_, PricingCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Checks a scratch database replica out of the pool (cloning the
+    /// stored database when the pool is dry), runs `f` against it, and
+    /// returns the replica for reuse on success. See the field docs for
+    /// why errors drop the replica instead.
+    fn with_scratch_db<T>(
+        &self,
+        f: impl FnOnce(&mut Database) -> Result<T, BrokerError>,
+    ) -> Result<T, BrokerError> {
+        /// Bound on pooled replicas: enough for a server's worth of
+        /// concurrent quoters without letting a burst pin memory forever.
+        const MAX_POOLED: usize = 32;
+        let pooled = {
+            let mut pool = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            pool.pop()
+        };
+        let mut db = pooled.unwrap_or_else(|| self.db.clone());
+        let out = f(&mut db)?;
+        let mut pool = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < MAX_POOLED {
+            pool.push(db);
+        }
+        Ok(out)
     }
 
     /// Builds a broker like [`Qirana::new`] and starts a **fresh** durable
@@ -521,7 +569,16 @@ impl Qirana {
         }
         // Post-snapshot cache keys must never collide with pre-crash ones,
         // and the entropy anchors are a function of the restored rows.
-        self.cache.restore_generation(snap.generation);
+        self.cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .restore_generation(snap.generation);
+        // Restored rows may differ from the ones the replicas were cloned
+        // from.
+        self.scratch
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         let (shannon, tsallis) =
             entropy_factors(&self.db, &self.support, &self.weights, self.cfg.total_price);
         self.shannon_factor = shannon;
@@ -618,22 +675,29 @@ impl Qirana {
     }
 
     /// History-oblivious price of a single query.
-    pub fn quote(&mut self, sql: &str) -> Result<f64, BrokerError> {
+    ///
+    /// Quoting is a *read*: it takes `&self`, never mutates the pricing
+    /// cache (not even recency ticks — see [`PricingCache::peek_bits`]),
+    /// and therefore any number of quote sessions may run concurrently
+    /// with each other. An abandoned quote leaves the broker bit-identical
+    /// to one that never happened.
+    pub fn quote(&self, sql: &str) -> Result<f64, BrokerError> {
         Ok(self.quote_ex(sql)?.price)
     }
 
     /// [`Qirana::quote`], with the degradation flag attached.
-    pub fn quote_ex(&mut self, sql: &str) -> Result<Quote, BrokerError> {
+    pub fn quote_ex(&self, sql: &str) -> Result<Quote, BrokerError> {
         self.quote_bundle_ex(&[sql])
     }
 
     /// History-oblivious price of a query bundle `Q = (Q₁, …, Qₙ)`.
-    pub fn quote_bundle(&mut self, sqls: &[&str]) -> Result<f64, BrokerError> {
+    /// `&self`, like [`Qirana::quote`].
+    pub fn quote_bundle(&self, sqls: &[&str]) -> Result<f64, BrokerError> {
         Ok(self.quote_bundle_ex(sqls)?.price)
     }
 
     /// [`Qirana::quote_bundle`], with the degradation flag attached.
-    pub fn quote_bundle_ex(&mut self, sqls: &[&str]) -> Result<Quote, BrokerError> {
+    pub fn quote_bundle_ex(&self, sqls: &[&str]) -> Result<Quote, BrokerError> {
         let prepared: Vec<Prepared> = {
             let span = self.cfg.engine.telemetry.span(Stage::Prepare);
             span.count("queries", sqls.len() as u64);
@@ -642,7 +706,7 @@ impl Qirana {
                 .collect::<Result<_, _>>()?
         };
         let bundle: Vec<&Prepared> = prepared.iter().collect();
-        let price = self.price_bundle(&bundle, None)?;
+        let price = self.price_bundle_readonly(&bundle)?;
         self.publish_gauges();
         Ok(Quote {
             price,
@@ -658,43 +722,54 @@ impl Qirana {
         }
     }
 
-    fn price_bundle(
-        &mut self,
-        bundle: &[&Prepared],
-        skip: Option<&[bool]>,
-    ) -> Result<f64, BrokerError> {
+    /// The read-only pricing kernel behind the quote family. Works through
+    /// `&self`: cache consultation is peek-only (no recency ticks, no
+    /// insertions, no counter bumps — see [`PricingCache::peek_bits`]) and
+    /// engine evaluation runs against a pooled scratch replica of the
+    /// stored database, so concurrent quoters never contend on engine
+    /// state.
+    ///
+    /// Bitwise identical to the commit-side cached pricing:
+    ///
+    /// * coverage — the OR of per-query *full* bitmaps equals the
+    ///   active-set short-circuit path (a skipped instance's bit is
+    ///   already `true` in the OR; see `bundle_disagreements_cached`);
+    /// * entropy — per-query fingerprint vectors folded instance-by-
+    ///   instance with [`combine_bundle`] equal the monolithic bundle
+    ///   partition (see `bundle_partition_cached`).
+    fn price_bundle_readonly(&self, bundle: &[&Prepared]) -> Result<f64, BrokerError> {
         let total = self.cfg.total_price;
         let use_cache = self.cfg.engine.cache.enabled;
         if self.cfg.function.needs_partition() {
             let partition = if use_cache {
-                bundle_partition_cached(
-                    &mut self.db,
-                    bundle,
-                    &self.support,
-                    &self.cfg.engine,
-                    &mut self.cache,
-                )?
+                self.bundle_partition_peeked(bundle)?
             } else {
-                bundle_partition(&mut self.db, bundle, &self.support, &self.cfg.engine)?
+                self.with_scratch_db(|db| {
+                    Ok(bundle_partition(
+                        db,
+                        bundle,
+                        &self.support,
+                        &self.cfg.engine,
+                    )?)
+                })?
             };
             Ok(
                 partition_price(self.cfg.function, total, &self.weights, &partition)?
                     * self.entropy_factor(),
             )
         } else {
-            // The cached path memoizes *full* bitmaps, so it only applies
-            // when no instances are skipped (quotes; `buy` masks the full
-            // bitmaps itself).
-            let bits = if use_cache && skip.is_none() {
-                bundle_disagreements_cached(
-                    &mut self.db,
-                    bundle,
-                    &self.support,
-                    &self.cfg.engine,
-                    &mut self.cache,
-                )?
+            let bits = if use_cache {
+                self.bundle_disagreements_peeked(bundle)?
             } else {
-                bundle_disagreements(&mut self.db, bundle, &self.support, &self.cfg.engine, skip)?
+                self.with_scratch_db(|db| {
+                    Ok(bundle_disagreements(
+                        db,
+                        bundle,
+                        &self.support,
+                        &self.cfg.engine,
+                        None,
+                    )?)
+                })?
             };
             Ok(coverage_price(
                 self.cfg.function,
@@ -703,6 +778,94 @@ impl Qirana {
                 &bits,
             )?)
         }
+    }
+
+    /// Peek-only counterpart of `bundle_disagreements_cached`: ORs each
+    /// member's full bitmap, serving hits from the memo without touching
+    /// recency and computing misses on a scratch replica without inserting
+    /// them (only buys populate the cache). The top-of-path failpoint
+    /// mirrors the cached engine entry point.
+    fn bundle_disagreements_peeked(&self, bundle: &[&Prepared]) -> Result<Vec<bool>, BrokerError> {
+        fault::check(fault::ENGINE_EXECUTE)
+            .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
+        let n = self.support.len();
+        let mut disagree = vec![false; n];
+        for q in bundle {
+            let bits = self.query_disagreements_peeked(q)?;
+            for (d, &b) in disagree.iter_mut().zip(bits.iter()) {
+                *d |= b;
+            }
+        }
+        Ok(disagree)
+    }
+
+    /// One query's full disagreement bitmap: peek the memo, else evaluate
+    /// on a scratch replica. Never writes the cache.
+    fn query_disagreements_peeked(&self, q: &Prepared) -> Result<Arc<Vec<bool>>, BrokerError> {
+        let tel = &self.cfg.engine.telemetry;
+        {
+            let lookup = tel.span_with(Stage::CacheLookup, String::new());
+            if let Some(bits) = self.cache_guard().peek_bits(q.plan_fp) {
+                lookup.count("hit", 1);
+                return Ok(bits);
+            }
+            lookup.count("miss", 1);
+        }
+        let bits = self.with_scratch_db(|db| {
+            Ok(bundle_disagreements(
+                db,
+                &[q],
+                &self.support,
+                &self.cfg.engine,
+                None,
+            )?)
+        })?;
+        Ok(Arc::new(bits))
+    }
+
+    /// Peek-only counterpart of `bundle_partition_cached`: per-query
+    /// fingerprint vectors (memo peek or scratch-replica evaluation)
+    /// folded instance-by-instance with [`combine_bundle`].
+    fn bundle_partition_peeked(
+        &self,
+        bundle: &[&Prepared],
+    ) -> Result<Vec<Fingerprint>, BrokerError> {
+        fault::check(fault::ENGINE_EXECUTE)
+            .map_err(|f| EngineError::Eval(format!("injected fault: {f}")))?;
+        let mut per_query = Vec::with_capacity(bundle.len());
+        for q in bundle {
+            per_query.push(self.query_fingerprints_peeked(q)?);
+        }
+        let n = self.support.len();
+        let mut row = vec![Fingerprint(0); bundle.len()];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            for (slot, fps) in row.iter_mut().zip(&per_query) {
+                *slot = fps[i];
+            }
+            out.push(combine_bundle(&row));
+        }
+        Ok(out)
+    }
+
+    /// One query's per-instance output fingerprints: peek the memo, else
+    /// evaluate on a scratch replica. Never writes the cache.
+    fn query_fingerprints_peeked(
+        &self,
+        q: &Prepared,
+    ) -> Result<Arc<Vec<Fingerprint>>, BrokerError> {
+        let tel = &self.cfg.engine.telemetry;
+        {
+            let lookup = tel.span_with(Stage::CacheLookup, String::new());
+            if let Some(fps) = self.cache_guard().peek_blocks(q.plan_fp) {
+                lookup.count("hit", 1);
+                return Ok(fps);
+            }
+            lookup.count("miss", 1);
+        }
+        let fps = self
+            .with_scratch_db(|db| Ok(query_partition(db, q, &self.support, &self.cfg.engine)?))?;
+        Ok(Arc::new(fps))
     }
 
     /// History-aware purchase: prices the query against the buyer's
@@ -761,7 +924,9 @@ impl Qirana {
                     &bundle,
                     &self.support,
                     &self.cfg.engine,
-                    &mut self.cache,
+                    // `get_mut` is lock-free: `&mut self` proves no quote
+                    // session holds the peek lock concurrently.
+                    self.cache.get_mut().unwrap_or_else(PoisonError::into_inner),
                 )?
             } else {
                 bundle_partition(&mut self.db, &bundle, &self.support, &self.cfg.engine)?
@@ -812,7 +977,7 @@ impl Qirana {
                     &prepared,
                     &self.support,
                     &self.cfg.engine,
-                    &mut self.cache,
+                    self.cache.get_mut().unwrap_or_else(PoisonError::into_inner),
                 )?;
                 if full.len() != s {
                     return Err(BrokerError::BitmapLength {
@@ -899,7 +1064,11 @@ impl Qirana {
             total_paid: total_after,
             output,
             degraded: self.degraded,
-            cache: self.cache.stats(),
+            cache: self
+                .cache
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .stats(),
         };
         if log {
             self.maybe_snapshot()?;
@@ -928,6 +1097,16 @@ impl Qirana {
                 b.charged.iter().filter(|&&c| c).count() as f64 / b.charged.len() as f64
             }
         })
+    }
+
+    /// The SQL texts of a buyer's purchased queries, oldest first (entropy
+    /// family; the coverage family charges through the bitmap and keeps no
+    /// per-query history), or `None` for a buyer the broker has never
+    /// seen.
+    pub fn buyer_history(&self, buyer: &str) -> Option<Vec<String>> {
+        self.buyers
+            .get(buyer)
+            .map(|b| b.history.iter().map(|p| p.sql.clone()).collect())
     }
 
     /// Every buyer with an account, sorted by name.
@@ -1007,7 +1186,16 @@ impl Qirana {
     }
 
     fn after_commit(&mut self) {
-        self.cache.bump_generation();
+        self.cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .bump_generation();
+        // Scratch replicas mirror the *old* rows; quoting against one
+        // after a commit would price the stale database.
+        self.scratch
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         let (shannon, tsallis) =
             entropy_factors(&self.db, &self.support, &self.weights, self.cfg.total_price);
         self.shannon_factor = shannon;
@@ -1048,7 +1236,7 @@ impl Qirana {
             .collect();
         SnapshotState {
             seq: self.ledger.as_ref().map_or(0, Ledger::last_seq),
-            generation: self.cache.generation(),
+            generation: self.cache_guard().generation(),
             tables: self.db.tables().iter().map(|t| t.rows.clone()).collect(),
             buyers,
         }
@@ -1063,12 +1251,15 @@ impl Qirana {
         if !tel.is_enabled() {
             return;
         }
-        let s = self.cache.stats();
+        let (s, entries) = {
+            let cache = self.cache_guard();
+            (cache.stats(), cache.len())
+        };
         tel.gauge_set("cache_hits", s.hits);
         tel.gauge_set("cache_misses", s.misses);
         tel.gauge_set("cache_evictions", s.evictions);
         tel.gauge_set("cache_invalidations", s.invalidations);
-        tel.gauge_set("cache_entries", self.cache.len() as u64);
+        tel.gauge_set("cache_entries", entries as u64);
         for fp in [
             fault::SUPPORT_GENERATE,
             fault::WEIGHTS_ASSIGN,
@@ -1086,18 +1277,25 @@ impl Qirana {
 
     /// Cumulative pricing-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.cache_guard().stats()
     }
 
     /// Number of memoized pricing artifacts currently held.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.cache_guard().len()
     }
 
     /// The database generation the cache keys against (bumped by every
     /// committed update).
     pub fn cache_generation(&self) -> u64 {
-        self.cache.generation()
+        self.cache_guard().generation()
+    }
+
+    /// A deterministic image of the cache's eviction order — every entry's
+    /// key, kind, and recency tick — for regression tests that assert a
+    /// read left eviction state bit-identical.
+    pub fn cache_recency_snapshot(&self) -> Vec<(u128, u8, u64)> {
+        self.cache_guard().recency_snapshot()
     }
 }
 
@@ -1201,7 +1399,7 @@ mod tests {
 
     #[test]
     fn full_dataset_costs_total_price() {
-        let mut q = broker();
+        let q = broker();
         let p = q
             .quote_bundle(&["SELECT * FROM User", "SELECT * FROM Tweet"])
             .unwrap();
@@ -1212,7 +1410,7 @@ mod tests {
     fn running_example_no_arbitrage() {
         // §1's motivating example: Q2 (group counts) determines Q1 (count of
         // females), so p(Q1) ≤ p(Q2) must hold.
-        let mut q = broker();
+        let q = broker();
         let p1 = q
             .quote("SELECT count(*) FROM User WHERE gender = 'f'")
             .unwrap();
@@ -1256,7 +1454,7 @@ mod tests {
 
     #[test]
     fn history_aware_total_le_oblivious_sum() {
-        let mut q = broker();
+        let q = broker();
         let queries = [
             "SELECT count(*) FROM User WHERE gender = 'f'",
             "SELECT gender, count(*) FROM User GROUP BY gender",
@@ -1307,7 +1505,7 @@ mod tests {
     fn cardinality_is_public_knowledge() {
         // COUNT(*) with no predicate is constant over I (relation sizes are
         // fixed), so it discloses nothing and must be free.
-        let mut q = broker();
+        let q = broker();
         let p = q.quote("SELECT count(*) FROM User").unwrap();
         assert_eq!(p, 0.0);
     }
@@ -1322,7 +1520,7 @@ mod tests {
             ..Default::default()
         };
         cfg.price_points = vec![PricePoint::new("SELECT * FROM User", 70.0)];
-        let mut q = Qirana::new(twitter_db(), cfg).unwrap();
+        let q = Qirana::new(twitter_db(), cfg).unwrap();
         let p = q.quote("SELECT * FROM User").unwrap();
         assert!((p - 70.0).abs() < 1e-4, "price point must bind: {p}");
         let all = q
@@ -1441,13 +1639,73 @@ mod tests {
         }
     }
 
+    /// Regression for the mutable-quote bug: quoting used to demand
+    /// `&mut Qirana` because cache hits bumped LRU recency, so a rejected
+    /// or abandoned quote perturbed eviction order for every other buyer.
+    /// Quotes are now peek-only: served, missed, and rejected quotes must
+    /// all leave the cache's eviction state bit-identical.
+    #[test]
+    fn abandoned_quote_leaves_eviction_state_bit_identical() {
+        for function in [
+            PricingFunction::WeightedCoverage,
+            PricingFunction::ShannonEntropy,
+        ] {
+            let mut q = Qirana::new(
+                twitter_db(),
+                QiranaConfig {
+                    function,
+                    support: SupportConfig {
+                        size: 200,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            // Purchases are the only memo write path.
+            q.buy("alice", "SELECT * FROM User WHERE age > 20").unwrap();
+            q.buy("alice", "SELECT location FROM Tweet").unwrap();
+            let recency0 = q.cache_recency_snapshot();
+            let stats0 = q.cache_stats();
+            assert!(!recency0.is_empty(), "{function:?}: buys populate the memo");
+
+            // A quote served from the memo, a quote that misses it, and a
+            // rejected quote (the abandoned session).
+            q.quote("SELECT * FROM User WHERE age > 20").unwrap();
+            q.quote("SELECT name FROM User WHERE gender = 'f'").unwrap();
+            assert!(q.quote("SELECT nope FROM Missing").is_err());
+
+            assert_eq!(
+                q.cache_recency_snapshot(),
+                recency0,
+                "{function:?}: quotes must not move recency ticks"
+            );
+            assert_eq!(
+                q.cache_stats(),
+                stats0,
+                "{function:?}: quotes must be counter-quiet"
+            );
+        }
+    }
+
+    /// The concurrent-session design rests on `&self` quotes being safe to
+    /// share across threads.
+    #[test]
+    fn broker_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Qirana>();
+    }
+
     #[test]
     fn committed_update_invalidates_cache_and_reprices() {
         let mut q = broker();
         let sql = "SELECT age FROM User WHERE uid = 1";
         let p0 = q.quote(sql).unwrap();
         assert!(p0 > 0.0);
-        assert!(q.cache_len() > 0, "quote populates the memo");
+        // Quotes are peek-only reads; buys populate the shared memo.
+        assert_eq!(q.cache_len(), 0, "a quote must not populate the memo");
+        q.buy("erin", sql).unwrap();
+        assert!(q.cache_len() > 0, "buy populates the memo");
         let gen0 = q.cache_generation();
 
         // A write matching nothing commits nothing and invalidates nothing.
@@ -1467,19 +1725,19 @@ mod tests {
         // The answer reflects the committed write…
         let out = q.answer(sql).unwrap();
         assert_eq!(out.rows[0][0], 26i64.into());
-        // …and the next quote is recomputed against the new database, not
-        // served from a stale artifact.
+        // …and the next purchase is recomputed against the new database,
+        // not served from a stale artifact.
         let misses0 = q.cache_stats().misses;
-        q.quote(sql).unwrap();
+        q.buy("erin", sql).unwrap();
         assert!(
             q.cache_stats().misses > misses0,
-            "post-commit quote must re-evaluate"
+            "post-commit purchase must re-evaluate"
         );
     }
 
     #[test]
     fn uniform_support_overprices_selective_queries() {
-        let mut q = Qirana::new(
+        let q = Qirana::new(
             twitter_db(),
             QiranaConfig {
                 support_type: SupportType::Uniform,
@@ -1496,7 +1754,7 @@ mod tests {
         // fraction of P — far above its neighborhood price.
         let narrow = "SELECT age FROM User WHERE uid = 1";
         let p_uniform = q.quote(narrow).unwrap();
-        let mut q_nbrs = broker();
+        let q_nbrs = broker();
         let p_nbrs = q_nbrs.quote(narrow).unwrap();
         assert!(
             p_uniform > 2.0 * p_nbrs,

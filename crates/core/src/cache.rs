@@ -192,6 +192,55 @@ impl PricingCache {
         self.entries.is_empty()
     }
 
+    /// Read-only lookup of a query's full disagreement bitmap: honors the
+    /// generation check but moves **nothing** — no recency tick, no
+    /// hit/miss counters, no purge of a stale entry. The broker's `&self`
+    /// quote path peeks so that an abandoned or rejected quote leaves the
+    /// shared eviction order bit-identical for every other buyer; only
+    /// committed work ([`crate::Qirana::buy`]) touches recency.
+    pub fn peek_bits(&self, plan_fp: Fingerprint) -> Option<Arc<Vec<bool>>> {
+        match self.peek(plan_fp, Kind::Bits) {
+            Some(Artifact::Bits(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Read-only lookup of a query's partition fingerprints (see
+    /// [`Self::peek_bits`] for the no-mutation contract).
+    pub fn peek_blocks(&self, plan_fp: Fingerprint) -> Option<Arc<Vec<Fingerprint>>> {
+        match self.peek(plan_fp, Kind::Blocks) {
+            Some(Artifact::Blocks(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn peek(&self, plan_fp: Fingerprint, kind: Kind) -> Option<Artifact> {
+        match self.entries.get(&(plan_fp.0, kind)) {
+            Some(e) if e.generation == self.generation => Some(e.artifact.clone()),
+            _ => None,
+        }
+    }
+
+    /// The current touch tick (monotone; advances on every counted lookup
+    /// and insert). Exposed so tests can pin that read-only paths leave
+    /// recency untouched.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// A stable image of the eviction-relevant state: one
+    /// `(plan fingerprint, kind discriminant, last-used tick)` triple per
+    /// entry, in key order. Two caches with equal snapshots (and equal
+    /// [`Self::tick`]) evict identically forever after, so the regression
+    /// suite compares snapshots around operations that must not perturb
+    /// recency.
+    pub fn recency_snapshot(&self) -> Vec<(u128, u8, u64)> {
+        self.entries
+            .iter()
+            .map(|(&(fp, kind), e)| (fp, kind as u8, e.last_used))
+            .collect()
+    }
+
     /// Looks up a query's full disagreement bitmap.
     pub fn get_bits(&mut self, plan_fp: Fingerprint) -> Option<Arc<Vec<bool>>> {
         match self.get(plan_fp, Kind::Bits) {
@@ -405,6 +454,28 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 1);
         assert!(c.get_delta(fp(1)).is_none(), "oldest entry was the victim");
+    }
+
+    #[test]
+    fn peeks_move_nothing() {
+        let mut c = PricingCache::new(4);
+        c.insert_bits(fp(1), Arc::new(vec![true]));
+        c.insert_blocks(fp(2), Arc::new(vec![fp(9)]));
+        let stats = c.stats();
+        let tick = c.tick();
+        let recency = c.recency_snapshot();
+        assert_eq!(*c.peek_bits(fp(1)).unwrap(), vec![true]);
+        assert_eq!(*c.peek_blocks(fp(2)).unwrap(), vec![fp(9)]);
+        assert!(c.peek_bits(fp(99)).is_none());
+        assert_eq!(c.stats(), stats, "peeks never count");
+        assert_eq!(c.tick(), tick, "peeks never tick");
+        assert_eq!(c.recency_snapshot(), recency, "peeks never touch recency");
+        // A stale-generation entry is invisible to peeks but NOT purged.
+        c.bump_generation();
+        c.insert_bits(fp(3), Arc::new(vec![false]));
+        assert!(c.peek_bits(fp(1)).is_none());
+        assert!(c.peek_blocks(fp(2)).is_none());
+        assert!(c.peek_bits(fp(3)).is_some());
     }
 
     #[test]

@@ -72,6 +72,7 @@ const LOG_FILE: &str = "ledger.log";
 const LOG_TMP_FILE: &str = "ledger.log.tmp";
 const SNAP_FILE: &str = "snapshot.bin";
 const SNAP_TMP_FILE: &str = "snapshot.bin.tmp";
+const LOCK_FILE: &str = "ledger.lock";
 
 /// When appended records are flushed to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -169,6 +170,10 @@ pub enum LedgerError {
     Crashed { written: u64 },
     /// A `fault` failpoint fired on the append/snapshot path.
     Injected(fault::InjectedFault),
+    /// Another live writer holds the directory's exclusive lock. Two
+    /// writers interleaving appends would corrupt the sequence stream,
+    /// so the second opener is refused instead.
+    Locked { path: PathBuf, holder: String },
 }
 
 impl fmt::Display for LedgerError {
@@ -199,6 +204,13 @@ impl fmt::Display for LedgerError {
                 write!(f, "simulated crash cut an append after {written} bytes")
             }
             LedgerError::Injected(e) => write!(f, "{e}"),
+            LedgerError::Locked { path, holder } => {
+                write!(
+                    f,
+                    "ledger directory is locked by another writer (holder {holder:?}): {}",
+                    path.display()
+                )
+            }
         }
     }
 }
@@ -782,6 +794,82 @@ pub fn scan_log(bytes: &[u8]) -> Result<LogScan, LedgerError> {
 }
 
 // ---------------------------------------------------------------------
+// Exclusive-writer lock
+// ---------------------------------------------------------------------
+
+/// Whether `pid` names a live process. Linux-first: `/proc/<pid>`
+/// existence. On a platform without `/proc` the answer is conservatively
+/// "alive" — a genuinely stale lock there needs manual removal, which is
+/// strictly safer than two writers interleaving appends.
+fn pid_alive(pid: u32) -> bool {
+    if !Path::new("/proc").exists() {
+        return true;
+    }
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// RAII exclusive-writer lock on a ledger directory.
+///
+/// The WAL format assumes a single appender — two handles on the same
+/// `ledger.log` would interleave records and shear the sequence stream —
+/// but nothing used to enforce that across processes. The lock is a
+/// `create_new` (`O_EXCL`) file holding the owner's PID: atomic on every
+/// filesystem worth running a market on, and self-describing when it
+/// leaks. A lock whose recorded PID no longer runs is *stale* (the owner
+/// crashed without `Drop`) and is broken exactly once per acquire
+/// attempt; a live or unreadable holder refuses the open with
+/// [`LedgerError::Locked`].
+#[derive(Debug)]
+struct LedgerLock {
+    path: PathBuf,
+}
+
+impl LedgerLock {
+    fn acquire(dir: &Path) -> Result<Self, LedgerError> {
+        let path = dir.join(LOCK_FILE);
+        let mut reclaimed = false;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    // Best-effort identity stamp: a failed write leaves an
+                    // empty lock, which is still an exclusive lock — it
+                    // just reads as an unknown (hence live) holder.
+                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    let _ = f.sync_all();
+                    return Ok(LedgerLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .unwrap_or_default()
+                        .trim()
+                        .to_string();
+                    let stale = !reclaimed
+                        && holder
+                            .parse::<u32>()
+                            .is_ok_and(|pid| pid != std::process::id() && !pid_alive(pid));
+                    if stale {
+                        // The owner died without releasing; break the lock
+                        // and race for it once. Losing the race means a
+                        // live writer won it — Locked is then correct.
+                        reclaimed = true;
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    return Err(LedgerError::Locked { path, holder });
+                }
+                Err(e) => return Err(io_at(path, e)),
+            }
+        }
+    }
+}
+
+impl Drop for LedgerLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------
 // The ledger proper
 // ---------------------------------------------------------------------
 
@@ -794,6 +882,8 @@ pub struct Ledger {
     appends_since_sync: u32,
     poisoned: bool,
     telemetry: Telemetry,
+    /// Held for the handle's whole lifetime; releases on drop.
+    _lock: LedgerLock,
 }
 
 impl fmt::Debug for Ledger {
@@ -812,6 +902,9 @@ impl Ledger {
     /// [`recover_dir`] to resume an existing market.
     pub fn create(cfg: LedgerConfig) -> Result<Self, LedgerError> {
         fs::create_dir_all(&cfg.dir).map_err(|e| io_at(cfg.dir.clone(), e))?;
+        // Lock before touching any file: losing the race must not
+        // truncate a log another writer is mid-append on.
+        let lock = LedgerLock::acquire(&cfg.dir)?;
         for stale in [
             cfg.snapshot_path(),
             cfg.snapshot_tmp_path(),
@@ -843,6 +936,7 @@ impl Ledger {
             appends_since_sync: 0,
             poisoned: false,
             telemetry: Telemetry::disabled(),
+            _lock: lock,
         })
     }
 
@@ -1047,6 +1141,9 @@ pub struct Recovered {
 /// [`LedgerError::Corrupt`] on damage a crash cannot explain.
 pub fn recover_dir(cfg: &LedgerConfig) -> Result<(Ledger, Recovered), LedgerError> {
     fs::create_dir_all(&cfg.dir).map_err(|e| io_at(cfg.dir.clone(), e))?;
+    // Lock before any file surgery (tmp removal, tail truncation): the
+    // directory may belong to a live writer.
+    let lock = LedgerLock::acquire(&cfg.dir)?;
     // Temp files are residue of a crash mid-snapshot/compaction; the
     // rename never happened, so they are dead weight.
     for stale in [cfg.snapshot_tmp_path(), cfg.log_tmp_path()] {
@@ -1128,6 +1225,7 @@ pub fn recover_dir(cfg: &LedgerConfig) -> Result<(Ledger, Recovered), LedgerErro
             appends_since_sync: 0,
             poisoned: false,
             telemetry: Telemetry::disabled(),
+            _lock: lock,
         },
         Recovered {
             snapshot,
@@ -1398,6 +1496,9 @@ mod tests {
         fault::reset();
         assert_eq!(fs::metadata(cfg.log_path()).unwrap().len(), log_len + 5);
 
+        // A poisoned handle still holds the writer lock; release it
+        // before recovering, as a restarted process implicitly would.
+        drop(led);
         let (_, rec) = recover_dir(&cfg).unwrap();
         assert_eq!(rec.events.len(), 1, "torn second record dropped");
         assert_eq!(rec.truncated_at, Some(log_len));
@@ -1556,5 +1657,72 @@ mod tests {
         assert_eq!(rec.events.len(), 1);
         assert!(!cfg.dir.join(SNAP_TMP_FILE).exists());
         assert!(!cfg.dir.join(LOG_TMP_FILE).exists());
+    }
+
+    #[test]
+    fn second_open_of_a_live_directory_is_locked() {
+        let _guard = fault::serialize_tests();
+        fault::reset();
+        let cfg = LedgerConfig::new(tmpdir("locked"));
+        let led = Ledger::create(cfg.clone()).unwrap();
+        // Same process counts as a live holder: two in-process handles
+        // would interleave appends just as badly as two processes.
+        assert!(
+            matches!(Ledger::create(cfg.clone()), Err(LedgerError::Locked { .. })),
+            "create over a live ledger must refuse"
+        );
+        assert!(
+            matches!(recover_dir(&cfg), Err(LedgerError::Locked { .. })),
+            "recover over a live ledger must refuse"
+        );
+        drop(led);
+        // Drop released the lock; the directory opens again.
+        let (_, rec) = recover_dir(&cfg).unwrap();
+        assert_eq!(rec.events.len(), 0);
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_process_is_reclaimed() {
+        let _guard = fault::serialize_tests();
+        fault::reset();
+        let cfg = LedgerConfig::new(tmpdir("stalelock"));
+        let mut led = Ledger::create(cfg.clone()).unwrap();
+        led.append(&ev_purchase("a", 1.0, 1.0)).unwrap();
+        drop(led);
+        // A killed process leaves its lockfile behind; pid 999999999 is
+        // far above any real pid_max, so the holder is provably dead.
+        fs::write(cfg.dir.join(LOCK_FILE), b"999999999").unwrap();
+        let (_, rec) = recover_dir(&cfg).expect("stale lock must be reclaimed");
+        assert_eq!(rec.events.len(), 1);
+    }
+
+    #[test]
+    fn foreign_live_lock_is_refused() {
+        let _guard = fault::serialize_tests();
+        fault::reset();
+        let cfg = LedgerConfig::new(tmpdir("livelock"));
+        fs::create_dir_all(&cfg.dir).unwrap();
+        // Pid 1 is always alive.
+        fs::write(cfg.dir.join(LOCK_FILE), b"1").unwrap();
+        match Ledger::create(cfg.clone()) {
+            Err(LedgerError::Locked { holder, .. }) => assert_eq!(holder, "1"),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // The refused open must not have removed the foreign lock.
+        assert!(cfg.dir.join(LOCK_FILE).exists());
+    }
+
+    #[test]
+    fn unparsable_lock_is_refused_not_reclaimed() {
+        let _guard = fault::serialize_tests();
+        fault::reset();
+        let cfg = LedgerConfig::new(tmpdir("garbagelock"));
+        fs::create_dir_all(&cfg.dir).unwrap();
+        fs::write(cfg.dir.join(LOCK_FILE), b"not-a-pid").unwrap();
+        assert!(
+            matches!(recover_dir(&cfg), Err(LedgerError::Locked { .. })),
+            "an unreadable holder is conservatively treated as alive"
+        );
+        assert!(cfg.dir.join(LOCK_FILE).exists());
     }
 }

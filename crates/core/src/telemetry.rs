@@ -137,6 +137,9 @@ pub enum Stage {
     Recovery,
     /// Replay + bitwise re-verification of one logged event.
     Replay,
+    /// One HTTP request handled by the pricing service, from parsed
+    /// request line to flushed response; `detail` carries the route.
+    ServerRequest,
 }
 
 impl Stage {
@@ -155,6 +158,7 @@ impl Stage {
             Stage::LedgerFsync => "ledger_fsync",
             Stage::Recovery => "recovery",
             Stage::Replay => "replay",
+            Stage::ServerRequest => "server_request",
         }
     }
 }

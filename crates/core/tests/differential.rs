@@ -400,6 +400,98 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The quote path is `&self`: N sessions quoting the same broker
+    /// concurrently (shared reference, no external locking) must price
+    /// bitwise-identically to quoting sequentially — for both pricing
+    /// families, with the pricing cache populated and disabled. Cached
+    /// quotes run as generation-checked peeks and misses price on pooled
+    /// scratch databases, so any shared mutable state leaking between
+    /// concurrent sessions shows up here as a flipped bit. Quotes must
+    /// also leave no trace: the memo's entry count is unchanged after
+    /// the concurrent burst.
+    #[test]
+    fn concurrent_quote_sessions_match_sequential_bitwise(
+        t_rows in prop::collection::vec((0u8..3, -40i16..40), 8..16),
+        u_rows in prop::collection::vec((any::<u8>(), -40i16..40), 4..10),
+        c in -40i16..40,
+        seed in any::<u64>(),
+        entropy in any::<bool>(),
+        cached in any::<bool>(),
+    ) {
+        let function = if entropy {
+            PricingFunction::ShannonEntropy
+        } else {
+            PricingFunction::WeightedCoverage
+        };
+        let cache = if cached { CacheConfig::default() } else { CacheConfig::disabled() };
+        let pool = query_pool(c);
+        let mut broker = Qirana::new(
+            build_db(&t_rows, &u_rows),
+            QiranaConfig {
+                function,
+                support: SupportConfig { size: 96, seed, ..Default::default() },
+                engine: EngineOptions::default().with_cache(cache),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Warm the memo through buys (quotes are peek-only and never
+        // insert), so the cached runs exercise concurrent hits as well
+        // as concurrent misses.
+        for sql in pool.iter().step_by(2) {
+            broker.buy("warm", sql).unwrap();
+        }
+        let broker = broker; // frozen: everything below is `&self`
+
+        let sequential: Vec<u64> = pool
+            .iter()
+            .map(|sql| broker.quote(sql).unwrap().to_bits())
+            .collect();
+        let entries_before = broker.cache_len();
+
+        const SESSIONS: usize = 4;
+        let concurrent: Vec<Vec<(usize, u64)>> = std::thread::scope(|scope| {
+            let broker = &broker;
+            let pool = &pool;
+            let handles: Vec<_> = (0..SESSIONS)
+                .map(|t| {
+                    scope.spawn(move || {
+                        // Each session walks the pool from its own
+                        // offset, so hits and misses interleave across
+                        // sessions instead of marching in lockstep.
+                        (0..pool.len())
+                            .map(|j| {
+                                let idx = (t + j) % pool.len();
+                                (idx, broker.quote(&pool[idx]).unwrap().to_bits())
+                            })
+                            .collect::<Vec<(usize, u64)>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (session, results) in concurrent.iter().enumerate() {
+            for &(idx, bits) in results {
+                prop_assert_eq!(
+                    bits,
+                    sequential[idx],
+                    "session {} diverged from sequential on {} ({:?}, cached={})",
+                    session, pool[idx], function, cached
+                );
+            }
+        }
+        prop_assert_eq!(
+            broker.cache_len(),
+            entries_before,
+            "concurrent quotes must not populate or evict the memo"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Regressions
 // ---------------------------------------------------------------------------

@@ -117,7 +117,7 @@ fn empty_log_recovers_to_genesis() {
     assert!(recovered.buyer_names().is_empty(), "no accounts at genesis");
 
     // The rebuilt broker prices exactly like a never-persisted one …
-    let mut fresh = Qirana::new(db(), cfg(PricingFunction::WeightedCoverage)).unwrap();
+    let fresh = Qirana::new(db(), cfg(PricingFunction::WeightedCoverage)).unwrap();
     assert_eq!(
         recovered.quote(POOL[0]).unwrap().to_bits(),
         fresh.quote(POOL[0]).unwrap().to_bits()

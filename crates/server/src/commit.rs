@@ -1,0 +1,42 @@
+//! The service's serialized commit path.
+//!
+//! Every state-changing request — a purchase or a seller-side update —
+//! funnels through this module and nowhere else. The handlers take the
+//! *write* lock on the shared broker, so commits are totally ordered
+//! with respect to each other and to every in-flight quote: a quote
+//! observes the market either entirely before or entirely after a
+//! commit, never a torn middle. The broker's own append-then-apply
+//! discipline (WAL first, memory second) runs unchanged under the lock;
+//! this module adds ordering, not durability.
+//!
+//! Quotes deliberately do NOT come through here — they run on the read
+//! lock against `&Qirana` (see the crate docs for the split).
+
+use std::sync::{PoisonError, RwLock};
+
+use qirana_core::{BrokerError, Purchase, Qirana};
+
+/// Commits one history-aware purchase for `buyer`.
+///
+/// Serialized: holds the broker write lock for the duration of the buy,
+/// which covers the WAL append, the fsync (per the ledger's policy), and
+/// the in-memory account mutation as one atomic step from any reader's
+/// point of view.
+pub fn commit_buy(
+    broker: &RwLock<Qirana>,
+    buyer: &str,
+    sql: &str,
+) -> Result<Purchase, BrokerError> {
+    let mut b = broker.write().unwrap_or_else(PoisonError::into_inner);
+    b.buy(buyer, sql)
+}
+
+/// Commits one seller-side UPDATE, returning the number of changed cells.
+///
+/// Serialized like [`commit_buy`]; additionally invalidates the pricing
+/// cache (generation bump inside the broker) so no later quote can serve
+/// a price computed against the pre-update database.
+pub fn commit_update(broker: &RwLock<Qirana>, sql: &str) -> Result<usize, BrokerError> {
+    let mut b = broker.write().unwrap_or_else(PoisonError::into_inner);
+    b.commit_update(sql)
+}

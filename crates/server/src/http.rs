@@ -1,0 +1,274 @@
+//! Minimal HTTP/1.1 framing over blocking sockets.
+//!
+//! The service speaks just enough HTTP for a JSON API: request-line +
+//! headers + `Content-Length`-delimited bodies on the way in, fixed
+//! status lines + `Content-Length` on the way out. Chunked encoding,
+//! `Expect: continue`, and multi-line headers are out of scope — a peer
+//! that needs them gets a 400 and the connection closed. Keep-alive is
+//! the default (HTTP/1.1 semantics): a connection carries a session's
+//! whole request stream, which is what makes the load generator's
+//! "thousands of concurrent sessions" claim mean something.
+//!
+//! Limits are enforced while reading, not after: a request line or
+//! header block larger than [`MAX_HEAD_BYTES`] or a declared body larger
+//! than [`MAX_BODY_BYTES`] aborts the read before the allocation, so a
+//! misbehaving client cannot balloon server memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line plus all headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on a declared request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (no query-string splitting; the API has none).
+    pub path: String,
+    /// Raw body bytes, decoded as UTF-8.
+    pub body: String,
+    /// False when the client sent `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// Why a read failed at the protocol (not socket) level.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed framing: bad request line, oversized head/body,
+    /// non-numeric `Content-Length`, or a non-UTF-8 body.
+    Malformed(&'static str),
+    /// The socket failed mid-request.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request off `reader`.
+///
+/// Returns `Ok(None)` on clean EOF before any bytes (the client closed a
+/// keep-alive connection between requests), `Err` on torn or oversized
+/// framing.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut head_bytes = 0usize;
+    let request_line = match read_line_limited(reader, &mut head_bytes)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line lacks a target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line lacks a version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.0 closes by default; HTTP/1.1 keeps alive by default.
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let line = read_line_limited(reader, &mut head_bytes)?
+            .ok_or(HttpError::Malformed("connection closed inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header lacks a colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("non-numeric Content-Length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(HttpError::Malformed("body exceeds the size cap"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not valid UTF-8"))?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads one CRLF (or bare-LF) terminated line, charging its bytes
+/// against the shared head budget. `Ok(None)` only on EOF at a line
+/// boundary with nothing read.
+fn read_line_limited(
+    reader: &mut impl BufRead,
+    head_bytes: &mut usize,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::Malformed("connection closed mid-line"));
+        }
+        let (chunk, found_newline) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        if *head_bytes + line.len() + chunk > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head exceeds the size cap"));
+        }
+        line.extend_from_slice(&buf[..chunk]);
+        reader.consume(chunk);
+        if found_newline {
+            break;
+        }
+    }
+    *head_bytes += line.len();
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("header bytes are not valid UTF-8"))
+}
+
+/// Writes one JSON response and flushes it.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Canonical reason phrase for the handful of statuses the API emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /v1/quote HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/quote");
+        assert_eq!(req.body, "abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let req = parse("GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_declaration_is_rejected_before_reading_it() {
+        let raw = format!(
+            "POST /v1/quote HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(&raw),
+            Err(HttpError::Malformed("body exceeds the size cap"))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse(&raw),
+            Err(HttpError::Malformed("request head exceeds the size cap"))
+        ));
+    }
+
+    #[test]
+    fn torn_request_line_is_an_error() {
+        assert!(matches!(
+            parse("GET /onl"),
+            Err(HttpError::Malformed("connection closed mid-line"))
+        ));
+    }
+
+    #[test]
+    fn response_is_length_framed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -153,9 +153,13 @@ pub fn build(sources: Vec<(String, String)>) -> WorkspaceGraph {
             if let Some(body) = item.body.clone() {
                 scan_panic_sites(&file.ctx, body.clone(), &mut node.panic_sites);
                 scan_hash_sites(&file.ctx, body.clone(), &hash_names, &mut node.hash_sites);
-                let in_broker = module.iter().any(|s| s == "broker")
-                    || item.scope.iter().any(|s| s == "broker");
-                if in_broker {
+                // The WAL-discipline scan covers the broker itself and the
+                // server's commit handlers: both layers may mutate market
+                // state, so both must append before applying.
+                let in_commit_scope = krate == "server"
+                    || module.iter().any(|s| s == "broker" || s == "server")
+                    || item.scope.iter().any(|s| s == "broker" || s == "server");
+                if in_commit_scope {
                     scan_mutation_sites(&file.ctx, body.clone(), &mut node.mutation_sites);
                     node.append_sites = scan_append_sites(&file.ctx, body);
                 }

@@ -226,8 +226,9 @@ impl Lint {
             }
             Lint::Ql009 => {
                 "QL009 — WAL discipline on broker commit paths (interprocedural)\n\n\
-                 PR 6's append-then-apply rule: on every path from a broker commit\n\
-                 entry point (`buy`, `commit*`) to an account/database mutation\n\
+                 PR 6's append-then-apply rule: on every path from a commit entry\n\
+                 point (`buy`, `commit*` — in the broker module or anywhere in the\n\
+                 server crate) to an account/database mutation\n\
                  (buyers map, paid/charged fields, history, apply_update_sql/\n\
                  apply_writes), a `ledger.append(..)` must come first — otherwise a\n\
                  crash between mutation and logging strands state the WAL cannot\n\
@@ -872,7 +873,9 @@ fn ql009_wal_discipline(g: &WorkspaceGraph, out: &mut Vec<Diagnostic>) {
         .filter(|(_, n)| {
             let ctx = &g.files[n.file].ctx;
             let name = g.files[n.file].parsed.items[n.item].name.as_str();
-            n.in_module(&g.files, "broker")
+            (n.in_module(&g.files, "broker")
+                || n.krate == "server"
+                || n.in_module(&g.files, "server"))
                 && n.vis == Vis::Pub
                 && (name == "buy" || name.starts_with("commit"))
                 && !ctx.is_bin()

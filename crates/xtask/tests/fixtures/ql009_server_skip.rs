@@ -1,0 +1,21 @@
+//! QL009 fixture: a *server* commit handler mutates buyer accounts with
+//! no preceding ledger append — the widened gate must catch WAL-skips in
+//! the service layer, not just inside the broker module.
+
+pub mod server {
+    pub struct Market {
+        pub buyers: std::collections::BTreeMap<String, i64>,
+        pub ledger: Vec<String>,
+    }
+
+    fn apply_account(m: &mut Market, buyer: String, paid: i64) {
+        m.buyers.insert(buyer, paid);
+    }
+
+    /// The HTTP buy handler: applies the account mutation before the
+    /// event ever reaches the ledger.
+    pub fn commit_buy(m: &mut Market, buyer: String, paid: i64) {
+        apply_account(m, buyer, paid);
+        m.ledger.push(format!("{paid}"));
+    }
+}

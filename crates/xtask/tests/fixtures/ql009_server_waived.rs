@@ -1,0 +1,27 @@
+//! QL009 fixture: server commit handlers silenced both ways — proper
+//! append-then-apply ordering, and an explicit waiver on an apply-first
+//! path with a documented compensating mechanism.
+
+pub mod server {
+    pub struct Ledger;
+
+    impl Ledger {
+        pub fn append(&mut self, _event: &str) {}
+    }
+
+    pub struct Market {
+        pub buyers: std::collections::BTreeMap<String, i64>,
+        pub ledger: Ledger,
+    }
+
+    pub fn commit_buy(m: &mut Market, buyer: String, paid: i64) {
+        m.ledger.append("buy");
+        m.buyers.insert(buyer, paid);
+    }
+
+    pub fn commit_cancel(m: &mut Market, buyer: String) {
+        // qirana-lint::allow(QL009): cancellation re-inserts on append failure;
+        m.buyers.remove(&buyer);
+        m.ledger.append("cancel");
+    }
+}

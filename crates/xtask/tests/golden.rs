@@ -149,6 +149,23 @@ fn ql009_append_then_apply_and_waiver_are_clean() {
 }
 
 #[test]
+fn ql009_fires_on_server_commit_handlers() {
+    let got = lint_graph_fixture("ql009_server_skip.rs");
+    assert!(!got.is_empty(), "server-scope QL009 fixture must fire");
+    assert!(got.iter().all(|d| d.contains("[QL009]")));
+    check_graph("ql009_server_skip.rs");
+}
+
+#[test]
+fn ql009_server_append_then_apply_and_waiver_are_clean() {
+    assert_eq!(
+        lint_graph_fixture("ql009_server_waived.rs"),
+        Vec::<String>::new()
+    );
+    check_graph("ql009_server_waived.rs");
+}
+
+#[test]
 fn waiver_mechanics_golden() {
     // The file demonstrates file-scope, trailing, and multi-lint waivers
     // (suppressed) alongside reasonless/stale ones (still reported).

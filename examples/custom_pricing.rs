@@ -29,7 +29,7 @@ fn main() {
         ],
         ..Default::default()
     };
-    let mut broker = Qirana::new(db.clone(), cfg).expect("feasible price points");
+    let broker = Qirana::new(db.clone(), cfg).expect("feasible price points");
 
     println!("== seller-customized prices ==\n");
     for sql in [

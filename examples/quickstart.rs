@@ -53,7 +53,7 @@ fn main() {
 
     // 2. The seller prices the whole dataset at $100; QIRANA derives
     //    fine-grained query prices from that single number.
-    let mut broker = Qirana::new(
+    let broker = Qirana::new(
         db,
         QiranaConfig {
             total_price: 100.0,

@@ -83,7 +83,7 @@ fn information_arbitrage_free_all_functions() {
     for f in PricingFunction::ALL {
         // Entropy partitions are priced naively; keep the support modest.
         let size = if f.needs_partition() { 300 } else { 1500 };
-        let mut q = broker(f, size);
+        let q = broker(f, size);
         for (finer, coarser) in determinacy_pairs() {
             let p_fine = q.quote(finer).unwrap();
             let p_coarse = q.quote(coarser).unwrap();
@@ -118,7 +118,7 @@ fn bundle_arbitrage_free_functions() {
         PricingFunction::QEntropy,
     ] {
         let size = if f.needs_partition() { 250 } else { 1500 };
-        let mut q = broker(f, size);
+        let q = broker(f, size);
         for (q1, q2) in bundles {
             let p1 = q.quote(q1).unwrap();
             let p2 = q.quote(q2).unwrap();
@@ -133,7 +133,7 @@ fn bundle_arbitrage_free_functions() {
 
 #[test]
 fn bundle_monotone_for_coverage() {
-    let mut q = broker(PricingFunction::WeightedCoverage, 1500);
+    let q = broker(PricingFunction::WeightedCoverage, 1500);
     let base = "SELECT Name FROM Country WHERE Continent = 'Asia'";
     let extra = "SELECT * FROM City WHERE Population > 1000000";
     let p_base = q.quote(base).unwrap();
@@ -149,7 +149,7 @@ fn uniform_entropy_gain_has_bundle_arbitrage_room() {
     // Table 1 marks pueg as NOT bundle-arbitrage-free. We don't assert a
     // violation exists for this workload (it depends on the sample), but we
     // do check the function is at least well-behaved on the ends.
-    let mut q = broker(PricingFunction::UniformEntropyGain, 1500);
+    let q = broker(PricingFunction::UniformEntropyGain, 1500);
     let all = q
         .quote_bundle(&[
             "SELECT * FROM Country",
@@ -168,7 +168,7 @@ fn constant_queries_are_free() {
     // must cost nothing under every function.
     for f in PricingFunction::ALL {
         let size = if f.needs_partition() { 200 } else { 800 };
-        let mut q = broker(f, size);
+        let q = broker(f, size);
         for sql in [
             "SELECT count(*) FROM Country",
             "SELECT count(*) FROM City",
@@ -183,7 +183,7 @@ fn constant_queries_are_free() {
 #[test]
 fn price_scales_with_selectivity() {
     // The Figure 2 sanity property: Qσ_u prices grow with u.
-    let mut q = broker(PricingFunction::WeightedCoverage, 2000);
+    let q = broker(PricingFunction::WeightedCoverage, 2000);
     let mut last = -1.0;
     for u in [1, 60, 120, 180, 240] {
         let p = q

@@ -417,3 +417,68 @@ fn crash_during_snapshot_recovers_and_compacts_later() {
     );
     fs::remove_dir_all(&base).ok();
 }
+
+/// A SIGKILLed writer leaves its lockfile behind — `Drop` never ran. The
+/// in-process crash simulation above cannot show this (dropping the dead
+/// broker releases the lock), so this case plants the leftover by hand:
+/// recovery must refuse while the recorded holder is alive, reclaim the
+/// lock once the holder is provably dead, and still rebuild the exact
+/// checkpoint.
+#[test]
+fn stale_lock_from_a_killed_process_is_reclaimed_on_recovery() {
+    let _guard = fault::serialize_tests();
+    fault::reset();
+    let base = matrix_base("stale-lock");
+
+    let control_dir = base.join("control");
+    let checkpoints = control_run(
+        PricingFunction::WeightedCoverage,
+        &SESSION[..3],
+        &control_dir,
+    );
+    let control_log = fs::read(LedgerConfig::new(&control_dir).log_path()).unwrap();
+
+    // Kill the session mid-log.
+    let crashed_dir = base.join("crashed");
+    let crash_cfg = || LedgerConfig::new(&crashed_dir).with_snapshot_every(0);
+    let budget = control_log.len() as u64 / 2;
+    fault::arm_ledger_crash(budget);
+    let outcome = Qirana::open(db(), cfg(PricingFunction::WeightedCoverage), crash_cfg()).and_then(
+        |mut broker| {
+            for op in &SESSION[..3] {
+                apply_op(&mut broker, op)?;
+            }
+            Ok(())
+        },
+    );
+    fault::disarm_ledger_crash();
+    outcome.expect_err("the crash budget must kill the session");
+    let k = scan_log(&fs::read(crash_cfg().log_path()).unwrap())
+        .unwrap()
+        .records
+        .len();
+
+    let lock_path = crashed_dir.join("ledger.lock");
+    // While the lock names a live process (pid 1 always is), the
+    // directory stays closed.
+    fs::write(&lock_path, b"1").unwrap();
+    let err = Qirana::recover(db(), cfg(PricingFunction::WeightedCoverage), crash_cfg())
+        .expect_err("a live holder must keep recovery out");
+    assert!(
+        matches!(err, BrokerError::Ledger(LedgerError::Locked { .. })),
+        "expected LedgerError::Locked, got {err}"
+    );
+    assert!(lock_path.exists(), "a refused open must not break the lock");
+
+    // The killed writer's own lock names a dead pid (999999999 exceeds
+    // any real pid_max): recovery reclaims it and rebuilds the market.
+    fs::write(&lock_path, b"999999999").unwrap();
+    let mut recovered =
+        Qirana::recover(db(), cfg(PricingFunction::WeightedCoverage), crash_cfg()).unwrap();
+    assert_eq!(
+        checkpoint(&mut recovered),
+        checkpoints[k],
+        "recovery through a stale lock diverges from checkpoint {k}"
+    );
+    fs::remove_dir_all(&base).ok();
+}

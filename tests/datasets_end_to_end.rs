@@ -27,7 +27,7 @@ fn broker(db: qirana::Database, size: usize, f: PricingFunction) -> Qirana {
 
 #[test]
 fn world_workload_prices_in_range() {
-    let mut q = broker(world::generate(3), 800, PricingFunction::WeightedCoverage);
+    let q = broker(world::generate(3), 800, PricingFunction::WeightedCoverage);
     for (i, sql) in queries::WORLD_QUERIES.iter().enumerate() {
         let p = q
             .quote(sql)
@@ -50,7 +50,7 @@ fn world_workload_prices_in_range() {
 fn dblp_prices_follow_table3_shape() {
     let nodes = 3000;
     let db = dblp::generate(nodes, 5);
-    let mut q = broker(db, 800, PricingFunction::WeightedCoverage);
+    let q = broker(db, 800, PricingFunction::WeightedCoverage);
     let qs = queries::dblp_queries(nodes);
 
     // Qd2 (average degree) is determined by publicly-known node and edge
@@ -72,7 +72,7 @@ fn dblp_prices_follow_table3_shape() {
 #[test]
 fn carcrash_prices_follow_table3_shape() {
     let db = carcrash::generate(6000, 7);
-    let mut q = broker(db, 1000, PricingFunction::WeightedCoverage);
+    let q = broker(db, 1000, PricingFunction::WeightedCoverage);
     let prices: Vec<f64> = queries::CARCRASH_QUERIES
         .iter()
         .map(|sql| q.quote(sql).unwrap())
@@ -90,7 +90,7 @@ fn carcrash_prices_follow_table3_shape() {
 #[test]
 fn ssb_queries_price_under_all_engines() {
     let db = ssb::generate(0.001, 9);
-    let mut q = broker(db, 400, PricingFunction::WeightedCoverage);
+    let q = broker(db, 400, PricingFunction::WeightedCoverage);
     for (name, sql) in queries::ssb_queries() {
         let p = q.quote(sql).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
@@ -104,7 +104,7 @@ fn ssb_queries_price_under_all_engines() {
 fn tpch_queries_price_without_error() {
     let sf = 0.001;
     let db = qirana::datagen::tpch::generate(sf, 11);
-    let mut q = broker(db, 200, PricingFunction::WeightedCoverage);
+    let q = broker(db, 200, PricingFunction::WeightedCoverage);
     for (name, sql) in queries::tpch_queries(sf) {
         let p = q.quote(&sql).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
@@ -119,7 +119,7 @@ fn history_aware_ssb_session_saves_money() {
     // Figure 4e's claim: pricing the 13 SSB queries history-aware costs
     // noticeably less than summing the 13 oblivious prices.
     let db = ssb::generate(0.001, 13);
-    let mut oblivious = broker(db.clone(), 300, PricingFunction::WeightedCoverage);
+    let oblivious = broker(db.clone(), 300, PricingFunction::WeightedCoverage);
     let mut aware = broker(db, 300, PricingFunction::WeightedCoverage);
     let mut sum_oblivious = 0.0;
     let mut sum_aware = 0.0;

@@ -73,7 +73,7 @@ fn small_support() -> SupportConfig {
 
 #[test]
 fn row_budget_trips_mid_join_as_structured_error() {
-    let mut broker = Qirana::new(
+    let broker = Qirana::new(
         twitter_db(),
         QiranaConfig {
             support: small_support(),
@@ -107,7 +107,7 @@ fn row_budget_trips_mid_join_as_structured_error() {
 
 #[test]
 fn expired_deadline_trips_immediately_and_is_bounded() {
-    let mut broker = Qirana::new(
+    let broker = Qirana::new(
         twitter_db(),
         QiranaConfig {
             support: small_support(),
@@ -223,7 +223,7 @@ fn infeasible_price_points_degrade_with_flag() {
         price_points: vec![PricePoint::new("SELECT * FROM User", 170.0)],
         ..Default::default()
     };
-    let mut broker = Qirana::new(twitter_db(), cfg).unwrap();
+    let broker = Qirana::new(twitter_db(), cfg).unwrap();
     assert!(broker.is_degraded());
     let q = broker.quote_ex("SELECT * FROM User").unwrap();
     assert!(q.degraded);
@@ -263,7 +263,7 @@ fn injected_support_failure_recovers_on_retry() {
     // First generation attempt fails; the reseeded retry succeeds — the
     // §3.3 reaction loop absorbs a transient failure.
     fault::arm(fault::SUPPORT_GENERATE, fault::Trigger::Once);
-    let mut broker = Qirana::new(
+    let broker = Qirana::new(
         twitter_db(),
         QiranaConfig {
             support: small_support(),
@@ -286,7 +286,7 @@ fn injected_support_failure_recovers_on_retry() {
 fn injected_engine_failure_fails_one_quote_then_recovers() {
     let _guard = fault::serialize_tests();
     fault::reset();
-    let mut broker = Qirana::new(
+    let broker = Qirana::new(
         twitter_db(),
         QiranaConfig {
             support: small_support(),
